@@ -1,0 +1,7 @@
+package davide
+
+import "time"
+
+// nowSeconds returns wall-clock time in seconds for the in-band overhead
+// measurement of BenchmarkE13OOBOverhead.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -1,0 +1,211 @@
+// Package davide is the public API of the D.A.V.I.D.E. reproduction: an
+// energy-aware petaflops-class HPC cluster simulator and telemetry stack
+// after Abu Ahmad et al., "Design of an Energy Aware peta-flops Class High
+// Performance Cluster Based on Power Architecture" (IPDPS-W 2017).
+//
+// The facade re-exports the pieces a downstream user composes:
+//
+//   - System (core): the full Fig.-4 stack — pilot cluster, MQTT
+//     telemetry, energy accounting, power prediction, power-aware
+//     scheduling;
+//   - the workload generator and the scheduling policies;
+//   - the monitoring chain (signals, monitors, gateways, aggregators) for
+//     standalone telemetry studies;
+//   - the application kernels and the developer energy API.
+//
+// See the examples/ directory for runnable entry points and DESIGN.md for
+// the module map.
+package davide
+
+import (
+	"davide/internal/accounting"
+	"davide/internal/capping"
+	"davide/internal/cluster"
+	"davide/internal/core"
+	"davide/internal/energyapi"
+	"davide/internal/gateway"
+	"davide/internal/monitors"
+	"davide/internal/mqtt"
+	"davide/internal/node"
+	"davide/internal/powerapi"
+	"davide/internal/predictor"
+	"davide/internal/ptp"
+	"davide/internal/sched"
+	"davide/internal/sensor"
+	"davide/internal/telemetry"
+	"davide/internal/workload"
+)
+
+// System is the assembled power-aware stack (see internal/core).
+type System = core.System
+
+// StreamResult summarises a real-MQTT telemetry replay.
+type StreamResult = core.StreamResult
+
+// NewSystem builds the 45-node pilot system; trainJobs (may be nil) train
+// the job power predictor.
+func NewSystem(trainJobs []Job) (*System, error) { return core.NewSystem(trainJobs) }
+
+// Workload types.
+type (
+	// Job is one batch job.
+	Job = workload.Job
+	// AppKind identifies one of the paper's application classes.
+	AppKind = workload.AppKind
+	// GeneratorConfig tunes the synthetic workload.
+	GeneratorConfig = workload.GeneratorConfig
+	// Generator produces deterministic job traces.
+	Generator = workload.Generator
+)
+
+// Application classes (§IV of the paper).
+const (
+	QuantumESPRESSO = workload.QuantumESPRESSO
+	NEMO            = workload.NEMO
+	SPECFEM3D       = workload.SPECFEM3D
+	BQCD            = workload.BQCD
+	Generic         = workload.Generic
+)
+
+// NewGenerator creates a workload generator.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) { return workload.NewGenerator(cfg) }
+
+// DefaultWorkload returns the pilot-like generator configuration.
+func DefaultWorkload(seed int64) GeneratorConfig { return workload.DefaultGeneratorConfig(seed) }
+
+// Scheduling types.
+type (
+	// SchedConfig configures one scheduling run.
+	SchedConfig = sched.Config
+	// SchedResult carries scheduling metrics.
+	SchedResult = sched.Result
+	// Policy selects FCFS or EASY dispatching.
+	Policy = sched.Policy
+)
+
+// Scheduling policies.
+const (
+	FCFS = sched.FCFS
+	EASY = sched.EASY
+)
+
+// Predictors.
+type (
+	// Predictor estimates per-node job power before execution.
+	Predictor = predictor.Predictor
+	// PredictorEvaluation scores a predictor on held-out jobs.
+	PredictorEvaluation = predictor.Evaluation
+)
+
+// NewMeanPredictor returns the per-(user, app) mean baseline.
+func NewMeanPredictor() Predictor { return predictor.NewMeanPerKey() }
+
+// NewOLSPredictor returns the linear-regression predictor.
+func NewOLSPredictor() Predictor { return predictor.NewOLS() }
+
+// NewKNNPredictor returns the k-nearest-neighbour predictor.
+func NewKNNPredictor(k int) (Predictor, error) { return predictor.NewKNN(k) }
+
+// EvaluatePredictor trains and scores a predictor.
+func EvaluatePredictor(p Predictor, train, test []Job) (PredictorEvaluation, error) {
+	return predictor.Evaluate(p, train, test)
+}
+
+// Monitoring chain.
+type (
+	// Signal is an analytic power trace.
+	Signal = sensor.Signal
+	// Sample is one timestamped power reading.
+	Sample = sensor.Sample
+	// MonitorClass identifies IPMI/HDEEM/ArduPower/EG-class monitors.
+	MonitorClass = monitors.Class
+	// MonitorResult is one monitoring accuracy measurement.
+	MonitorResult = monitors.Result
+	// Gateway is a node's energy gateway.
+	Gateway = gateway.Gateway
+	// Aggregator is a telemetry subscriber agent.
+	Aggregator = telemetry.Aggregator
+	// Broker is the MQTT broker.
+	Broker = mqtt.Broker
+	// PTPClock is a drifting, PTP-disciplinable clock.
+	PTPClock = ptp.Clock
+)
+
+// Monitoring classes compared in the paper's related work.
+const (
+	MonitorIPMI      = monitors.IPMI
+	MonitorArduPower = monitors.ArduPower
+	MonitorHDEEM     = monitors.HDEEM
+	MonitorEG        = monitors.EnergyGateway
+)
+
+// CompareMonitors measures all monitor classes against one signal.
+func CompareMonitors(sig Signal, t0, t1, fullScale float64, seed int64) ([]MonitorResult, error) {
+	return monitors.CompareAll(sig, t0, t1, fullScale, seed)
+}
+
+// NewBroker starts an MQTT broker on addr (e.g. "127.0.0.1:0").
+func NewBroker(addr string) (*Broker, error) { return mqtt.NewBroker(addr) }
+
+// SubscribeTelemetry attaches a new aggregator to a broker.
+func SubscribeTelemetry(brokerAddr, clientID string) (*Aggregator, *mqtt.Client, error) {
+	return telemetry.Subscribe(brokerAddr, clientID)
+}
+
+// Hardware and accounting.
+type (
+	// Node is one Garrison compute node.
+	Node = node.Node
+	// Cluster is the assembled pilot system.
+	Cluster = cluster.Cluster
+	// Ledger is the energy-accounting database.
+	Ledger = accounting.Ledger
+	// NodeCapper is the reactive power-capping controller.
+	NodeCapper = capping.NodeCapper
+	// EnergySession is the developer-facing energy API (§IV).
+	EnergySession = energyapi.Session
+	// EnergyReport is the TTS/ETS summary of an instrumented run.
+	EnergyReport = energyapi.Report
+)
+
+// NewNode builds one Garrison node with the default configuration.
+func NewNode(id int) (*Node, error) { return node.New(id, node.DefaultConfig()) }
+
+// NewPilotCluster assembles the 45-node pilot.
+func NewPilotCluster() (*Cluster, error) { return cluster.New(cluster.PilotConfig()) }
+
+// NewNodeCapper attaches a reactive capping controller to a node.
+func NewNodeCapper(n *Node) (*NodeCapper, error) { return capping.NewNodeCapper(n) }
+
+// NewEnergySession opens an instrumented application run on a node.
+func NewEnergySession(n *Node, clock func() float64) (*EnergySession, error) {
+	return energyapi.NewSession(n, clock)
+}
+
+// PowerAPI layer (§III-A1 mentions standardising on PowerAPI-style
+// interfaces).
+type (
+	// PowerHierarchy is the PowerAPI object tree of a system.
+	PowerHierarchy = powerapi.Hierarchy
+	// PowerAttr identifies a measurable/controllable attribute.
+	PowerAttr = powerapi.Attr
+)
+
+// PowerAPI attributes.
+const (
+	AttrPower     = powerapi.AttrPower
+	AttrPowerCap  = powerapi.AttrPowerCap
+	AttrFreq      = powerapi.AttrFreq
+	AttrTemp      = powerapi.AttrTemp
+	AttrPeakFlops = powerapi.AttrPeakFlops
+)
+
+// NewPowerHierarchy builds the PowerAPI tree for a cluster.
+func NewPowerHierarchy(c *Cluster, nodesPerRack int) (*PowerHierarchy, error) {
+	return powerapi.NewHierarchy(c, nodesPerRack)
+}
+
+// NewNodePowerHierarchy builds the per-node PowerAPI tree (the EG view).
+func NewNodePowerHierarchy(n *Node) (*PowerHierarchy, error) {
+	return powerapi.NewNodeHierarchy(n)
+}

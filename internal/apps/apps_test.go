@@ -1,0 +1,561 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// --- FFT ---
+
+func TestFFT1DMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	// Reference O(n^2) DFT.
+	ref := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			s += a[j] * cmplx.Exp(complex(0, ang))
+		}
+		ref[k] = s
+	}
+	got := make([]complex128, n)
+	copy(got, a)
+	fft1D(got, false)
+	for k := range got {
+		if cmplx.Abs(got[k]-ref[k]) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, DFT = %v", k, got[k], ref[k])
+		}
+	}
+}
+
+func TestFFT3DValidation(t *testing.T) {
+	if _, err := NewFFT3D(0, 1); err == nil {
+		t.Error("size 0 should error")
+	}
+	if _, err := NewFFT3D(12, 1); err == nil {
+		t.Error("non-power-of-two should error")
+	}
+}
+
+func TestFFT3DRoundTrip(t *testing.T) {
+	f, err := NewFFT3D(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	f.Fill(func(x, y, z int) complex128 {
+		return complex(rng.NormFloat64(), 0)
+	})
+	if e := f.RoundTripError(); e > 1e-9 {
+		t.Errorf("round-trip error = %v", e)
+	}
+}
+
+func TestFFT3DParallelMatchesSerial(t *testing.T) {
+	mk := func(workers int) *FFT3D {
+		f, err := NewFFT3D(8, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Fill(func(x, y, z int) complex128 {
+			return complex(float64(x*31+y*17+z*7%13), float64(x^y^z))
+		})
+		f.Transform(false)
+		return f
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	for i := range serial.data {
+		if cmplx.Abs(serial.data[i]-parallel.data[i]) > 1e-9 {
+			t.Fatalf("parallel result differs at %d", i)
+		}
+	}
+}
+
+func TestFFT3DDeltaTransform(t *testing.T) {
+	// FFT of a delta at the origin is all-ones.
+	f, err := NewFFT3D(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Set(0, 0, 0, 1)
+	f.Transform(false)
+	for i, v := range f.data {
+		if cmplx.Abs(v-1) > 1e-9 {
+			t.Fatalf("delta FFT at %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestPoissonSolve(t *testing.T) {
+	// Verify lap(u) = rho on a random zero-mean rho.
+	n := 16
+	f, err := NewFFT3D(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rho := make([]float64, n*n*n)
+	mean := 0.0
+	for i := range rho {
+		rho[i] = rng.NormFloat64()
+		mean += rho[i]
+	}
+	mean /= float64(len(rho))
+	for i := range rho {
+		rho[i] -= mean
+	}
+	// rho is indexed [z][y][x] row-major, matching the cube layout.
+	f.Fill(func(x, y, z int) complex128 {
+		return complex(rho[(z*n+y)*n+x], 0)
+	})
+	if err := f.PoissonSolve(); err != nil {
+		t.Fatal(err)
+	}
+	// Apply the 7-point Laplacian to the solution and compare with rho.
+	lap := func(x, y, z int) float64 {
+		m := func(v int) int { return (v + n) % n }
+		c := real(f.At(x, y, z))
+		return real(f.At(m(x+1), y, z)) + real(f.At(m(x-1), y, z)) +
+			real(f.At(x, m(y+1), z)) + real(f.At(x, m(y-1), z)) +
+			real(f.At(x, y, m(z+1))) + real(f.At(x, y, m(z-1))) - 6*c
+	}
+	i := 0
+	maxErr := 0.0
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if e := math.Abs(lap(x, y, z) - rho[i]); e > maxErr {
+					maxErr = e
+				}
+				i++
+			}
+		}
+	}
+	if maxErr > 1e-8 {
+		t.Errorf("Poisson residual = %v", maxErr)
+	}
+}
+
+func TestFFTFlopsEstimate(t *testing.T) {
+	f, err := NewFFT3D(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * 512 * math.Log2(512)
+	if math.Abs(f.FlopsEstimate()-want) > 1 {
+		t.Errorf("FlopsEstimate = %v, want %v", f.FlopsEstimate(), want)
+	}
+}
+
+// --- Stencil ---
+
+func TestStencilValidation(t *testing.T) {
+	if _, err := NewStencil(2, 10, 1, 0.2); err == nil {
+		t.Error("tiny grid should error")
+	}
+	if _, err := NewStencil(10, 10, 1, 0); err == nil {
+		t.Error("zero alpha should error")
+	}
+	if _, err := NewStencil(10, 10, 1, 0.3); err == nil {
+		t.Error("unstable alpha should error")
+	}
+	s, err := NewStencil(10, 10, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(0); err == nil {
+		t.Error("zero steps should error")
+	}
+}
+
+func TestStencilConservesTotal(t *testing.T) {
+	s, err := NewStencil(64, 48, 4, 0.24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fill(func(x, y int) float64 {
+		if x == 32 && y == 24 {
+			return 1000
+		}
+		return 0
+	})
+	before := s.Total()
+	if err := s.Step(200); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Total()
+	if math.Abs(after-before) > 1e-6*math.Abs(before) {
+		t.Errorf("total drifted: %v -> %v", before, after)
+	}
+	if s.Steps() != 200 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestStencilDiffusesPeak(t *testing.T) {
+	s, err := NewStencil(32, 32, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fill(func(x, y int) float64 {
+		if x == 16 && y == 16 {
+			return 100
+		}
+		return 0
+	})
+	peak0 := s.MaxAbs()
+	if err := s.Step(50); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxAbs() >= peak0/2 {
+		t.Errorf("peak should decay: %v -> %v", peak0, s.MaxAbs())
+	}
+}
+
+func TestStencilParallelMatchesSerial(t *testing.T) {
+	mk := func(workers int) *Stencil {
+		s, err := NewStencil(40, 40, workers, 0.22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Fill(func(x, y int) float64 { return float64((x*13 + y*7) % 11) })
+		if err := s.Step(30); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(1), mk(8)
+	for y := 0; y < 40; y++ {
+		for x := 0; x < 40; x++ {
+			if math.Abs(a.At(x, y)-b.At(x, y)) > 1e-12 {
+				t.Fatalf("parallel differs at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestStencilIntensityIsLow(t *testing.T) {
+	// NEMO's profile: bytes per flop ≈ 8 — memory bound, as §IV-B says.
+	s, err := NewStencil(100, 100, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensity := s.FlopsPerStep() / s.BytesPerStep()
+	if intensity > 0.25 {
+		t.Errorf("stencil arithmetic intensity %v too high for a memory-bound code", intensity)
+	}
+}
+
+func TestStencilHaloBytes(t *testing.T) {
+	s, err := NewStencil(100, 64, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HaloBytesPerStep(0); err == nil {
+		t.Error("zero ranks should error")
+	}
+	h1, err := s.HaloBytesPerStep(1)
+	if err != nil || h1 != 0 {
+		t.Errorf("single-rank halo = %v,%v want 0", h1, err)
+	}
+	h4, err := s.HaloBytesPerStep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 != 3*2*100*8 {
+		t.Errorf("4-rank halo = %v", h4)
+	}
+}
+
+// --- Lattice CG ---
+
+func TestLatticeValidation(t *testing.T) {
+	if _, err := NewLatticeCG(1, 1, 1, 0.1); err == nil {
+		t.Error("tiny lattice should error")
+	}
+	if _, err := NewLatticeCG(4, 1, 0, 0.1); err == nil {
+		t.Error("zero mass should error")
+	}
+	if _, err := NewLatticeCG(4, 1, 1, 2.0); err == nil {
+		t.Error("non-dominant kappa should error")
+	}
+}
+
+func TestLatticeCGSolves(t *testing.T) {
+	lc, err := NewLatticeCG(6, 4, 1.0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b := make([]float64, lc.Sites())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, lc.Sites())
+	res, err := lc.Solve(x, b, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge in %d iterations", res.Iterations)
+	}
+	if res.Residual > 1e-9 {
+		t.Errorf("true residual = %v", res.Residual)
+	}
+	if res.FlopsEst <= 0 {
+		t.Error("flops estimate missing")
+	}
+}
+
+func TestLatticeCGZeroRHS(t *testing.T) {
+	lc, err := NewLatticeCG(4, 2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, lc.Sites())
+	b := make([]float64, lc.Sites())
+	res, err := lc.Solve(x, b, 1e-10, 10)
+	if err != nil || !res.Converged {
+		t.Errorf("zero RHS should converge trivially: %+v, %v", res, err)
+	}
+}
+
+func TestLatticeCGErrors(t *testing.T) {
+	lc, err := NewLatticeCG(4, 2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3)
+	if _, err := lc.Solve(x, x, 1e-10, 10); err == nil {
+		t.Error("short vectors should error")
+	}
+	good := make([]float64, lc.Sites())
+	if _, err := lc.Solve(good, good, 0, 10); err == nil {
+		t.Error("zero tol should error")
+	}
+	if _, err := lc.Solve(good, good, 1e-10, 0); err == nil {
+		t.Error("zero iters should error")
+	}
+	if err := lc.Apply(x, good); err == nil {
+		t.Error("Apply length mismatch should error")
+	}
+}
+
+func TestEvenOddMatchesPlainSolve(t *testing.T) {
+	lc, err := NewLatticeCG(4, 4, 1.0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b := make([]float64, lc.Sites())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xPlain := make([]float64, lc.Sites())
+	resPlain, err := lc.Solve(xPlain, b, 1e-11, 1000)
+	if err != nil || !resPlain.Converged {
+		t.Fatal(err, resPlain)
+	}
+	xEO := make([]float64, lc.Sites())
+	resEO, err := lc.EvenOddSolve(xEO, b, 1e-11, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resEO.Converged {
+		t.Fatal("even/odd solve did not converge")
+	}
+	if resEO.Residual > 1e-9 {
+		t.Errorf("even/odd residual = %v", resEO.Residual)
+	}
+	for i := range xPlain {
+		if math.Abs(xPlain[i]-xEO[i]) > 1e-7 {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, xPlain[i], xEO[i])
+		}
+	}
+	// The paper's point: even/odd preconditioning converges faster.
+	if resEO.Iterations >= resPlain.Iterations {
+		t.Errorf("even/odd iterations %d should beat plain %d", resEO.Iterations, resPlain.Iterations)
+	}
+}
+
+func TestEvenOddRequiresEvenExtent(t *testing.T) {
+	lc, err := NewLatticeCG(3, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, lc.Sites())
+	if _, err := lc.EvenOddSolve(v, v, 1e-8, 10); err == nil {
+		t.Error("odd extent should error")
+	}
+}
+
+func TestLatticeParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		lc, err := NewLatticeCG(4, workers, 1.0, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, lc.Sites())
+		for i := range b {
+			b[i] = float64(i%7) - 3
+		}
+		x := make([]float64, lc.Sites())
+		if _, err := lc.Solve(x, b, 1e-12, 500); err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	a, bb := run(1), run(8)
+	for i := range a {
+		if math.Abs(a[i]-bb[i]) > 1e-8 {
+			t.Fatalf("parallel CG differs at %d", i)
+		}
+	}
+}
+
+// --- SEM ---
+
+func TestSEMValidation(t *testing.T) {
+	if _, err := NewSEM(1, 4, 1, 1e-3, 1); err == nil {
+		t.Error("one element should error")
+	}
+	if _, err := NewSEM(10, 5, 1, 1e-3, 1); err == nil {
+		t.Error("unsupported degree should error")
+	}
+	if _, err := NewSEM(10, 4, 1, 0, 1); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := NewSEM(10, 4, 1, 10, 1); err == nil {
+		t.Error("CFL-violating dt should error")
+	}
+	s, err := NewSEM(10, 4, 1, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(0); err == nil {
+		t.Error("zero steps should error")
+	}
+	if err := s.SetInitialGaussian(0); err == nil {
+		t.Error("zero width should error")
+	}
+}
+
+func TestSEMGlobalNodeCount(t *testing.T) {
+	s, err := NewSEM(10, 4, 1, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NGlobal() != 41 {
+		t.Errorf("NGlobal = %d, want 41", s.NGlobal())
+	}
+}
+
+func TestSEMEnergyConservation(t *testing.T) {
+	s, err := NewSEM(40, 4, 4, 5e-4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInitialGaussian(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(1); err != nil { // prime leapfrog
+		t.Fatal(err)
+	}
+	e0 := s.Energy()
+	if e0 <= 0 {
+		t.Fatalf("initial energy = %v", e0)
+	}
+	if err := s.Step(4000); err != nil {
+		t.Fatal(err)
+	}
+	e1 := s.Energy()
+	if math.Abs(e1-e0)/e0 > 0.01 {
+		t.Errorf("energy drifted %v -> %v (%.3f%%)", e0, e1, 100*math.Abs(e1-e0)/e0)
+	}
+	if s.Steps() != 4001 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestSEMWavePropagates(t *testing.T) {
+	s, err := NewSEM(40, 3, 2, 5e-4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInitialGaussian(2); err != nil {
+		t.Fatal(err)
+	}
+	// Sample displacement far from the centre before and after.
+	probe := 5 * s.Degree // node in element 5
+	before := math.Abs(s.u[probe])
+	if err := s.Step(20000); err != nil {
+		t.Fatal(err)
+	}
+	after := math.Abs(s.u[probe])
+	if after <= before+1e-12 {
+		t.Errorf("wave never reached the probe: %v -> %v", before, after)
+	}
+	if s.MaxDisplacement() > 2 {
+		t.Errorf("solution blew up: max %v", s.MaxDisplacement())
+	}
+}
+
+func TestSEMParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		s, err := NewSEM(20, 4, workers, 1e-3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetInitialGaussian(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Step(500); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(s.u))
+		copy(out, s.u)
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-10 {
+			t.Fatalf("parallel SEM differs at node %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSEMFlopsPositive(t *testing.T) {
+	s, err := NewSEM(10, 4, 1, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FlopsPerStep() <= 0 {
+		t.Error("FlopsPerStep should be positive")
+	}
+}
+
+// --- shared helpers ---
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		seen := make([]int32, n)
+		parallelFor(n, workers, func(i int) { seen[i]++ })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	// n = 0 must not call fn.
+	parallelFor(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}

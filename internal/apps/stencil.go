@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"errors"
+	"math"
+)
+
+// Stencil is a NEMO-style 2-D latitude/longitude diffusion-advection
+// stencil with periodic east-west boundaries and closed north-south
+// boundaries, iterated with a 5-point kernel. Rows are distributed across
+// workers; the halo rows between bands model NEMO's MPI halo exchanges.
+type Stencil struct {
+	NX, NY  int // longitude x latitude
+	Workers int
+	Alpha   float64 // diffusion coefficient (stability: alpha <= 0.25)
+	cur     []float64
+	next    []float64
+	steps   int
+}
+
+// NewStencil allocates a zeroed field.
+func NewStencil(nx, ny, workers int, alpha float64) (*Stencil, error) {
+	if nx < 3 || ny < 3 {
+		return nil, errors.New("apps: stencil grid must be at least 3x3")
+	}
+	if alpha <= 0 || alpha > 0.25 {
+		return nil, errors.New("apps: stencil alpha must be in (0, 0.25]")
+	}
+	return &Stencil{
+		NX: nx, NY: ny, Workers: workers, Alpha: alpha,
+		cur:  make([]float64, nx*ny),
+		next: make([]float64, nx*ny),
+	}, nil
+}
+
+// At returns the field value at (x, y).
+func (s *Stencil) At(x, y int) float64 { return s.cur[y*s.NX+x] }
+
+// Set stores a field value at (x, y).
+func (s *Stencil) Set(x, y int, v float64) { s.cur[y*s.NX+x] = v }
+
+// Fill initialises the field from a function.
+func (s *Stencil) Fill(fn func(x, y int) float64) {
+	for y := 0; y < s.NY; y++ {
+		for x := 0; x < s.NX; x++ {
+			s.Set(x, y, fn(x, y))
+		}
+	}
+}
+
+// Steps returns how many iterations have run.
+func (s *Stencil) Steps() int { return s.steps }
+
+// Step advances the field by n iterations of the 5-point kernel
+// u' = u + alpha*(uN + uS + uE + uW - 4u), with periodic x and closed y.
+func (s *Stencil) Step(n int) error {
+	if n <= 0 {
+		return errors.New("apps: step count must be positive")
+	}
+	nx, ny := s.NX, s.NY
+	for it := 0; it < n; it++ {
+		cur, next := s.cur, s.next
+		parallelFor(ny, s.Workers, func(y int) {
+			for x := 0; x < nx; x++ {
+				c := cur[y*nx+x]
+				e := cur[y*nx+(x+1)%nx]
+				w := cur[y*nx+(x-1+nx)%nx]
+				// Closed north/south: reflect at the walls.
+				nv := c
+				if y+1 < ny {
+					nv = cur[(y+1)*nx+x]
+				}
+				sv := c
+				if y-1 >= 0 {
+					sv = cur[(y-1)*nx+x]
+				}
+				next[y*nx+x] = c + s.Alpha*(nv+sv+e+w-4*c)
+			}
+		})
+		s.cur, s.next = s.next, s.cur
+		s.steps++
+	}
+	return nil
+}
+
+// Total returns the field integral; diffusion with closed/periodic
+// boundaries conserves it, which the tests verify.
+func (s *Stencil) Total() float64 {
+	t := 0.0
+	for _, v := range s.cur {
+		t += v
+	}
+	return t
+}
+
+// MaxAbs returns the max absolute field value.
+func (s *Stencil) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range s.cur {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// FlopsPerStep returns the nominal flop count of one iteration
+// (6 flops per point).
+func (s *Stencil) FlopsPerStep() float64 { return 6 * float64(s.NX) * float64(s.NY) }
+
+// BytesPerStep returns the memory traffic of one iteration: read 5
+// neighbours, write 1, 8 bytes each — the low-computational-intensity
+// profile the paper describes for NEMO.
+func (s *Stencil) BytesPerStep() float64 { return 48 * float64(s.NX) * float64(s.NY) }
+
+// HaloBytesPerStep returns the bytes a band decomposition across p ranks
+// would exchange per step (two halo rows per internal boundary).
+func (s *Stencil) HaloBytesPerStep(p int) (float64, error) {
+	if p <= 0 {
+		return 0, errors.New("apps: rank count must be positive")
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	boundaries := p - 1
+	return float64(boundaries) * 2 * float64(s.NX) * 8, nil
+}

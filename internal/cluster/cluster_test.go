@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"testing"
+
+	"davide/internal/node"
+)
+
+func pilot(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(PilotConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPilotConfigValid(t *testing.T) {
+	if err := PilotConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.ComputeRacks = 0 },
+		func(c *Config) { c.NodesPerRack = 0 },
+		func(c *Config) { c.RackBudgetW = 0 },
+		func(c *Config) { c.ServiceRackPowerW = -1 },
+		func(c *Config) { c.NodeConfig.Sockets = 0 },
+	}
+	for i, m := range mut {
+		cfg := PilotConfig()
+		m(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestPilotShape(t *testing.T) {
+	c := pilot(t)
+	if c.NodeCount() != 45 {
+		t.Errorf("NodeCount = %d, want 45", c.NodeCount())
+	}
+	if len(c.Racks) != 3 || len(c.Loops) != 3 {
+		t.Errorf("racks/loops = %d/%d", len(c.Racks), len(c.Loops))
+	}
+	if c.Fabric.Rails != 2 {
+		t.Error("pilot fabric must be dual-rail")
+	}
+}
+
+func TestPilotMeetsPaperTargets(t *testing.T) {
+	// E1: ~1 PFlops peak, < 100 kW facility power, ~10 GFlops/W at HPL.
+	c := pilot(t)
+	res, err := c.RunLinpack(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakPF := res.PeakFlops.TFlops() / 1000
+	if peakPF < 0.93 || peakPF > 1.1 {
+		t.Errorf("peak = %v PFlops, want ~1", peakPF)
+	}
+	if res.FacilityPowerW.KW() >= 100 {
+		t.Errorf("facility power = %v kW, want < 100", res.FacilityPowerW.KW())
+	}
+	if res.ITPowerW >= res.FacilityPowerW {
+		t.Error("IT power must be below facility power")
+	}
+	// Green500 shape: comfortably above TaihuLight's 6, near the era's
+	// leaders (SaturnV 9.5).
+	if res.GFlopsPerWatt < 6 || res.GFlopsPerWatt > 13 {
+		t.Errorf("efficiency = %v GFlops/W, want 6-13", res.GFlopsPerWatt)
+	}
+}
+
+func TestRunLinpackValidation(t *testing.T) {
+	c := pilot(t)
+	if _, err := c.RunLinpack(0); err == nil {
+		t.Error("zero efficiency should error")
+	}
+	if _, err := c.RunLinpack(1.5); err == nil {
+		t.Error("efficiency > 1 should error")
+	}
+}
+
+func TestITPowerScalesWithLoad(t *testing.T) {
+	c := pilot(t)
+	c.SetLoad(0)
+	idle := c.ITPower()
+	c.SetLoad(1)
+	full := c.ITPower()
+	if full <= idle {
+		t.Errorf("full %v should exceed idle %v", full, idle)
+	}
+	// 45 nodes x ~1980 W ≈ 89 kW IT at full load.
+	if full.KW() < 80 || full.KW() > 95 {
+		t.Errorf("full IT power = %v kW", full.KW())
+	}
+}
+
+func TestThrottleStudyLiquidVsAir(t *testing.T) {
+	// E12: liquid cooling -> no throttling, uniform throughput;
+	// air cooling at warm inlet -> uneven throttling.
+	liquid := pilot(t)
+	repL, err := liquid.ThrottleStudy(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repL.Cooling != node.Liquid {
+		t.Error("pilot should be liquid cooled")
+	}
+	if repL.DevicesThrottled != 0 {
+		t.Errorf("liquid cooling throttled %d devices", repL.DevicesThrottled)
+	}
+	if repL.ImbalancePct > 0.1 {
+		t.Errorf("liquid imbalance = %v%%", repL.ImbalancePct)
+	}
+
+	airCfg := PilotConfig()
+	airCfg.NodeConfig.Cooling = node.Air
+	airCfg.NodeConfig.CoolantTemp = 30
+	airCfg.NodeConfig.AirSpreadSeed = 11
+	air, err := New(airCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, err := air.ThrottleStudy(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.DevicesThrottled == 0 {
+		t.Error("warm air cooling should throttle some devices")
+	}
+	if repA.DevicesThrottled == repA.TotalDevices {
+		t.Error("air throttling should be partial (uneven), not total")
+	}
+	if repA.ImbalancePct <= repL.ImbalancePct {
+		t.Errorf("air imbalance %v%% should exceed liquid %v%%", repA.ImbalancePct, repL.ImbalancePct)
+	}
+	if repA.MinNodeFlops >= repA.MaxNodeFlops {
+		t.Error("air-cooled node throughput should be uneven")
+	}
+}
+
+func TestThrottleStudyValidation(t *testing.T) {
+	c := pilot(t)
+	if _, err := c.ThrottleStudy(0); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestFacilityPowerIncludesOverheads(t *testing.T) {
+	c := pilot(t)
+	c.SetLoad(1)
+	it := c.ITPower()
+	fac, err := c.FacilityPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(fac-it) / float64(it)
+	// PSU losses + fans + pumps + service rack: roughly 10-20 % on top.
+	if overhead < 0.05 || overhead > 0.25 {
+		t.Errorf("facility overhead = %v, want 5-25%%", overhead)
+	}
+}

@@ -1,0 +1,415 @@
+// Package core wires the substrates into the full D.A.V.I.D.E. power-aware
+// stack of Fig. 4 in the paper: the pilot cluster (hardware models), the
+// per-node energy gateways publishing over a real MQTT broker, the
+// telemetry aggregator and per-job energy accounting (EA), the job power
+// predictors (EP), and the power-aware scheduler. It is the paper's
+// "system middleware software" in one object.
+//
+// Two planes coexist:
+//
+//   - the virtual-time plane: job scheduling, node power traces and energy
+//     accounting run on simulated time, so months of machine operation
+//     take milliseconds;
+//   - the wall-clock plane: the MQTT telemetry path is real TCP — the
+//     StreamWindow method replays a virtual-time window through actual
+//     gateways, a broker and subscriber agents, so the telemetry numbers
+//     (throughput, delivered-energy accuracy) are measured, not modelled.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"davide/internal/accounting"
+	"davide/internal/cluster"
+	"davide/internal/gateway"
+	"davide/internal/monitors"
+	"davide/internal/mqtt"
+	"davide/internal/predictor"
+	"davide/internal/ptp"
+	"davide/internal/sched"
+	"davide/internal/sensor"
+	"davide/internal/telemetry"
+	"davide/internal/workload"
+)
+
+// System is the assembled D.A.V.I.D.E. stack.
+type System struct {
+	Cluster   *cluster.Cluster
+	Ledger    *accounting.Ledger
+	Predictor predictor.Predictor
+
+	// IdleNodePowerW is the idle draw used in node signals and billing.
+	IdleNodePowerW float64
+
+	// Node power signals from the last RunScheduled, one per node.
+	signals []*sensor.Piecewise
+	// Assignments from the last RunScheduled: job ID -> node IDs.
+	assignments map[int][]int
+	lastResult  *sched.Result
+	jobsByID    map[int]workload.Job
+}
+
+// NewSystem builds the pilot system with a trained power predictor.
+func NewSystem(trainJobs []workload.Job) (*System, error) {
+	c, err := cluster.New(cluster.PilotConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Cluster:        c,
+		Ledger:         accounting.NewLedger(),
+		IdleNodePowerW: 360,
+	}
+	p := predictor.NewMeanPerKey()
+	if len(trainJobs) > 0 {
+		if err := p.Train(trainJobs); err != nil {
+			return nil, err
+		}
+		s.Predictor = p
+	}
+	return s, nil
+}
+
+// assignNodes replays the schedule to give each job concrete node IDs.
+// The scheduler guaranteed capacity, so a greedy free-list replay always
+// succeeds.
+func assignNodes(jobs []workload.Job, res *sched.Result, nodeCount int) (map[int][]int, error) {
+	type ev struct {
+		t     float64
+		endEv bool
+		job   workload.Job
+	}
+	var evs []ev
+	for _, j := range jobs {
+		start, ok := res.Starts[j.ID]
+		if !ok {
+			return nil, fmt.Errorf("core: job %d missing from schedule", j.ID)
+		}
+		evs = append(evs, ev{t: start, job: j})
+		evs = append(evs, ev{t: res.Ends[j.ID], endEv: true, job: j})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		// Process completions before starts at the same instant.
+		return evs[i].endEv && !evs[j].endEv
+	})
+	free := make([]int, nodeCount)
+	for i := range free {
+		free[i] = i
+	}
+	held := make(map[int][]int)
+	out := make(map[int][]int, len(jobs))
+	for _, e := range evs {
+		if e.endEv {
+			free = append(free, held[e.job.ID]...)
+			delete(held, e.job.ID)
+			sort.Ints(free)
+			continue
+		}
+		if len(free) < e.job.Nodes {
+			return nil, fmt.Errorf("core: replay ran out of nodes for job %d", e.job.ID)
+		}
+		take := append([]int(nil), free[:e.job.Nodes]...)
+		free = free[e.job.Nodes:]
+		held[e.job.ID] = take
+		out[e.job.ID] = take
+	}
+	return out, nil
+}
+
+// RunScheduled executes the workload under the given scheduling
+// configuration, assigns concrete nodes, builds per-node power signals and
+// fills the energy ledger with each job's analytic energy-to-solution.
+func (s *System) RunScheduled(jobs []workload.Job, cfg sched.Config) (*sched.Result, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = s.Cluster.NodeCount()
+	}
+	if cfg.Nodes != s.Cluster.NodeCount() {
+		return nil, fmt.Errorf("core: config nodes %d != cluster %d", cfg.Nodes, s.Cluster.NodeCount())
+	}
+	if cfg.IdleNodePowerW == 0 {
+		cfg.IdleNodePowerW = s.IdleNodePowerW
+	}
+	if cfg.Estimator == nil && s.Predictor != nil && cfg.PowerCapW > 0 {
+		cfg.Estimator = s.Predictor.Predict
+	}
+	sim, err := sched.NewSimulator(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	assign, err := assignNodes(jobs, res, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build per-node piecewise power signals from the assignment.
+	type edge struct {
+		t     float64
+		delta float64
+	}
+	perNode := make([][]edge, cfg.Nodes)
+	for _, j := range jobs {
+		for _, n := range assign[j.ID] {
+			perNode[n] = append(perNode[n], edge{t: res.Starts[j.ID], delta: j.TruePowerPerNode - s.IdleNodePowerW})
+			perNode[n] = append(perNode[n], edge{t: res.Ends[j.ID], delta: -(j.TruePowerPerNode - s.IdleNodePowerW)})
+		}
+	}
+	s.signals = make([]*sensor.Piecewise, cfg.Nodes)
+	for n := range perNode {
+		edges := perNode[n]
+		sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+		sig := sensor.NewPiecewise(0, s.IdleNodePowerW)
+		level := s.IdleNodePowerW
+		for i := 0; i < len(edges); {
+			t := edges[i].t
+			for i < len(edges) && edges[i].t == t {
+				level += edges[i].delta
+				i++
+			}
+			if err := sig.Set(t, level); err != nil {
+				return nil, err
+			}
+		}
+		s.signals[n] = sig
+	}
+
+	// Fill the ledger with analytic per-job energy.
+	s.jobsByID = make(map[int]workload.Job, len(jobs))
+	for _, j := range jobs {
+		s.jobsByID[j.ID] = j
+		e := 0.0
+		for range assign[j.ID] {
+			e += j.TruePowerPerNode * (res.Ends[j.ID] - res.Starts[j.ID])
+		}
+		if err := s.Ledger.Add(accounting.Record{
+			JobID: j.ID, User: j.User, App: j.App.String(), Nodes: j.Nodes,
+			StartAt: res.Starts[j.ID], EndAt: res.Ends[j.ID], EnergyJ: e,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	s.assignments = assign
+	s.lastResult = res
+	return res, nil
+}
+
+// Assignments returns the node assignment of the last run.
+func (s *System) Assignments() map[int][]int { return s.assignments }
+
+// NodeSignal returns node n's power signal from the last run.
+func (s *System) NodeSignal(n int) (*sensor.Piecewise, error) {
+	if s.signals == nil {
+		return nil, errors.New("core: no scheduled run yet")
+	}
+	if n < 0 || n >= len(s.signals) {
+		return nil, fmt.Errorf("core: node %d out of range", n)
+	}
+	return s.signals[n], nil
+}
+
+// StreamResult summarises one real-MQTT telemetry replay.
+type StreamResult struct {
+	Window          float64 // seconds of virtual time streamed
+	NodesStreamed   int
+	SamplesSent     int
+	BatchesSent     int
+	BrokerPublishes int64
+	BrokerDropped   int64
+	WallClock       time.Duration
+	// MaxEnergyErrPct is the worst per-node deviation between the
+	// telemetry-derived energy and the analytic truth.
+	MaxEnergyErrPct float64
+}
+
+// StreamWindow replays [t0, t1] of the last run's node signals through
+// real gateways -> MQTT broker -> aggregator agents over loopback TCP,
+// using a monitor of the given output rate (samples/s of virtual time).
+// It verifies the delivered energy against the analytic truth and returns
+// streaming statistics. nodes limits the replay to the first k nodes
+// (0 = all).
+func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResult, error) {
+	if s.signals == nil {
+		return StreamResult{}, errors.New("core: no scheduled run yet")
+	}
+	if t1 <= t0 {
+		return StreamResult{}, errors.New("core: empty window")
+	}
+	if sampleRate <= 0 {
+		return StreamResult{}, errors.New("core: sample rate must be positive")
+	}
+	if nodes <= 0 || nodes > len(s.signals) {
+		nodes = len(s.signals)
+	}
+	start := time.Now()
+
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		return StreamResult{}, err
+	}
+	defer func() { _ = broker.Close() }()
+
+	agg, sub, err := telemetry.Subscribe(broker.Addr(), "core-aggregator")
+	if err != nil {
+		return StreamResult{}, err
+	}
+	defer func() { _ = sub.Close() }()
+
+	spec := monitors.Spec{
+		Class: monitors.EnergyGateway, RawRate: sampleRate * 16, OutputRate: sampleRate,
+		Averaged: true, Bits: 12, NoiseLSB: 0.5, ClockOffsetS: 5e-6, FullScale: 20000,
+	}
+	res := StreamResult{Window: t1 - t0, NodesStreamed: nodes}
+	for n := 0; n < nodes; n++ {
+		client, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: fmt.Sprintf("gw%02d", n)})
+		if err != nil {
+			return StreamResult{}, err
+		}
+		mon, err := monitors.New(spec, int64(1000+n))
+		if err != nil {
+			_ = client.Close()
+			return StreamResult{}, err
+		}
+		clock, err := ptp.NewClock(0, 0, 0, int64(n))
+		if err != nil {
+			_ = client.Close()
+			return StreamResult{}, err
+		}
+		gw, err := gateway.New(n, mon, clock, gateway.ClientPublisher{C: client}, 512)
+		if err != nil {
+			_ = client.Close()
+			return StreamResult{}, err
+		}
+		if _, err := gw.PublishWindow(s.signals[n], t0, t1); err != nil {
+			_ = client.Close()
+			return StreamResult{}, err
+		}
+		res.SamplesSent += gw.SampleCount()
+		res.BatchesSent += gw.Published()
+		_ = client.Close()
+	}
+
+	// Wait for delivery.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for n := 0; n < nodes; n++ {
+			if agg.Samples(n) < int((t1-t0)*sampleRate)-1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for n := 0; n < nodes; n++ {
+		got, err := agg.NodeEnergy(n, t0, t1)
+		if err != nil {
+			return StreamResult{}, fmt.Errorf("core: node %d telemetry: %w", n, err)
+		}
+		want, err := s.signals[n].Energy(t0, t1)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		if want > 0 {
+			errPct := 100 * math.Abs(got-want) / want
+			if errPct > res.MaxEnergyErrPct {
+				res.MaxEnergyErrPct = errPct
+			}
+		}
+	}
+	res.BrokerPublishes = broker.Stats.PublishesOut.Load()
+	res.BrokerDropped = broker.Stats.Dropped.Load()
+	res.WallClock = time.Since(start)
+	return res, nil
+}
+
+// JobEnergyFromTelemetry recomputes one job's ETS from a telemetry replay
+// of its interval (experiment E14's cross-check), returning telemetry and
+// ledger values.
+func (s *System) JobEnergyFromTelemetry(jobID int, sampleRate float64) (telemetryJ, ledgerJ float64, err error) {
+	if s.lastResult == nil {
+		return 0, 0, errors.New("core: no scheduled run yet")
+	}
+	rec, err := s.Ledger.Job(jobID)
+	if err != nil {
+		return 0, 0, err
+	}
+	nodes, ok := s.assignments[jobID]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: job %d has no assignment", jobID)
+	}
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = broker.Close() }()
+	agg, sub, err := telemetry.Subscribe(broker.Addr(), "job-ea")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = sub.Close() }()
+
+	spec := monitors.Spec{
+		Class: monitors.EnergyGateway, RawRate: sampleRate * 16, OutputRate: sampleRate,
+		Averaged: true, Bits: 12, NoiseLSB: 0.5, ClockOffsetS: 5e-6, FullScale: 20000,
+	}
+	wantSamples := 0
+	for _, n := range nodes {
+		client, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: fmt.Sprintf("jgw%02d", n)})
+		if err != nil {
+			return 0, 0, err
+		}
+		mon, err := monitors.New(spec, int64(2000+n))
+		if err != nil {
+			_ = client.Close()
+			return 0, 0, err
+		}
+		clock, err := ptp.NewClock(0, 0, 0, int64(n))
+		if err != nil {
+			_ = client.Close()
+			return 0, 0, err
+		}
+		gw, err := gateway.New(n, mon, clock, gateway.ClientPublisher{C: client}, 512)
+		if err != nil {
+			_ = client.Close()
+			return 0, 0, err
+		}
+		if _, err := gw.PublishWindow(s.signals[n], rec.StartAt, rec.EndAt); err != nil {
+			_ = client.Close()
+			return 0, 0, err
+		}
+		wantSamples += gw.SampleCount()
+		_ = client.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		got := 0
+		for _, n := range nodes {
+			got += agg.Samples(n)
+		}
+		if got >= wantSamples {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tj, err := agg.JobEnergy(telemetry.JobInterval{
+		JobID: jobID, Nodes: nodes, T0: rec.StartAt, T1: rec.EndAt,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return tj, rec.EnergyJ, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"davide/internal/sched"
+	"davide/internal/workload"
+)
+
+func genJobs(t *testing.T, n int, seed int64) []workload.Job {
+	t.Helper()
+	g, err := workload.NewGenerator(workload.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(genJobs(t, 800, 555))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystem(t *testing.T) {
+	s := newSystem(t)
+	if s.Cluster.NodeCount() != 45 {
+		t.Errorf("NodeCount = %d", s.Cluster.NodeCount())
+	}
+	if s.Predictor == nil {
+		t.Error("predictor should be trained")
+	}
+	// Without training jobs there is no predictor, but the system works.
+	s2, err := NewSystem(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Predictor != nil {
+		t.Error("untrained system should have nil predictor")
+	}
+}
+
+func TestRunScheduledFillsLedgerAndSignals(t *testing.T) {
+	s := newSystem(t)
+	jobs := genJobs(t, 120, 77)
+	res, err := s.RunScheduled(jobs, sched.Config{Policy: sched.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ledger.Len() != len(jobs) {
+		t.Errorf("ledger has %d records, want %d", s.Ledger.Len(), len(jobs))
+	}
+	// Every job has an assignment of the right size, with no overlap in
+	// time on the same node.
+	type iv struct{ t0, t1 float64 }
+	nodeIvs := map[int][]iv{}
+	for _, j := range jobs {
+		nodes := s.Assignments()[j.ID]
+		if len(nodes) != j.Nodes {
+			t.Fatalf("job %d assigned %d nodes, want %d", j.ID, len(nodes), j.Nodes)
+		}
+		for _, n := range nodes {
+			nodeIvs[n] = append(nodeIvs[n], iv{res.Starts[j.ID], res.Ends[j.ID]})
+		}
+	}
+	for n, ivs := range nodeIvs {
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a.t0 < b.t1-1e-9 && b.t0 < a.t1-1e-9 {
+					t.Fatalf("node %d double-booked: %+v vs %+v", n, a, b)
+				}
+			}
+		}
+	}
+	// Node signals exist and integrate to plausible energies.
+	sig, err := s.NodeSignal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sig.Energy(0, res.Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Error("node 0 energy should be positive")
+	}
+	if _, err := s.NodeSignal(999); err == nil {
+		t.Error("out-of-range node should error")
+	}
+}
+
+func TestLedgerMatchesSignalEnergy(t *testing.T) {
+	// Conservation: sum of per-job ledger energies + idle energy equals
+	// the integral of all node signals.
+	s := newSystem(t)
+	jobs := genJobs(t, 60, 3)
+	res, err := s.RunScheduled(jobs, sched.Config{Policy: sched.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sigTotal float64
+	for n := 0; n < s.Cluster.NodeCount(); n++ {
+		sig, err := s.NodeSignal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := sig.Energy(0, res.Makespan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigTotal += e
+	}
+	// Ledger energy counts job power above zero; signals include idle
+	// power on all nodes at all times plus (job - idle) during jobs.
+	idleTotal := s.IdleNodePowerW * float64(s.Cluster.NodeCount()) * res.Makespan
+	var jobDyn float64
+	for _, j := range jobs {
+		rec, err := s.Ledger.Job(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobDyn += rec.EnergyJ - s.IdleNodePowerW*float64(j.Nodes)*rec.Duration()
+	}
+	want := idleTotal + jobDyn
+	if math.Abs(sigTotal-want) > 1e-6*want {
+		t.Errorf("signal energy %v != ledger-derived %v", sigTotal, want)
+	}
+}
+
+func TestRunScheduledConfigChecks(t *testing.T) {
+	s := newSystem(t)
+	jobs := genJobs(t, 10, 1)
+	if _, err := s.RunScheduled(jobs, sched.Config{Nodes: 10}); err == nil {
+		t.Error("mismatched node count should error")
+	}
+	if _, err := s.StreamWindow(0, 1, 100, 0); err == nil {
+		t.Error("StreamWindow before run should error")
+	}
+	if _, _, err := s.JobEnergyFromTelemetry(0, 100); err == nil {
+		t.Error("JobEnergyFromTelemetry before run should error")
+	}
+}
+
+func TestProactiveCapUsesTrainedPredictor(t *testing.T) {
+	s := newSystem(t)
+	jobs := genJobs(t, 100, 12)
+	cap := 45 * 1100.0
+	res, err := s.RunScheduled(jobs, sched.Config{
+		Policy: sched.EASY, PowerCapW: cap, ReactiveCapping: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The system auto-wires its predictor: policy must say proactive.
+	if res.Policy != "EASY-backfill+proactive+reactive" {
+		t.Errorf("policy = %q", res.Policy)
+	}
+	if res.CapViolationSec > 0.02*res.Makespan {
+		t.Errorf("violations %v s over %v s makespan", res.CapViolationSec, res.Makespan)
+	}
+}
+
+func TestStreamWindowEndToEnd(t *testing.T) {
+	s := newSystem(t)
+	jobs := genJobs(t, 40, 9)
+	if _, err := s.RunScheduled(jobs, sched.Config{Policy: sched.EASY}); err != nil {
+		t.Fatal(err)
+	}
+	// Stream 100 virtual seconds of 8 nodes at 50 S/s over real MQTT.
+	res, err := s.StreamWindow(0, 100, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesStreamed != 8 {
+		t.Errorf("NodesStreamed = %d", res.NodesStreamed)
+	}
+	if res.SamplesSent < 8*4990 {
+		t.Errorf("SamplesSent = %d, want ~40000", res.SamplesSent)
+	}
+	if res.BrokerPublishes == 0 {
+		t.Error("broker saw no publishes")
+	}
+	if res.MaxEnergyErrPct > 1.0 {
+		t.Errorf("telemetry energy error = %v%%, want < 1%%", res.MaxEnergyErrPct)
+	}
+	if res.WallClock <= 0 {
+		t.Error("wall clock not measured")
+	}
+	// Parameter validation.
+	if _, err := s.StreamWindow(10, 10, 50, 1); err == nil {
+		t.Error("empty window should error")
+	}
+	if _, err := s.StreamWindow(0, 1, 0, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestJobEnergyFromTelemetry(t *testing.T) {
+	s := newSystem(t)
+	jobs := genJobs(t, 30, 4)
+	if _, err := s.RunScheduled(jobs, sched.Config{Policy: sched.EASY}); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a short job to keep the replay quick.
+	best, bestDur := -1, math.Inf(1)
+	for _, j := range jobs {
+		rec, err := s.Ledger.Job(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := rec.Duration(); d < bestDur {
+			best, bestDur = j.ID, d
+		}
+	}
+	tele, ledger, err := s.JobEnergyFromTelemetry(best, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ledger <= 0 {
+		t.Fatal("ledger energy missing")
+	}
+	if math.Abs(tele-ledger)/ledger > 0.02 {
+		t.Errorf("telemetry ETS %v deviates from ledger %v by >2%%", tele, ledger)
+	}
+	if _, _, err := s.JobEnergyFromTelemetry(99999, 20); err == nil {
+		t.Error("unknown job should error")
+	}
+}

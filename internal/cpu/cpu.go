@@ -1,0 +1,293 @@
+// Package cpu models the IBM POWER8+ processor used in the D.A.V.I.D.E.
+// compute nodes (§II-A of the paper): an 8-core socket with 8-way SMT,
+// DVFS P-states, a peak double-precision throughput derived from its four
+// DP floating-point pipelines with FMA, and a frequency/utilisation power
+// model used by the power-capping and energy-API experiments.
+//
+// The model is analytic: it maps an operating point (P-state, active cores,
+// SMT mode, utilisation) to throughput (flop/s), memory bandwidth and power
+// (W). It deliberately omits microarchitectural detail the paper's
+// experiments do not exercise.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"davide/internal/units"
+)
+
+// Config describes one POWER8+ socket. The defaults in DefaultConfig follow
+// the paper: 8 cores, SMT8, NVLink-capable ("POWER8+"), up to 230 GB/s
+// sustained memory bandwidth per socket via Centaur buffers.
+type Config struct {
+	Name            string
+	Cores           int         // physical cores per socket (paper: 8)
+	SMTWays         int         // hardware threads per core (paper: 8)
+	FlopsPerCycle   float64     // DP flops per core per cycle (4 DP pipes x FMA = 8)
+	FMin, FMax      units.Hertz // DVFS range
+	NumPStates      int         // evenly spaced P-states from FMin to FMax
+	VMin, VMax      float64     // supply voltage at FMin / FMax (V)
+	IdlePower       units.Watt  // socket power at idle, all cores in low P-state
+	MaxPower        units.Watt  // socket power at FMax, all cores busy (TDP-ish)
+	MemBandwidth    units.BytesPerSec
+	MemLinkCount    int     // Centaur high-speed links (paper: 3 per Centaur, 8 Centaurs max)
+	UncoreFraction  float64 // share of max dynamic power not scaled by core count
+	ThrottleFMinPct float64 // thermal-throttle floor as a fraction of FMax
+}
+
+// DefaultConfig returns the POWER8+ socket model used throughout the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Name:            "POWER8+ 8c",
+		Cores:           8,
+		SMTWays:         8,
+		FlopsPerCycle:   8, // 4 DP pipelines with FMA
+		FMin:            units.Hertz(2.0e9),
+		FMax:            units.Hertz(3.5e9),
+		NumPStates:      7,
+		VMin:            0.85,
+		VMax:            1.10,
+		IdlePower:       units.Watt(45),
+		MaxPower:        units.Watt(190),
+		MemBandwidth:    units.BytesPerSec(230e9),
+		MemLinkCount:    24,
+		UncoreFraction:  0.25,
+		ThrottleFMinPct: 0.55,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return errors.New("cpu: Cores must be positive")
+	case c.SMTWays <= 0:
+		return errors.New("cpu: SMTWays must be positive")
+	case c.FlopsPerCycle <= 0:
+		return errors.New("cpu: FlopsPerCycle must be positive")
+	case c.FMin <= 0 || c.FMax < c.FMin:
+		return errors.New("cpu: invalid DVFS range")
+	case c.NumPStates < 1:
+		return errors.New("cpu: need at least one P-state")
+	case c.VMin <= 0 || c.VMax < c.VMin:
+		return errors.New("cpu: invalid voltage range")
+	case c.IdlePower < 0 || c.MaxPower <= c.IdlePower:
+		return errors.New("cpu: MaxPower must exceed IdlePower")
+	case c.MemBandwidth <= 0:
+		return errors.New("cpu: MemBandwidth must be positive")
+	case c.UncoreFraction < 0 || c.UncoreFraction > 1:
+		return errors.New("cpu: UncoreFraction must be in [0,1]")
+	case c.ThrottleFMinPct <= 0 || c.ThrottleFMinPct > 1:
+		return errors.New("cpu: ThrottleFMinPct must be in (0,1]")
+	}
+	return nil
+}
+
+// Socket is one POWER8+ socket at a specific operating point.
+type Socket struct {
+	cfg         Config
+	pstate      int     // 0 = slowest ... NumPStates-1 = fastest
+	activeCores int     // cores powered on (energy-proportionality API)
+	smt         int     // current SMT mode: 1,2,4,...
+	util        float64 // 0..1 utilisation of active cores
+	throttled   bool    // thermal throttle engaged
+}
+
+// New creates a socket in the fastest P-state with all cores active in the
+// configured SMT mode and zero utilisation.
+func New(cfg Config) (*Socket, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Socket{
+		cfg:         cfg,
+		pstate:      cfg.NumPStates - 1,
+		activeCores: cfg.Cores,
+		smt:         cfg.SMTWays,
+	}, nil
+}
+
+// Config returns the socket's configuration.
+func (s *Socket) Config() Config { return s.cfg }
+
+// PStateCount returns the number of P-states.
+func (s *Socket) PStateCount() int { return s.cfg.NumPStates }
+
+// Frequency returns the clock for P-state p (0 = FMin, max = FMax).
+func (s *Socket) Frequency(p int) (units.Hertz, error) {
+	if p < 0 || p >= s.cfg.NumPStates {
+		return 0, fmt.Errorf("cpu: P-state %d out of range [0,%d)", p, s.cfg.NumPStates)
+	}
+	if s.cfg.NumPStates == 1 {
+		return s.cfg.FMax, nil
+	}
+	frac := float64(p) / float64(s.cfg.NumPStates-1)
+	return s.cfg.FMin + units.Hertz(frac)*(s.cfg.FMax-s.cfg.FMin), nil
+}
+
+// SetPState selects the operating P-state.
+func (s *Socket) SetPState(p int) error {
+	if _, err := s.Frequency(p); err != nil {
+		return err
+	}
+	s.pstate = p
+	return nil
+}
+
+// PState returns the current P-state index.
+func (s *Socket) PState() int { return s.pstate }
+
+// SetActiveCores powers cores on or off (the paper's §IV energy APIs allow
+// switching off unused cores).
+func (s *Socket) SetActiveCores(n int) error {
+	if n < 0 || n > s.cfg.Cores {
+		return fmt.Errorf("cpu: active cores %d out of range [0,%d]", n, s.cfg.Cores)
+	}
+	s.activeCores = n
+	return nil
+}
+
+// ActiveCores returns the number of powered cores.
+func (s *Socket) ActiveCores() int { return s.activeCores }
+
+// SetSMT selects the SMT mode; it must be a power of two not exceeding the
+// configured SMT ways.
+func (s *Socket) SetSMT(ways int) error {
+	if ways < 1 || ways > s.cfg.SMTWays || ways&(ways-1) != 0 {
+		return fmt.Errorf("cpu: invalid SMT mode %d (max %d)", ways, s.cfg.SMTWays)
+	}
+	s.smt = ways
+	return nil
+}
+
+// SMT returns the current SMT mode.
+func (s *Socket) SMT() int { return s.smt }
+
+// SetUtilization sets the busy fraction of the active cores, clamped to [0,1].
+func (s *Socket) SetUtilization(u float64) {
+	if math.IsNaN(u) {
+		u = 0
+	}
+	s.util = math.Min(1, math.Max(0, u))
+}
+
+// Utilization returns the current busy fraction.
+func (s *Socket) Utilization() float64 { return s.util }
+
+// SetThrottled engages or releases the thermal throttle. While throttled the
+// effective frequency is clamped to ThrottleFMinPct*FMax regardless of the
+// selected P-state (this is what air-cooled nodes in §II-G suffer from).
+func (s *Socket) SetThrottled(on bool) { s.throttled = on }
+
+// Throttled reports whether the thermal throttle is engaged.
+func (s *Socket) Throttled() bool { return s.throttled }
+
+// EffectiveFrequency returns the clock actually delivered, accounting for
+// the thermal throttle.
+func (s *Socket) EffectiveFrequency() units.Hertz {
+	f, _ := s.Frequency(s.pstate)
+	if s.throttled {
+		floor := units.Hertz(s.cfg.ThrottleFMinPct) * s.cfg.FMax
+		if f > floor {
+			f = floor
+		}
+	}
+	return f
+}
+
+// smtEfficiency models throughput gain from SMT for throughput-bound code:
+// diminishing returns, calibrated so SMT8 yields ~2x single-thread issue
+// utilisation, as POWER8 marketing material reported for many HPC codes.
+func smtEfficiency(ways int) float64 {
+	switch {
+	case ways <= 1:
+		return 1.0
+	case ways == 2:
+		return 1.45
+	case ways == 4:
+		return 1.8
+	default:
+		return 2.0
+	}
+}
+
+// PeakFlops returns peak DP throughput at the current operating point,
+// i.e. activeCores x flopsPerCycle x effectiveFrequency. SMT does not raise
+// peak FP throughput (the FP pipes are shared), so it is not a factor here.
+func (s *Socket) PeakFlops() units.Flops {
+	f := s.EffectiveFrequency()
+	return units.Flops(float64(s.activeCores) * s.cfg.FlopsPerCycle * float64(f))
+}
+
+// SustainedFlops returns realistic throughput for a workload achieving
+// fpEff of peak issue on each busy core, boosted by SMT efficiency for
+// latency-tolerant code, capped at peak.
+func (s *Socket) SustainedFlops(fpEff float64) units.Flops {
+	if fpEff < 0 {
+		fpEff = 0
+	}
+	eff := fpEff * smtEfficiency(s.smt) / smtEfficiency(1)
+	if eff > 1 {
+		eff = 1
+	}
+	return units.Flops(float64(s.PeakFlops()) * eff * s.util)
+}
+
+// MemBandwidth returns the sustained memory bandwidth available at the
+// current active-core count (bandwidth scales mildly with powered cores as
+// fewer cores can generate fewer concurrent misses).
+func (s *Socket) MemBandwidth() units.BytesPerSec {
+	frac := float64(s.activeCores) / float64(s.cfg.Cores)
+	// At least 40% of bandwidth is reachable from a single core via
+	// prefetch; scale the rest with the active-core fraction.
+	scale := 0.4 + 0.6*frac
+	if s.activeCores == 0 {
+		scale = 0
+	}
+	return units.BytesPerSec(float64(s.cfg.MemBandwidth) * scale)
+}
+
+// Power returns the socket electrical power at the current operating point.
+//
+// Model: P = Pidle + Pdyn_max * share(cores) * u * (f/fmax) * (V/Vmax)^2,
+// the classic CMOS dynamic-power form with voltage tracking frequency
+// linearly across the DVFS range. The uncore fraction of dynamic power does
+// not scale with powered-off cores.
+func (s *Socket) Power() units.Watt {
+	f := s.EffectiveFrequency()
+	v := s.voltageAt(f)
+	fn := float64(f) / float64(s.cfg.FMax)
+	vn := v / s.cfg.VMax
+	coreShare := float64(s.activeCores) / float64(s.cfg.Cores)
+	share := s.cfg.UncoreFraction + (1-s.cfg.UncoreFraction)*coreShare
+	dynMax := float64(s.cfg.MaxPower - s.cfg.IdlePower)
+	return s.cfg.IdlePower + units.Watt(dynMax*share*s.util*fn*vn*vn)
+}
+
+// voltageAt interpolates supply voltage across the DVFS range.
+func (s *Socket) voltageAt(f units.Hertz) float64 {
+	if s.cfg.FMax == s.cfg.FMin {
+		return s.cfg.VMax
+	}
+	frac := float64(f-s.cfg.FMin) / float64(s.cfg.FMax-s.cfg.FMin)
+	if frac < 0 {
+		frac = 0
+	}
+	return s.cfg.VMin + frac*(s.cfg.VMax-s.cfg.VMin)
+}
+
+// PowerAt is a stateless helper returning socket power for an arbitrary
+// operating point, used by the capping controller to search P-states
+// without disturbing the live socket.
+func (s *Socket) PowerAt(pstate int, util float64) (units.Watt, error) {
+	saved := *s
+	defer func() { *s = saved }()
+	if err := s.SetPState(pstate); err != nil {
+		return 0, err
+	}
+	s.SetUtilization(util)
+	return s.Power(), nil
+}

@@ -1,0 +1,381 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"davide/internal/units"
+)
+
+func newSocket(t *testing.T) *Socket {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.SMTWays = 0 },
+		func(c *Config) { c.FlopsPerCycle = 0 },
+		func(c *Config) { c.FMin = 0 },
+		func(c *Config) { c.FMax = c.FMin - 1 },
+		func(c *Config) { c.NumPStates = 0 },
+		func(c *Config) { c.VMin = 0 },
+		func(c *Config) { c.VMax = c.VMin / 2 },
+		func(c *Config) { c.MaxPower = c.IdlePower },
+		func(c *Config) { c.MemBandwidth = 0 },
+		func(c *Config) { c.UncoreFraction = 1.5 },
+		func(c *Config) { c.ThrottleFMinPct = 0 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New with mutation %d should fail", i)
+		}
+	}
+}
+
+func TestPeakFlopsMatchesPaper(t *testing.T) {
+	// 8 cores x 8 DP flop/cycle x 3.5 GHz = 224 GFlops per socket, which
+	// together with 4x P100 gives the paper's ~22 TFlops node.
+	s := newSocket(t)
+	s.SetUtilization(1)
+	got := s.PeakFlops().GFlops()
+	if math.Abs(got-224) > 1e-9 {
+		t.Errorf("PeakFlops = %v GFlops, want 224", got)
+	}
+}
+
+func TestFrequencyLadder(t *testing.T) {
+	s := newSocket(t)
+	f0, err := s.Frequency(0)
+	if err != nil || f0 != DefaultConfig().FMin {
+		t.Errorf("Frequency(0) = %v,%v want FMin", f0, err)
+	}
+	fTop, err := s.Frequency(s.PStateCount() - 1)
+	if err != nil || fTop != DefaultConfig().FMax {
+		t.Errorf("Frequency(top) = %v,%v want FMax", fTop, err)
+	}
+	prev := units.Hertz(0)
+	for p := 0; p < s.PStateCount(); p++ {
+		f, err := s.Frequency(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= prev {
+			t.Errorf("P-state ladder not increasing at %d", p)
+		}
+		prev = f
+	}
+	if _, err := s.Frequency(-1); err == nil {
+		t.Error("negative P-state should error")
+	}
+	if _, err := s.Frequency(99); err == nil {
+		t.Error("out-of-range P-state should error")
+	}
+}
+
+func TestSinglePStateFrequency(t *testing.T) {
+	c := DefaultConfig()
+	c.NumPStates = 1
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Frequency(0)
+	if err != nil || f != c.FMax {
+		t.Errorf("single P-state frequency = %v,%v want FMax", f, err)
+	}
+}
+
+func TestSetPState(t *testing.T) {
+	s := newSocket(t)
+	if err := s.SetPState(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.PState() != 0 {
+		t.Errorf("PState = %d, want 0", s.PState())
+	}
+	if err := s.SetPState(99); err == nil {
+		t.Error("out-of-range SetPState should error")
+	}
+}
+
+func TestActiveCores(t *testing.T) {
+	s := newSocket(t)
+	if err := s.SetActiveCores(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveCores() != 4 {
+		t.Errorf("ActiveCores = %d", s.ActiveCores())
+	}
+	if err := s.SetActiveCores(9); err == nil {
+		t.Error("too many cores should error")
+	}
+	if err := s.SetActiveCores(-1); err == nil {
+		t.Error("negative cores should error")
+	}
+}
+
+func TestSMTModes(t *testing.T) {
+	s := newSocket(t)
+	for _, w := range []int{1, 2, 4, 8} {
+		if err := s.SetSMT(w); err != nil {
+			t.Errorf("SetSMT(%d): %v", w, err)
+		}
+		if s.SMT() != w {
+			t.Errorf("SMT = %d, want %d", s.SMT(), w)
+		}
+	}
+	for _, w := range []int{0, 3, 16, -2} {
+		if err := s.SetSMT(w); err == nil {
+			t.Errorf("SetSMT(%d) should error", w)
+		}
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	s := newSocket(t)
+	s.SetUtilization(2)
+	if s.Utilization() != 1 {
+		t.Errorf("util = %v, want 1", s.Utilization())
+	}
+	s.SetUtilization(-1)
+	if s.Utilization() != 0 {
+		t.Errorf("util = %v, want 0", s.Utilization())
+	}
+	s.SetUtilization(math.NaN())
+	if s.Utilization() != 0 {
+		t.Errorf("NaN util = %v, want 0", s.Utilization())
+	}
+}
+
+func TestPowerEndpoints(t *testing.T) {
+	s := newSocket(t)
+	cfg := DefaultConfig()
+	s.SetUtilization(0)
+	if got := s.Power(); got != cfg.IdlePower {
+		t.Errorf("idle power = %v, want %v", got, cfg.IdlePower)
+	}
+	s.SetUtilization(1)
+	if err := s.SetPState(s.PStateCount() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Power(); math.Abs(float64(got-cfg.MaxPower)) > 1e-9 {
+		t.Errorf("max power = %v, want %v", got, cfg.MaxPower)
+	}
+}
+
+func TestPowerMonotoneInPState(t *testing.T) {
+	s := newSocket(t)
+	s.SetUtilization(1)
+	prev := units.Watt(0)
+	for p := 0; p < s.PStateCount(); p++ {
+		if err := s.SetPState(p); err != nil {
+			t.Fatal(err)
+		}
+		got := s.Power()
+		if got <= prev {
+			t.Errorf("power not increasing at P-state %d: %v <= %v", p, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPowerScalesWithCores(t *testing.T) {
+	s := newSocket(t)
+	s.SetUtilization(1)
+	if err := s.SetActiveCores(8); err != nil {
+		t.Fatal(err)
+	}
+	p8 := s.Power()
+	if err := s.SetActiveCores(4); err != nil {
+		t.Fatal(err)
+	}
+	p4 := s.Power()
+	if p4 >= p8 {
+		t.Errorf("power with 4 cores (%v) should be below 8 cores (%v)", p4, p8)
+	}
+	// Uncore share keeps 4-core power above half of the dynamic range.
+	idle := DefaultConfig().IdlePower
+	if float64(p4-idle) <= 0.5*float64(p8-idle)*0.99 {
+		t.Errorf("uncore fraction not respected: p4=%v p8=%v", p4, p8)
+	}
+}
+
+func TestThrottleClampsFrequencyAndPower(t *testing.T) {
+	s := newSocket(t)
+	s.SetUtilization(1)
+	fFree := s.EffectiveFrequency()
+	pFree := s.Power()
+	s.SetThrottled(true)
+	if !s.Throttled() {
+		t.Fatal("Throttled() should be true")
+	}
+	fThr := s.EffectiveFrequency()
+	pThr := s.Power()
+	if fThr >= fFree {
+		t.Errorf("throttled frequency %v not below free %v", fThr, fFree)
+	}
+	wantF := units.Hertz(DefaultConfig().ThrottleFMinPct) * DefaultConfig().FMax
+	if math.Abs(float64(fThr-wantF)) > 1 {
+		t.Errorf("throttled frequency = %v, want %v", fThr, wantF)
+	}
+	if pThr >= pFree {
+		t.Errorf("throttled power %v not below free %v", pThr, pFree)
+	}
+	// Throttle must not affect a P-state already below the floor. The
+	// default floor (0.55*FMax = 1.925 GHz) sits below FMin, so use a
+	// higher floor to exercise this branch.
+	cfg := DefaultConfig()
+	cfg.ThrottleFMinPct = 0.7 // floor 2.45 GHz, above FMin 2.0 GHz
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SetPState(0); err != nil {
+		t.Fatal(err)
+	}
+	fLow := s2.EffectiveFrequency()
+	s2.SetThrottled(true)
+	if s2.EffectiveFrequency() != fLow {
+		t.Errorf("P-state below throttle floor should be unaffected")
+	}
+}
+
+func TestSustainedFlops(t *testing.T) {
+	s := newSocket(t)
+	s.SetUtilization(1)
+	if err := s.SetSMT(1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.SustainedFlops(0.5)
+	if math.Abs(float64(st)-0.5*float64(s.PeakFlops())) > 1 {
+		t.Errorf("SustainedFlops(0.5) = %v, want half of peak %v", st, s.PeakFlops())
+	}
+	// SMT8 boosts low-efficiency code but never beyond peak.
+	if err := s.SetSMT(8); err != nil {
+		t.Fatal(err)
+	}
+	boosted := s.SustainedFlops(0.5)
+	if boosted <= st {
+		t.Error("SMT8 should raise sustained throughput for 0.5-efficiency code")
+	}
+	if s.SustainedFlops(1.0) > s.PeakFlops() {
+		t.Error("sustained must not exceed peak")
+	}
+	if s.SustainedFlops(-1) != 0 {
+		t.Error("negative efficiency should clamp to 0")
+	}
+}
+
+func TestMemBandwidthScaling(t *testing.T) {
+	s := newSocket(t)
+	full := s.MemBandwidth()
+	if full != DefaultConfig().MemBandwidth {
+		t.Errorf("full bandwidth = %v", full)
+	}
+	if err := s.SetActiveCores(1); err != nil {
+		t.Fatal(err)
+	}
+	one := s.MemBandwidth()
+	if one <= units.BytesPerSec(0.39*float64(full)) || one >= full {
+		t.Errorf("single-core bandwidth = %v, want in (0.4*full, full)", one)
+	}
+	if err := s.SetActiveCores(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemBandwidth() != 0 {
+		t.Error("zero active cores should have zero bandwidth")
+	}
+}
+
+func TestPowerAtRestoresState(t *testing.T) {
+	s := newSocket(t)
+	s.SetUtilization(0.3)
+	if err := s.SetPState(2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.PowerAt(0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= DefaultConfig().IdlePower {
+		t.Errorf("PowerAt = %v, want above idle", p)
+	}
+	if s.PState() != 2 || s.Utilization() != 0.3 {
+		t.Error("PowerAt must not disturb socket state")
+	}
+	if _, err := s.PowerAt(-1, 1); err == nil {
+		t.Error("invalid P-state should error")
+	}
+}
+
+// Property: power is always within [IdlePower, MaxPower] for any valid
+// operating point.
+func TestPowerBoundedProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(pstate uint8, cores uint8, util float64) bool {
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		if err := s.SetPState(int(pstate) % cfg.NumPStates); err != nil {
+			return false
+		}
+		if err := s.SetActiveCores(int(cores) % (cfg.Cores + 1)); err != nil {
+			return false
+		}
+		s.SetUtilization(math.Mod(math.Abs(util), 1.2))
+		p := s.Power()
+		return p >= cfg.IdlePower && p <= cfg.MaxPower+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at fixed utilisation, higher P-state never yields lower
+// throughput or lower power.
+func TestPStateMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(util float64) bool {
+		u := math.Mod(math.Abs(util), 1.0)
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		s.SetUtilization(u)
+		var lastP units.Watt = -1
+		var lastF units.Flops = -1
+		for p := 0; p < cfg.NumPStates; p++ {
+			if err := s.SetPState(p); err != nil {
+				return false
+			}
+			pw, fl := s.Power(), s.SustainedFlops(1)
+			if float64(pw) < float64(lastP)-1e-9 || float64(fl) < float64(lastF)-1e-9 {
+				return false
+			}
+			lastP, lastF = pw, fl
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package gateway implements the D.A.V.I.D.E. energy and power gateway
+// (EG) of §III-A1: the BeagleBone-Black-class device attached to each
+// node's power backplane. The gateway samples the node power signal
+// through its ADC chain (800 kS/s hardware-averaged to 50 kS/s), stamps
+// every sample with its PTP-disciplined clock, and publishes batches over
+// MQTT using a topic/subscriber layout, so that any number of agents —
+// per-job aggregators, profilers, the scheduler plugin — can consume the
+// stream without touching the compute node (out-of-band monitoring).
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"davide/internal/monitors"
+	"davide/internal/mqtt"
+	"davide/internal/ptp"
+	"davide/internal/sensor"
+)
+
+// TopicPrefix is the root of the telemetry topic tree.
+const TopicPrefix = "davide"
+
+// PowerTopic returns the power-stream topic for a node.
+func PowerTopic(nodeID int) string {
+	return fmt.Sprintf("%s/node%02d/power", TopicPrefix, nodeID)
+}
+
+// EnergyTopic returns the per-window energy summary topic for a node.
+func EnergyTopic(nodeID int) string {
+	return fmt.Sprintf("%s/node%02d/energy", TopicPrefix, nodeID)
+}
+
+// Batch is one published window of power samples.
+type Batch struct {
+	Node    int       `json:"node"`
+	T0      float64   `json:"t0"` // gateway-clock timestamp of Samples[0]
+	Dt      float64   `json:"dt"` // sample spacing, seconds
+	Samples []float64 `json:"p"`  // watts
+}
+
+// Validate reports whether the batch is well-formed.
+func (b Batch) Validate() error {
+	switch {
+	case b.Node < 0:
+		return errors.New("gateway: negative node ID")
+	case b.Dt <= 0:
+		return errors.New("gateway: non-positive sample spacing")
+	case len(b.Samples) == 0:
+		return errors.New("gateway: empty batch")
+	}
+	return nil
+}
+
+// Encode serialises the batch to its MQTT payload.
+func (b Batch) Encode() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(b)
+}
+
+// DecodeBatch parses an MQTT payload back into a batch.
+func DecodeBatch(payload []byte) (Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return Batch{}, fmt.Errorf("gateway: decode: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return Batch{}, err
+	}
+	return b, nil
+}
+
+// EnergySummary is the retained per-window energy record.
+type EnergySummary struct {
+	Node   int     `json:"node"`
+	T0     float64 `json:"t0"`
+	T1     float64 `json:"t1"`
+	Joules float64 `json:"j"`
+	MeanW  float64 `json:"mean_w"`
+}
+
+// Encode serialises the summary.
+func (e EnergySummary) Encode() ([]byte, error) { return json.Marshal(e) }
+
+// DecodeEnergySummary parses a summary payload.
+func DecodeEnergySummary(payload []byte) (EnergySummary, error) {
+	var e EnergySummary
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return EnergySummary{}, fmt.Errorf("gateway: decode: %w", err)
+	}
+	return e, nil
+}
+
+// Publisher abstracts the MQTT client so gateways can be tested without a
+// broker and wired to the real client in production.
+type Publisher interface {
+	Publish(topic string, payload []byte, qos byte, retain bool) error
+}
+
+// ClientPublisher adapts *mqtt.Client to Publisher.
+type ClientPublisher struct{ C *mqtt.Client }
+
+// Publish implements Publisher.
+func (p ClientPublisher) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	return p.C.Publish(topic, payload, qos, retain)
+}
+
+// Gateway is one node's energy gateway.
+type Gateway struct {
+	NodeID int
+	// Monitor is the sampling chain (normally the EG class).
+	Monitor *monitors.Monitor
+	// Clock is the PTP-disciplined gateway clock used for timestamps.
+	Clock *ptp.Clock
+	// Pub delivers encoded batches to the telemetry plane.
+	Pub Publisher
+	// BatchSamples is the number of samples per published batch.
+	BatchSamples int
+
+	published int
+	samples   int
+}
+
+// New creates a gateway.
+func New(nodeID int, mon *monitors.Monitor, clock *ptp.Clock, pub Publisher, batchSamples int) (*Gateway, error) {
+	switch {
+	case nodeID < 0:
+		return nil, errors.New("gateway: negative node ID")
+	case mon == nil:
+		return nil, errors.New("gateway: nil monitor")
+	case clock == nil:
+		return nil, errors.New("gateway: nil clock")
+	case pub == nil:
+		return nil, errors.New("gateway: nil publisher")
+	case batchSamples <= 0:
+		return nil, errors.New("gateway: batch size must be positive")
+	}
+	return &Gateway{NodeID: nodeID, Monitor: mon, Clock: clock, Pub: pub, BatchSamples: batchSamples}, nil
+}
+
+// Published returns the number of batches published.
+func (g *Gateway) Published() int { return g.published }
+
+// SampleCount returns the number of samples published.
+func (g *Gateway) SampleCount() int { return g.samples }
+
+// PublishWindow samples the signal over global time [t0, t1), stamps the
+// samples with the gateway clock, publishes the power batches at QoS 0
+// (streaming data, loss-tolerant) and a retained energy summary at QoS 1
+// (billing data, must arrive). Returns the energy estimate for the window.
+func (g *Gateway) PublishWindow(sig sensor.Signal, t0, t1 float64) (float64, error) {
+	if t1 <= t0 {
+		return 0, errors.New("gateway: empty window")
+	}
+	samples, err := g.Monitor.Observe(sig, t0, t1)
+	if err != nil {
+		return 0, err
+	}
+	if len(samples) < 2 {
+		return 0, errors.New("gateway: window too short for the sampling rate")
+	}
+	dt := samples[1].T - samples[0].T
+	// Stamp with the PTP clock: convert the (already offset-corrected by
+	// Observe's model) global window start to gateway time.
+	stamp0, err := g.Clock.Read(t0)
+	if err != nil {
+		return 0, err
+	}
+	clockShift := stamp0 - samples[0].T
+
+	for start := 0; start < len(samples); start += g.BatchSamples {
+		end := start + g.BatchSamples
+		if end > len(samples) {
+			end = len(samples)
+		}
+		b := Batch{Node: g.NodeID, T0: samples[start].T + clockShift, Dt: dt}
+		for _, s := range samples[start:end] {
+			b.Samples = append(b.Samples, s.P)
+		}
+		payload, err := b.Encode()
+		if err != nil {
+			return 0, err
+		}
+		if err := g.Pub.Publish(PowerTopic(g.NodeID), payload, 0, false); err != nil {
+			return 0, err
+		}
+		g.published++
+		g.samples += end - start
+	}
+
+	energy, err := sensor.EnergyFromSamples(samples, t0, t1)
+	if err != nil {
+		return 0, err
+	}
+	mean, err := sensor.MeanPower(samples)
+	if err != nil {
+		return 0, err
+	}
+	sum := EnergySummary{Node: g.NodeID, T0: t0, T1: t1, Joules: energy, MeanW: mean}
+	payload, err := sum.Encode()
+	if err != nil {
+		return 0, err
+	}
+	if err := g.Pub.Publish(EnergyTopic(g.NodeID), payload, 1, true); err != nil {
+		return 0, err
+	}
+	return energy, nil
+}
+
+// OverheadModel quantifies experiment E13: in-band monitoring steals node
+// cycles, out-of-band monitoring (the EG) does not.
+type OverheadModel struct {
+	// PerSampleCPUSec is the node CPU time consumed per sample when
+	// monitoring runs in-band (a daemon on the compute cores).
+	PerSampleCPUSec float64
+}
+
+// DefaultOverheadModel uses 2 µs of node CPU per in-band sample (a read
+// of a hwmon sysfs file plus processing).
+func DefaultOverheadModel() OverheadModel { return OverheadModel{PerSampleCPUSec: 2e-6} }
+
+// InBandSlowdown returns the fractional application slowdown caused by
+// in-band sampling at the given rate on `cores` cores.
+func (m OverheadModel) InBandSlowdown(rate float64, cores int) (float64, error) {
+	if rate < 0 {
+		return 0, errors.New("gateway: negative rate")
+	}
+	if cores <= 0 {
+		return 0, errors.New("gateway: need at least one core")
+	}
+	// The sampling daemon occupies one core's worth of time slices.
+	perCore := rate * m.PerSampleCPUSec
+	if perCore > 1 {
+		perCore = 1
+	}
+	return perCore / float64(cores), nil
+}
+
+// OutOfBandSlowdown is zero by construction: the EG runs on its own SoC.
+func (m OverheadModel) OutOfBandSlowdown() float64 { return 0 }

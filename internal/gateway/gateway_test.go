@@ -1,0 +1,280 @@
+package gateway
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"davide/internal/monitors"
+	"davide/internal/ptp"
+	"davide/internal/sensor"
+)
+
+// memPublisher collects published messages in memory.
+type memPublisher struct {
+	mu   sync.Mutex
+	msgs []struct {
+		topic   string
+		payload []byte
+		qos     byte
+		retain  bool
+	}
+	failAfter int // fail the N-th publish (0 = never)
+	count     int
+}
+
+func (m *memPublisher) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count++
+	if m.failAfter > 0 && m.count >= m.failAfter {
+		return errPub
+	}
+	m.msgs = append(m.msgs, struct {
+		topic   string
+		payload []byte
+		qos     byte
+		retain  bool
+	}{topic, payload, qos, retain})
+	return nil
+}
+
+var errPub = &pubErr{}
+
+type pubErr struct{}
+
+func (*pubErr) Error() string { return "publisher failure" }
+
+func newGateway(t *testing.T, pub Publisher) *Gateway {
+	t.Helper()
+	mon, err := monitors.NewBuiltin(monitors.EnergyGateway, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := ptp.NewClock(2e-6, 0, 0, 2) // 2 µs synced clock
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(7, mon, clock, pub, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTopics(t *testing.T) {
+	if PowerTopic(7) != "davide/node07/power" {
+		t.Errorf("PowerTopic = %q", PowerTopic(7))
+	}
+	if EnergyTopic(12) != "davide/node12/energy" {
+		t.Errorf("EnergyTopic = %q", EnergyTopic(12))
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	b := Batch{Node: 3, T0: 1.5, Dt: 2e-5, Samples: []float64{100, 200, 300}}
+	payload, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 3 || got.T0 != 1.5 || got.Dt != 2e-5 || len(got.Samples) != 3 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeBatch([]byte("not json")); err == nil {
+		t.Error("bad payload should error")
+	}
+	if _, err := DecodeBatch([]byte(`{"node":-1,"dt":1,"p":[1]}`)); err == nil {
+		t.Error("invalid batch should error")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if err := (Batch{Node: 0, Dt: 0, Samples: []float64{1}}).Validate(); err == nil {
+		t.Error("zero dt should error")
+	}
+	if err := (Batch{Node: 0, Dt: 1}).Validate(); err == nil {
+		t.Error("empty samples should error")
+	}
+	if _, err := (Batch{Node: 0, Dt: 1}).Encode(); err == nil {
+		t.Error("encode of invalid batch should error")
+	}
+}
+
+func TestEnergySummaryCodec(t *testing.T) {
+	e := EnergySummary{Node: 5, T0: 0, T1: 10, Joules: 18000, MeanW: 1800}
+	payload, err := e.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnergySummary(payload)
+	if err != nil || got != e {
+		t.Errorf("round trip = %+v, %v", got, err)
+	}
+	if _, err := DecodeEnergySummary([]byte("{")); err == nil {
+		t.Error("bad summary should error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mon, _ := monitors.NewBuiltin(monitors.EnergyGateway, 3000, 1)
+	clock, _ := ptp.NewClock(0, 0, 0, 1)
+	pub := &memPublisher{}
+	cases := []struct {
+		name string
+		fn   func() (*Gateway, error)
+	}{
+		{"negative id", func() (*Gateway, error) { return New(-1, mon, clock, pub, 10) }},
+		{"nil monitor", func() (*Gateway, error) { return New(0, nil, clock, pub, 10) }},
+		{"nil clock", func() (*Gateway, error) { return New(0, mon, nil, pub, 10) }},
+		{"nil pub", func() (*Gateway, error) { return New(0, mon, clock, nil, 10) }},
+		{"zero batch", func() (*Gateway, error) { return New(0, mon, clock, pub, 0) }},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s should error", c.name)
+		}
+	}
+}
+
+func TestPublishWindow(t *testing.T) {
+	pub := &memPublisher{}
+	g := newGateway(t, pub)
+	sig := sensor.Const(1800)
+	energy, err := g.PublishWindow(sig, 0, 0.1) // 5000 samples at 50 kS/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(energy-180) > 2 {
+		t.Errorf("energy = %v, want ~180 J", energy)
+	}
+	// 5000 samples / 1000 per batch = 5 power batches + 1 summary.
+	if g.Published() != 5 {
+		t.Errorf("Published = %d, want 5", g.Published())
+	}
+	if g.SampleCount() != 5000 {
+		t.Errorf("SampleCount = %d", g.SampleCount())
+	}
+	if len(pub.msgs) != 6 {
+		t.Fatalf("messages = %d, want 6", len(pub.msgs))
+	}
+	// Power batches on the power topic at QoS 0, summary retained QoS 1.
+	var summaries int
+	for _, m := range pub.msgs {
+		switch {
+		case strings.HasSuffix(m.topic, "/power"):
+			if m.qos != 0 || m.retain {
+				t.Error("power stream should be QoS0 non-retained")
+			}
+			b, err := DecodeBatch(m.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Node != 7 {
+				t.Errorf("batch node = %d", b.Node)
+			}
+			if math.Abs(b.Dt-2e-5) > 1e-9 {
+				t.Errorf("batch dt = %v, want 20 µs", b.Dt)
+			}
+		case strings.HasSuffix(m.topic, "/energy"):
+			summaries++
+			if m.qos != 1 || !m.retain {
+				t.Error("energy summary should be QoS1 retained")
+			}
+			e, err := DecodeEnergySummary(m.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(e.MeanW-1800) > 5 {
+				t.Errorf("summary mean = %v", e.MeanW)
+			}
+		default:
+			t.Errorf("unexpected topic %q", m.topic)
+		}
+	}
+	if summaries != 1 {
+		t.Errorf("summaries = %d", summaries)
+	}
+}
+
+func TestPublishWindowTimestampsUseClock(t *testing.T) {
+	pub := &memPublisher{}
+	mon, err := monitors.NewBuiltin(monitors.EnergyGateway, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := ptp.NewClock(5e-3, 0, 0, 2) // 5 ms off on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(1, mon, clock, pub, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PublishWindow(sensor.Const(100), 10, 10.01); err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBatch(pub.msgs[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sample stamped with gateway time = 10 + 5 ms.
+	if math.Abs(b.T0-10.005) > 1e-6 {
+		t.Errorf("T0 = %v, want 10.005", b.T0)
+	}
+}
+
+func TestPublishWindowErrors(t *testing.T) {
+	pub := &memPublisher{}
+	g := newGateway(t, pub)
+	if _, err := g.PublishWindow(sensor.Const(1), 1, 1); err == nil {
+		t.Error("empty window should error")
+	}
+	if _, err := g.PublishWindow(sensor.Const(1), 0, 1e-6); err == nil {
+		t.Error("sub-sample window should error")
+	}
+	failing := &memPublisher{failAfter: 1}
+	g2 := newGateway(t, failing)
+	if _, err := g2.PublishWindow(sensor.Const(1), 0, 0.1); err == nil {
+		t.Error("publisher failure should propagate")
+	}
+}
+
+func TestOverheadModel(t *testing.T) {
+	m := DefaultOverheadModel()
+	// In-band at the EG's 50 kS/s on a 16-core node: 2 µs x 50k = 10% of
+	// one core = 0.625% of the node — measurable, as Hackenberg warns.
+	s, err := m.InBandSlowdown(50e3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.00625) > 1e-9 {
+		t.Errorf("in-band slowdown = %v, want 0.625%%", s)
+	}
+	if m.OutOfBandSlowdown() != 0 {
+		t.Error("out-of-band slowdown must be zero")
+	}
+	// IPMI-rate in-band monitoring is negligible; the trade-off is rate.
+	slow, err := m.InBandSlowdown(1, 16)
+	if err != nil || slow > 1e-6 {
+		t.Errorf("1 S/s in-band slowdown = %v", slow)
+	}
+	if _, err := m.InBandSlowdown(-1, 16); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := m.InBandSlowdown(1000, 0); err == nil {
+		t.Error("zero cores should error")
+	}
+	// Saturating rate: cannot exceed one core.
+	s, err = m.InBandSlowdown(1e9, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 1.0/16+1e-9 {
+		t.Errorf("saturated slowdown = %v", s)
+	}
+}

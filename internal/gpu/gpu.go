@@ -1,0 +1,345 @@
+// Package gpu models the NVIDIA Tesla P100 NVLink accelerator used in
+// D.A.V.I.D.E. (§II-B of the paper): 5.3 TFlops FP64 / 10.6 TFlops FP32 /
+// 21.2 TFlops FP16 peak, HBM2 memory, and NVLink 1.0 links that can be
+// ganged (the paper's nodes gang two links for 80 GB/s bidirectional
+// CPU-GPU and GPU-GPU bandwidth).
+//
+// Kernel performance follows a roofline: execution time is the maximum of
+// the compute time at peak-efficiency and the memory time at HBM2 bandwidth,
+// plus any host transfer time over NVLink or PCIe. Power is an
+// idle/active model driven by the achieved utilisation.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"davide/internal/units"
+)
+
+// Precision selects the arithmetic precision of a kernel.
+type Precision int
+
+// Supported precisions.
+const (
+	FP64 Precision = iota
+	FP32
+	FP16
+)
+
+// String returns the conventional name of the precision.
+func (p Precision) String() string {
+	switch p {
+	case FP64:
+		return "FP64"
+	case FP32:
+		return "FP32"
+	case FP16:
+		return "FP16"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Config describes one Tesla P100 accelerator.
+type Config struct {
+	Name         string
+	PeakFP64     units.Flops
+	PeakFP32     units.Flops
+	PeakFP16     units.Flops
+	HBM2Bw       units.BytesPerSec // device memory bandwidth
+	HBM2Capacity uint64            // bytes
+	NVLinks      int               // NVLink 1.0 links available (P100: 4)
+	LinkBw       units.BytesPerSec // per-link bidirectional bandwidth (40 GB/s)
+	PCIeBw       units.BytesPerSec // fallback host link
+	IdlePower    units.Watt
+	TDP          units.Watt
+	BaseClock    units.Hertz
+	ThrottleFrac float64 // clock fraction when thermally throttled
+}
+
+// DefaultConfig returns the P100 model from the paper and the Pascal
+// whitepaper it cites.
+func DefaultConfig() Config {
+	return Config{
+		Name:         "Tesla P100 NVLink",
+		PeakFP64:     units.Flops(5.3e12),
+		PeakFP32:     units.Flops(10.6e12),
+		PeakFP16:     units.Flops(21.2e12),
+		HBM2Bw:       units.BytesPerSec(720e9),
+		HBM2Capacity: 16 << 30,
+		NVLinks:      4,
+		LinkBw:       units.BytesPerSec(40e9),
+		PCIeBw:       units.BytesPerSec(15.75e9), // PCIe gen3 x16
+		IdlePower:    units.Watt(30),
+		TDP:          units.Watt(300),
+		BaseClock:    units.Hertz(1.328e9),
+		ThrottleFrac: 0.6,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.PeakFP64 <= 0 || c.PeakFP32 <= 0 || c.PeakFP16 <= 0:
+		return errors.New("gpu: peak throughputs must be positive")
+	case c.HBM2Bw <= 0:
+		return errors.New("gpu: HBM2 bandwidth must be positive")
+	case c.HBM2Capacity == 0:
+		return errors.New("gpu: HBM2 capacity must be positive")
+	case c.NVLinks < 0:
+		return errors.New("gpu: NVLinks must be non-negative")
+	case c.LinkBw < 0 || c.PCIeBw <= 0:
+		return errors.New("gpu: link bandwidths invalid")
+	case c.IdlePower < 0 || c.TDP <= c.IdlePower:
+		return errors.New("gpu: TDP must exceed IdlePower")
+	case c.ThrottleFrac <= 0 || c.ThrottleFrac > 1:
+		return errors.New("gpu: ThrottleFrac must be in (0,1]")
+	}
+	return nil
+}
+
+// Device is one P100 at an operating point.
+type Device struct {
+	cfg       Config
+	powered   bool
+	util      float64 // achieved utilisation of the busiest resource, 0..1
+	throttled bool
+	powerCapW units.Watt // 0 = uncapped
+}
+
+// New creates a powered-on idle device.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg, powered: true}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// SetPowered turns the device on or off (the §IV energy APIs allow putting
+// unused GPUs to sleep). A powered-off device consumes a small residual.
+func (d *Device) SetPowered(on bool) {
+	d.powered = on
+	if !on {
+		d.util = 0
+	}
+}
+
+// Powered reports whether the device is on.
+func (d *Device) Powered() bool { return d.powered }
+
+// SetThrottled engages the thermal throttle.
+func (d *Device) SetThrottled(on bool) { d.throttled = on }
+
+// Throttled reports whether the thermal throttle is engaged.
+func (d *Device) Throttled() bool { return d.throttled }
+
+// SetPowerCap imposes a device power cap in watts; 0 removes the cap.
+// The device enforces the cap by proportionally reducing its clock, exactly
+// like the driver's power limit.
+func (d *Device) SetPowerCap(w units.Watt) error {
+	if w < 0 {
+		return errors.New("gpu: negative power cap")
+	}
+	if w > 0 && w < d.cfg.IdlePower {
+		return fmt.Errorf("gpu: cap %v below idle power %v", w, d.cfg.IdlePower)
+	}
+	d.powerCapW = w
+	return nil
+}
+
+// PowerCap returns the current cap (0 = uncapped).
+func (d *Device) PowerCap() units.Watt { return d.powerCapW }
+
+// SetUtilization records the achieved utilisation, clamped to [0,1].
+func (d *Device) SetUtilization(u float64) {
+	if math.IsNaN(u) {
+		u = 0
+	}
+	d.util = math.Min(1, math.Max(0, u))
+}
+
+// Utilization returns the achieved utilisation.
+func (d *Device) Utilization() float64 { return d.util }
+
+// clockScale returns the fraction of base clock currently delivered.
+func (d *Device) clockScale() float64 {
+	s := 1.0
+	if d.throttled {
+		s = d.cfg.ThrottleFrac
+	}
+	if d.powerCapW > 0 {
+		// Clock fraction that keeps full-utilisation power at the cap:
+		// P = idle + (TDP-idle)*u*s  =>  s = (cap-idle)/(TDP-idle) at u=1.
+		capS := float64(d.powerCapW-d.cfg.IdlePower) / float64(d.cfg.TDP-d.cfg.IdlePower)
+		if capS < s {
+			s = capS
+		}
+	}
+	return s
+}
+
+// Peak returns peak throughput at the requested precision under the current
+// clock scale.
+func (d *Device) Peak(p Precision) (units.Flops, error) {
+	if !d.powered {
+		return 0, nil
+	}
+	var base units.Flops
+	switch p {
+	case FP64:
+		base = d.cfg.PeakFP64
+	case FP32:
+		base = d.cfg.PeakFP32
+	case FP16:
+		base = d.cfg.PeakFP16
+	default:
+		return 0, fmt.Errorf("gpu: unknown precision %v", p)
+	}
+	return units.Flops(float64(base) * d.clockScale()), nil
+}
+
+// Kernel describes one GPU kernel launch for the roofline model.
+type Kernel struct {
+	Flops      float64   // arithmetic work
+	Bytes      float64   // device-memory traffic
+	HostBytes  float64   // data moved to/from host before+after
+	Precision  Precision // arithmetic precision
+	Efficiency float64   // fraction of peak the kernel can reach, (0,1]
+}
+
+// Validate reports whether the kernel descriptor is usable.
+func (k Kernel) Validate() error {
+	switch {
+	case k.Flops < 0 || k.Bytes < 0 || k.HostBytes < 0:
+		return errors.New("gpu: negative kernel work")
+	case k.Flops == 0 && k.Bytes == 0 && k.HostBytes == 0:
+		return errors.New("gpu: empty kernel")
+	case k.Efficiency <= 0 || k.Efficiency > 1:
+		return errors.New("gpu: kernel efficiency must be in (0,1]")
+	}
+	return nil
+}
+
+// HostLink selects how a kernel's host traffic travels.
+type HostLink int
+
+// Host link choices.
+const (
+	PCIe         HostLink = iota
+	NVLink1Gang1          // one NVLink
+	NVLink1Gang2          // two ganged links (the D.A.V.I.D.E. topology: 80 GB/s)
+	NVLink1Gang4          // four ganged links (160 GB/s, P100 maximum)
+)
+
+// hostBandwidth returns the bandwidth of the selected host link.
+func (d *Device) hostBandwidth(l HostLink) (units.BytesPerSec, error) {
+	switch l {
+	case PCIe:
+		return d.cfg.PCIeBw, nil
+	case NVLink1Gang1, NVLink1Gang2, NVLink1Gang4:
+		gang := 1 << (int(l) - int(NVLink1Gang1))
+		if gang > d.cfg.NVLinks {
+			return 0, fmt.Errorf("gpu: gang of %d exceeds %d links", gang, d.cfg.NVLinks)
+		}
+		return units.BytesPerSec(float64(gang) * float64(d.cfg.LinkBw)), nil
+	default:
+		return 0, fmt.Errorf("gpu: unknown host link %d", l)
+	}
+}
+
+// KernelTime returns the roofline execution time of k in seconds and the
+// resulting device utilisation (compute-side), given the host link. A
+// powered-off device returns an error.
+func (d *Device) KernelTime(k Kernel, link HostLink) (seconds, util float64, err error) {
+	if !d.powered {
+		return 0, 0, errors.New("gpu: device is powered off")
+	}
+	if err := k.Validate(); err != nil {
+		return 0, 0, err
+	}
+	peak, err := d.Peak(k.Precision)
+	if err != nil {
+		return 0, 0, err
+	}
+	hbw, err := d.hostBandwidth(link)
+	if err != nil {
+		return 0, 0, err
+	}
+	compute := 0.0
+	if k.Flops > 0 {
+		compute = k.Flops / (float64(peak) * k.Efficiency)
+	}
+	mem := k.Bytes / (float64(d.cfg.HBM2Bw) * d.clockMemScale())
+	xfer := k.HostBytes / float64(hbw)
+	kernel := math.Max(compute, mem)
+	total := kernel + xfer
+	if total <= 0 {
+		return 0, 0, errors.New("gpu: zero-time kernel")
+	}
+	u := 0.0
+	if kernel > 0 {
+		u = kernel / total // busy fraction of the device during the launch
+	}
+	return total, u, nil
+}
+
+// clockMemScale models HBM2 bandwidth reduction under heavy throttling; the
+// memory clock is less affected than SM clock.
+func (d *Device) clockMemScale() float64 {
+	s := d.clockScale()
+	return 0.5 + 0.5*s
+}
+
+// UnifiedMemoryKernelTime models §IV-B of the paper: NEMO "allocates a
+// huge amount of data structure" and "availability of memory on the GPU
+// can become the bottleneck for very big input cases", making it a test
+// case for NVIDIA Unified Memory. When the working set exceeds HBM2
+// capacity, the overflow pages migrate over the host link on every sweep
+// through the data; the run degrades gracefully instead of failing.
+//
+// workingSet is the bytes the kernel touches per sweep; the kernel's
+// Bytes field still describes its HBM traffic for the resident portion.
+func (d *Device) UnifiedMemoryKernelTime(k Kernel, link HostLink, workingSet uint64) (seconds float64, oversubscribed bool, err error) {
+	if workingSet == 0 {
+		return 0, false, errors.New("gpu: zero working set")
+	}
+	base, _, err := d.KernelTime(k, link)
+	if err != nil {
+		return 0, false, err
+	}
+	if workingSet <= d.cfg.HBM2Capacity {
+		return base, false, nil
+	}
+	// Overflow bytes stream over the host link each sweep. UM's paging
+	// adds a fault overhead per migrated page (64 KiB pages on Pascal).
+	overflow := float64(workingSet - d.cfg.HBM2Capacity)
+	hbw, err := d.hostBandwidth(link)
+	if err != nil {
+		return 0, false, err
+	}
+	const pageBytes = 64 << 10
+	const faultCost = 20e-6 // GPU page-fault handling, seconds per page
+	pages := math.Ceil(overflow / pageBytes)
+	migration := overflow/float64(hbw) + pages*faultCost
+	return base + migration, true, nil
+}
+
+// Power returns the device electrical power at its current operating point:
+// a powered-off device draws a 5 W residual (voltage regulators),
+// otherwise P = idle + (TDP - idle) * util * clockScale.
+func (d *Device) Power() units.Watt {
+	if !d.powered {
+		return units.Watt(5)
+	}
+	s := d.clockScale()
+	p := float64(d.cfg.IdlePower) + float64(d.cfg.TDP-d.cfg.IdlePower)*d.util*s
+	if d.powerCapW > 0 && units.Watt(p) > d.powerCapW {
+		p = float64(d.powerCapW)
+	}
+	return units.Watt(p)
+}

@@ -1,0 +1,358 @@
+package gpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"davide/internal/units"
+)
+
+func newDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.PeakFP64 = 0 },
+		func(c *Config) { c.PeakFP32 = -1 },
+		func(c *Config) { c.PeakFP16 = 0 },
+		func(c *Config) { c.HBM2Bw = 0 },
+		func(c *Config) { c.HBM2Capacity = 0 },
+		func(c *Config) { c.NVLinks = -1 },
+		func(c *Config) { c.PCIeBw = 0 },
+		func(c *Config) { c.TDP = c.IdlePower },
+		func(c *Config) { c.ThrottleFrac = 0 },
+		func(c *Config) { c.ThrottleFrac = 1.5 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if FP64.String() != "FP64" || FP32.String() != "FP32" || FP16.String() != "FP16" {
+		t.Error("precision names wrong")
+	}
+	if !strings.Contains(Precision(9).String(), "9") {
+		t.Error("unknown precision should include number")
+	}
+}
+
+func TestPeakMatchesPaper(t *testing.T) {
+	d := newDevice(t)
+	for _, c := range []struct {
+		p    Precision
+		want float64 // TFlops
+	}{{FP64, 5.3}, {FP32, 10.6}, {FP16, 21.2}} {
+		got, err := d.Peak(c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.TFlops()-c.want) > 1e-9 {
+			t.Errorf("Peak(%v) = %v TFlops, want %v", c.p, got.TFlops(), c.want)
+		}
+	}
+	if _, err := d.Peak(Precision(7)); err == nil {
+		t.Error("unknown precision should error")
+	}
+}
+
+func TestPowerEndpoints(t *testing.T) {
+	d := newDevice(t)
+	cfg := DefaultConfig()
+	if got := d.Power(); got != cfg.IdlePower {
+		t.Errorf("idle power = %v, want %v", got, cfg.IdlePower)
+	}
+	d.SetUtilization(1)
+	if got := d.Power(); math.Abs(float64(got-cfg.TDP)) > 1e-9 {
+		t.Errorf("max power = %v, want %v", got, cfg.TDP)
+	}
+	d.SetPowered(false)
+	if got := d.Power(); got != units.Watt(5) {
+		t.Errorf("off power = %v, want 5W residual", got)
+	}
+	if d.Utilization() != 0 {
+		t.Error("powering off should clear utilisation")
+	}
+}
+
+func TestUtilizationClamp(t *testing.T) {
+	d := newDevice(t)
+	d.SetUtilization(7)
+	if d.Utilization() != 1 {
+		t.Errorf("util = %v", d.Utilization())
+	}
+	d.SetUtilization(math.NaN())
+	if d.Utilization() != 0 {
+		t.Errorf("NaN util = %v", d.Utilization())
+	}
+}
+
+func TestPowerCap(t *testing.T) {
+	d := newDevice(t)
+	d.SetUtilization(1)
+	if err := d.SetPowerCap(units.Watt(150)); err != nil {
+		t.Fatal(err)
+	}
+	if d.PowerCap() != 150 {
+		t.Errorf("PowerCap = %v", d.PowerCap())
+	}
+	if got := d.Power(); got > 150+1e-9 {
+		t.Errorf("capped power = %v, want <= 150", got)
+	}
+	// Cap also reduces delivered compute.
+	full, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := d.Peak(FP64)
+	pf, _ := full.Peak(FP64)
+	if pc >= pf {
+		t.Errorf("capped peak %v should be below uncapped %v", pc, pf)
+	}
+	if err := d.SetPowerCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Power(); math.Abs(float64(got-DefaultConfig().TDP)) > 1e-9 {
+		t.Errorf("uncapped power = %v", got)
+	}
+	if err := d.SetPowerCap(units.Watt(-1)); err == nil {
+		t.Error("negative cap should error")
+	}
+	if err := d.SetPowerCap(units.Watt(10)); err == nil {
+		t.Error("cap below idle should error")
+	}
+}
+
+func TestThrottleReducesPeak(t *testing.T) {
+	d := newDevice(t)
+	free, _ := d.Peak(FP64)
+	d.SetThrottled(true)
+	if !d.Throttled() {
+		t.Fatal("Throttled() should be true")
+	}
+	thr, _ := d.Peak(FP64)
+	want := float64(free) * DefaultConfig().ThrottleFrac
+	if math.Abs(float64(thr)-want) > 1 {
+		t.Errorf("throttled peak = %v, want %v", thr, want)
+	}
+}
+
+func TestKernelTimeComputeBound(t *testing.T) {
+	d := newDevice(t)
+	// 5.3e12 flops at efficiency 1.0 => exactly 1 second, no memory/host.
+	k := Kernel{Flops: 5.3e12, Bytes: 1, Precision: FP64, Efficiency: 1}
+	sec, util, err := d.KernelTime(k, PCIe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-1) > 1e-9 {
+		t.Errorf("compute-bound time = %v, want 1", sec)
+	}
+	if math.Abs(util-1) > 1e-9 {
+		t.Errorf("util = %v, want 1 with no transfers", util)
+	}
+}
+
+func TestKernelTimeMemoryBound(t *testing.T) {
+	d := newDevice(t)
+	// 720 GB at 720 GB/s => 1 second memory time dominating tiny compute.
+	k := Kernel{Flops: 1e9, Bytes: 720e9, Precision: FP64, Efficiency: 1}
+	sec, _, err := d.KernelTime(k, PCIe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-1) > 1e-6 {
+		t.Errorf("memory-bound time = %v, want ~1", sec)
+	}
+}
+
+func TestKernelTransferNVLinkVsPCIe(t *testing.T) {
+	d := newDevice(t)
+	k := Kernel{Flops: 1e12, Bytes: 1e9, HostBytes: 16e9, Precision: FP64, Efficiency: 0.8}
+	tP, _, err := d.KernelTime(k, PCIe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tN2, _, err := d.KernelTime(k, NVLink1Gang2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tN4, _, err := d.KernelTime(k, NVLink1Gang4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tN4 < tN2 && tN2 < tP) {
+		t.Errorf("expected NVLink gangs to beat PCIe: pcie=%v gang2=%v gang4=%v", tP, tN2, tN4)
+	}
+	// Transfer-time difference should match the bandwidth ratio 80 vs 15.75 GB/s.
+	dP := tP - (tN2 - 16e9/80e9) // remove kernel part
+	_ = dP
+	xferP := 16e9 / 15.75e9
+	xferN := 16e9 / 80e9
+	if math.Abs((tP-tN2)-(xferP-xferN)) > 1e-9 {
+		t.Errorf("transfer delta = %v, want %v", tP-tN2, xferP-xferN)
+	}
+}
+
+func TestKernelUtilReflectsTransferShare(t *testing.T) {
+	d := newDevice(t)
+	// Kernel time 1 s + transfer 1 s over a 40 GB/s link => util 0.5.
+	k := Kernel{Flops: 5.3e12, Bytes: 1, HostBytes: 40e9, Precision: FP64, Efficiency: 1}
+	_, util, err := d.KernelTime(k, NVLink1Gang1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(util-0.5) > 1e-9 {
+		t.Errorf("util = %v, want 0.5", util)
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	d := newDevice(t)
+	if _, _, err := d.KernelTime(Kernel{}, PCIe); err == nil {
+		t.Error("empty kernel should error")
+	}
+	if _, _, err := d.KernelTime(Kernel{Flops: 1, Efficiency: 0}, PCIe); err == nil {
+		t.Error("zero efficiency should error")
+	}
+	if _, _, err := d.KernelTime(Kernel{Flops: -1, Efficiency: 1}, PCIe); err == nil {
+		t.Error("negative flops should error")
+	}
+	if _, _, err := d.KernelTime(Kernel{Flops: 1, Efficiency: 1}, HostLink(99)); err == nil {
+		t.Error("unknown link should error")
+	}
+	d.SetPowered(false)
+	if _, _, err := d.KernelTime(Kernel{Flops: 1, Efficiency: 1}, PCIe); err == nil {
+		t.Error("powered-off device should error")
+	}
+}
+
+func TestGangExceedsLinks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NVLinks = 2
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Kernel{Flops: 1e9, HostBytes: 1e9, Precision: FP64, Efficiency: 1}
+	if _, _, err := d.KernelTime(k, NVLink1Gang4); err == nil {
+		t.Error("gang4 with 2 links should error")
+	}
+	if _, _, err := d.KernelTime(k, NVLink1Gang2); err != nil {
+		t.Errorf("gang2 with 2 links should work: %v", err)
+	}
+}
+
+// Property: power always within [5W, TDP]; time positive for valid kernels.
+func TestPowerBoundedProperty(t *testing.T) {
+	f := func(util float64, powered bool, throttled bool) bool {
+		d, err := New(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		d.SetPowered(powered)
+		d.SetThrottled(throttled)
+		d.SetUtilization(math.Mod(math.Abs(util), 1.5))
+		p := d.Power()
+		return p >= 5 && p <= DefaultConfig().TDP+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: roofline time decreases (or stays equal) when work shrinks.
+func TestKernelTimeMonotoneProperty(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(flops, bytes, host float64) bool {
+		fl := math.Mod(math.Abs(flops), 1e13) + 1
+		by := math.Mod(math.Abs(bytes), 1e11) + 1
+		hb := math.Mod(math.Abs(host), 1e10)
+		k1 := Kernel{Flops: fl, Bytes: by, HostBytes: hb, Precision: FP32, Efficiency: 0.9}
+		k2 := Kernel{Flops: fl / 2, Bytes: by / 2, HostBytes: hb / 2, Precision: FP32, Efficiency: 0.9}
+		t1, _, err1 := d.KernelTime(k1, PCIe)
+		t2, _, err2 := d.KernelTime(k2, PCIe)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return t2 <= t1+1e-12 && t1 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnifiedMemoryWithinCapacity(t *testing.T) {
+	d := newDevice(t)
+	k := Kernel{Flops: 1e12, Bytes: 1e9, Precision: FP64, Efficiency: 0.8}
+	base, _, err := d.KernelTime(k, NVLink1Gang2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, over, err := d.UnifiedMemoryKernelTime(k, NVLink1Gang2, 8<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over {
+		t.Error("8 GiB working set fits 16 GiB HBM2")
+	}
+	if um != base {
+		t.Errorf("resident UM time %v != base %v", um, base)
+	}
+}
+
+func TestUnifiedMemoryOversubscription(t *testing.T) {
+	// The paper's NEMO concern: a working set beyond HBM2 pays migration
+	// costs but still completes; NVLink softens the penalty vs PCIe.
+	d := newDevice(t)
+	k := Kernel{Flops: 1e12, Bytes: 1e9, Precision: FP64, Efficiency: 0.8}
+	ws := uint64(24) << 30 // 24 GiB on a 16 GiB card
+	tNV, overNV, err := d.UnifiedMemoryKernelTime(k, NVLink1Gang2, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPC, overPC, err := d.UnifiedMemoryKernelTime(k, PCIe, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !overNV || !overPC {
+		t.Fatal("24 GiB must oversubscribe a 16 GiB card")
+	}
+	base, _, err := d.KernelTime(k, NVLink1Gang2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tNV <= base {
+		t.Error("oversubscription must cost time")
+	}
+	if tNV >= tPC {
+		t.Errorf("NVLink UM (%v) should beat PCIe UM (%v)", tNV, tPC)
+	}
+	if _, _, err := d.UnifiedMemoryKernelTime(k, PCIe, 0); err == nil {
+		t.Error("zero working set should error")
+	}
+	if _, _, err := d.UnifiedMemoryKernelTime(Kernel{}, PCIe, 1); err == nil {
+		t.Error("invalid kernel should propagate error")
+	}
+}

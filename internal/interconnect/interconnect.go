@@ -1,0 +1,245 @@
+// Package interconnect models the communication fabric of D.A.V.I.D.E.
+// (§II-D and §II-H of the paper):
+//
+//   - intra-node buses: the SMP bus between the two POWER8+ sockets, NVLink
+//     1.0 gangs between CPU-GPU and GPU-GPU pairs (80 GB/s bidirectional in
+//     the D.A.V.I.D.E. layout), and PCIe gen3 links used for management and
+//     for the EDR HCAs;
+//   - the inter-node network: dual-rail EDR InfiniBand (100 Gb/s per rail,
+//     200 Gb/s aggregate per node) arranged as a non-oversubscribed fat
+//     tree, modelled with the classic latency/bandwidth (alpha-beta) cost
+//     TransferTime = alpha + bytes/bandwidth, plus per-hop switch latency.
+//
+// The model answers "how long does moving N bytes take", which is what the
+// application kernels and the NVLink-ablation experiment (E11) need.
+package interconnect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"davide/internal/units"
+)
+
+// LinkKind enumerates the bus types inside and between nodes.
+type LinkKind int
+
+// Bus types.
+const (
+	SMP    LinkKind = iota // POWER8 inter-socket bus
+	NVLink                 // NVLink 1.0 gang (2 links in D.A.V.I.D.E.)
+	PCIe                   // PCIe gen3 x16
+	IB                     // one EDR InfiniBand rail
+)
+
+// String names the link kind.
+func (k LinkKind) String() string {
+	switch k {
+	case SMP:
+		return "SMP"
+	case NVLink:
+		return "NVLink"
+	case PCIe:
+		return "PCIe"
+	case IB:
+		return "EDR-IB"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Link is a point-to-point channel with an alpha-beta cost model.
+type Link struct {
+	Kind      LinkKind
+	Bandwidth units.BytesPerSec // payload bandwidth (one direction)
+	Latency   float64           // startup latency in seconds
+}
+
+// Validate reports whether the link parameters are usable.
+func (l Link) Validate() error {
+	if l.Bandwidth <= 0 {
+		return errors.New("interconnect: bandwidth must be positive")
+	}
+	if l.Latency < 0 || math.IsNaN(l.Latency) {
+		return errors.New("interconnect: negative latency")
+	}
+	return nil
+}
+
+// TransferTime returns the time to move n bytes across the link.
+func (l Link) TransferTime(n uint64) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	return l.Latency + float64(n)/float64(l.Bandwidth), nil
+}
+
+// Standard links from the paper's numbers.
+var (
+	// SMPLink: POWER8 SMP interconnect between the two sockets.
+	SMPLink = Link{Kind: SMP, Bandwidth: units.BytesPerSec(38.4e9), Latency: 600e-9}
+	// NVLinkGang2: two ganged NVLink 1.0 links = 80 GB/s bidirectional,
+	// i.e. 40 GB/s per direction.
+	NVLinkGang2 = Link{Kind: NVLink, Bandwidth: units.BytesPerSec(40e9), Latency: 1.3e-6}
+	// PCIeG3x16: PCIe gen3 x16 payload bandwidth.
+	PCIeG3x16 = Link{Kind: PCIe, Bandwidth: units.BytesPerSec(15.75e9), Latency: 2.0e-6}
+	// EDRRail: one EDR InfiniBand rail, 100 Gb/s line rate with ~96%
+	// payload efficiency.
+	EDRRail = Link{Kind: IB, Bandwidth: units.BytesPerSec(12e9), Latency: 1.0e-6}
+)
+
+// FatTree models the non-oversubscribed dual-rail EDR fat-tree (§II-H).
+type FatTree struct {
+	Nodes       int
+	Rails       int     // paper: 2 (one HCA per socket)
+	Radix       int     // switch port count
+	SwitchHop   float64 // per-switch latency in seconds
+	Rail        Link    // one rail's link model
+	levelsCache int
+}
+
+// NewFatTree builds a non-oversubscribed fat tree for the given node count.
+func NewFatTree(nodes, rails, radix int, rail Link) (*FatTree, error) {
+	if nodes <= 0 {
+		return nil, errors.New("interconnect: node count must be positive")
+	}
+	if rails <= 0 {
+		return nil, errors.New("interconnect: rail count must be positive")
+	}
+	if radix < 2 {
+		return nil, errors.New("interconnect: switch radix must be >= 2")
+	}
+	if err := rail.Validate(); err != nil {
+		return nil, err
+	}
+	ft := &FatTree{
+		Nodes:     nodes,
+		Rails:     rails,
+		Radix:     radix,
+		SwitchHop: 90e-9, // EDR switch port-to-port latency
+		Rail:      rail,
+	}
+	ft.levelsCache = ft.computeLevels()
+	return ft, nil
+}
+
+// DefaultFatTree returns the pilot-system network: dual-rail EDR, 36-port
+// switches (Mellanox EDR), for the requested node count.
+func DefaultFatTree(nodes int) (*FatTree, error) {
+	return NewFatTree(nodes, 2, 36, EDRRail)
+}
+
+// computeLevels returns the number of switch levels needed so the tree
+// supports Nodes endpoints without oversubscription: each level multiplies
+// capacity by radix/2 (half the ports go down, half up), except the top
+// level which uses all ports downward.
+func (f *FatTree) computeLevels() int {
+	down := f.Radix / 2
+	if down < 1 {
+		down = 1
+	}
+	// One switch level: radix endpoints. L levels: radix * down^(L-1).
+	levels := 1
+	capacity := f.Radix
+	for capacity < f.Nodes {
+		levels++
+		capacity *= down
+	}
+	return levels
+}
+
+// Levels returns the number of switch levels in the tree.
+func (f *FatTree) Levels() int { return f.levelsCache }
+
+// Hops returns the number of switch traversals between two distinct nodes
+// under the worst case (up to the top level and back down). Node IDs are in
+// [0, Nodes). Same-node traffic takes zero hops.
+func (f *FatTree) Hops(a, b int) (int, error) {
+	if a < 0 || a >= f.Nodes || b < 0 || b >= f.Nodes {
+		return 0, fmt.Errorf("interconnect: node id out of range [0,%d)", f.Nodes)
+	}
+	if a == b {
+		return 0, nil
+	}
+	// Nodes within the same leaf switch need one hop; otherwise traverse
+	// up to the common ancestor level and back.
+	leafSize := f.Radix / 2
+	if f.levelsCache == 1 {
+		leafSize = f.Radix
+	}
+	if leafSize > 0 && a/leafSize == b/leafSize {
+		return 1, nil
+	}
+	return 2*f.levelsCache - 1, nil
+}
+
+// TransferTime returns the time to move n bytes from node a to node b using
+// `rails` rails in parallel (1..Rails). The message is striped across rails.
+func (f *FatTree) TransferTime(a, b int, n uint64, rails int) (float64, error) {
+	if rails < 1 || rails > f.Rails {
+		return 0, fmt.Errorf("interconnect: rails %d out of range [1,%d]", rails, f.Rails)
+	}
+	hops, err := f.Hops(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if hops == 0 {
+		return 0, nil
+	}
+	perRail := float64(n) / float64(rails)
+	return f.Rail.Latency + float64(hops)*f.SwitchHop + perRail/float64(f.Rail.Bandwidth), nil
+}
+
+// AggregateNodeBandwidth returns the injection bandwidth of one node with
+// all rails active (the paper: 200 Gb/s per node).
+func (f *FatTree) AggregateNodeBandwidth() units.BytesPerSec {
+	return units.BytesPerSec(float64(f.Rails) * float64(f.Rail.Bandwidth))
+}
+
+// BisectionBandwidth returns the bisection bandwidth of the whole fabric.
+// A non-oversubscribed fat tree has full bisection: half the nodes can
+// simultaneously send to the other half at full injection rate.
+func (f *FatTree) BisectionBandwidth() units.BytesPerSec {
+	return units.BytesPerSec(float64(f.Nodes/2) * float64(f.AggregateNodeBandwidth()))
+}
+
+// AllReduceTime estimates a bandwidth-optimal ring allreduce of n bytes
+// across p participating nodes: 2(p-1)/p * n bytes cross each link,
+// with 2(p-1) latency terms.
+func (f *FatTree) AllReduceTime(p int, n uint64, rails int) (float64, error) {
+	if p <= 0 || p > f.Nodes {
+		return 0, fmt.Errorf("interconnect: participants %d out of range [1,%d]", p, f.Nodes)
+	}
+	if rails < 1 || rails > f.Rails {
+		return 0, fmt.Errorf("interconnect: rails %d out of range [1,%d]", rails, f.Rails)
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	steps := 2 * (p - 1)
+	perStepBytes := float64(n) / float64(p) / float64(rails)
+	hop := f.Rail.Latency + float64(2*f.levelsCache-1)*f.SwitchHop
+	return float64(steps) * (hop + perStepBytes/float64(f.Rail.Bandwidth)), nil
+}
+
+// HaloExchangeTime estimates a nearest-neighbour halo exchange: each node
+// exchanges n bytes with each of `neighbors` peers, overlapping sends on
+// distinct rails where possible.
+func (f *FatTree) HaloExchangeTime(neighbors int, n uint64, rails int) (float64, error) {
+	if neighbors < 0 {
+		return 0, errors.New("interconnect: negative neighbour count")
+	}
+	if rails < 1 || rails > f.Rails {
+		return 0, fmt.Errorf("interconnect: rails %d out of range [1,%d]", rails, f.Rails)
+	}
+	if neighbors == 0 || n == 0 {
+		return 0, nil
+	}
+	// Exchanges with distinct neighbours serialise on the injection port
+	// in groups of `rails`.
+	rounds := (neighbors + rails - 1) / rails
+	hop := f.Rail.Latency + float64(2*f.levelsCache-1)*f.SwitchHop
+	per := hop + float64(n)/float64(f.Rail.Bandwidth)
+	return float64(rounds) * per, nil
+}

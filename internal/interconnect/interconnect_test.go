@@ -1,0 +1,288 @@
+package interconnect
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkKindString(t *testing.T) {
+	for k, want := range map[LinkKind]string{SMP: "SMP", NVLink: "NVLink", PCIe: "PCIe", IB: "EDR-IB"} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(LinkKind(42).String(), "42") {
+		t.Error("unknown kind should include number")
+	}
+}
+
+func TestStandardLinksValid(t *testing.T) {
+	for _, l := range []Link{SMPLink, NVLinkGang2, PCIeG3x16, EDRRail} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", l.Kind, err)
+		}
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Kind: NVLink, Bandwidth: 40e9, Latency: 1e-6}
+	got, err := l.TransferTime(40e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(1+1e-6)) > 1e-12 {
+		t.Errorf("TransferTime = %v, want 1.000001", got)
+	}
+	got, err = l.TransferTime(0)
+	if err != nil || got != 1e-6 {
+		t.Errorf("zero-byte transfer = %v,%v want latency only", got, err)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if err := (Link{Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth should error")
+	}
+	if err := (Link{Bandwidth: 1, Latency: -1}).Validate(); err == nil {
+		t.Error("negative latency should error")
+	}
+	if _, err := (Link{}).TransferTime(10); err == nil {
+		t.Error("TransferTime on invalid link should error")
+	}
+}
+
+func TestNVLinkBeatsPCIe(t *testing.T) {
+	// The paper's motivation for NVLink: a 16 GB transfer.
+	tN, err := NVLinkGang2.TransferTime(16 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tP, err := PCIeG3x16.TransferTime(16 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := tP / tN; ratio < 2 || ratio > 3 {
+		t.Errorf("PCIe/NVLink time ratio = %v, want ~2.5x", ratio)
+	}
+}
+
+func TestFatTreeConstruction(t *testing.T) {
+	ft, err := DefaultFatTree(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Rails != 2 || ft.Radix != 36 {
+		t.Errorf("default tree = %+v", ft)
+	}
+	// 45 nodes exceed one 36-port switch but fit two levels (36*18=648).
+	if ft.Levels() != 2 {
+		t.Errorf("Levels = %d, want 2", ft.Levels())
+	}
+	small, err := DefaultFatTree(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Levels() != 1 {
+		t.Errorf("30-node Levels = %d, want 1", small.Levels())
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	if _, err := NewFatTree(0, 2, 36, EDRRail); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := NewFatTree(4, 0, 36, EDRRail); err == nil {
+		t.Error("zero rails should error")
+	}
+	if _, err := NewFatTree(4, 2, 1, EDRRail); err == nil {
+		t.Error("radix 1 should error")
+	}
+	if _, err := NewFatTree(4, 2, 36, Link{}); err == nil {
+		t.Error("bad rail link should error")
+	}
+}
+
+func TestHops(t *testing.T) {
+	ft, err := DefaultFatTree(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ft.Hops(3, 3)
+	if err != nil || h != 0 {
+		t.Errorf("same-node hops = %d,%v want 0", h, err)
+	}
+	// Nodes 0 and 1 share a leaf (leaf size = 18 for 2-level tree).
+	h, err = ft.Hops(0, 1)
+	if err != nil || h != 1 {
+		t.Errorf("same-leaf hops = %d,%v want 1", h, err)
+	}
+	// Nodes 0 and 44 are on different leaves: up+down through 2 levels = 3.
+	h, err = ft.Hops(0, 44)
+	if err != nil || h != 3 {
+		t.Errorf("cross-leaf hops = %d,%v want 3", h, err)
+	}
+	if _, err := ft.Hops(-1, 0); err == nil {
+		t.Error("negative id should error")
+	}
+	if _, err := ft.Hops(0, 45); err == nil {
+		t.Error("out-of-range id should error")
+	}
+}
+
+func TestAggregateBandwidthMatchesPaper(t *testing.T) {
+	// Dual EDR = 200 Gb/s per node; with 96% payload efficiency that is
+	// 24 GB/s of payload.
+	ft, err := DefaultFatTree(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ft.AggregateNodeBandwidth().GBs()
+	if math.Abs(got-24) > 1e-9 {
+		t.Errorf("node bandwidth = %v GB/s, want 24", got)
+	}
+	bis := ft.BisectionBandwidth().GBs()
+	if math.Abs(bis-22*24) > 1e-9 {
+		t.Errorf("bisection = %v GB/s, want %v", bis, 22*24)
+	}
+}
+
+func TestTransferTimeRailStriping(t *testing.T) {
+	ft, err := DefaultFatTree(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(1 << 30)
+	t1, err := ft.TransferTime(0, 44, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ft.TransferTime(0, 44, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 >= t1 {
+		t.Errorf("dual-rail (%v) should beat single-rail (%v)", t2, t1)
+	}
+	// For large messages the ratio approaches 2.
+	if ratio := t1 / t2; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("rail speedup = %v, want ~2", ratio)
+	}
+	if _, err := ft.TransferTime(0, 1, n, 3); err == nil {
+		t.Error("too many rails should error")
+	}
+	if _, err := ft.TransferTime(0, 1, n, 0); err == nil {
+		t.Error("zero rails should error")
+	}
+	z, err := ft.TransferTime(7, 7, n, 1)
+	if err != nil || z != 0 {
+		t.Errorf("same-node transfer = %v,%v want 0", z, err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	ft, err := DefaultFatTree(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ft.AllReduceTime(1, 1<<20, 2)
+	if err != nil || z != 0 {
+		t.Errorf("p=1 allreduce = %v,%v want 0", z, err)
+	}
+	t4, err := ft.AllReduceTime(4, 1<<30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := ft.AllReduceTime(16, 1<<30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4 <= 0 || t16 <= 0 {
+		t.Fatal("allreduce times must be positive")
+	}
+	// Bandwidth term converges to 2n/B; latency grows with p. For 1 GiB the
+	// bandwidth term dominates, so t16/t4 should be close to
+	// (2*15/16)/(2*3/4) = 1.25.
+	if ratio := t16 / t4; ratio < 1.1 || ratio > 1.5 {
+		t.Errorf("allreduce scaling ratio = %v, want ~1.25", ratio)
+	}
+	if _, err := ft.AllReduceTime(0, 1, 1); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := ft.AllReduceTime(99, 1, 1); err == nil {
+		t.Error("p>nodes should error")
+	}
+	if _, err := ft.AllReduceTime(4, 1, 9); err == nil {
+		t.Error("bad rails should error")
+	}
+}
+
+func TestHaloExchange(t *testing.T) {
+	ft, err := DefaultFatTree(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ft.HaloExchangeTime(0, 1<<20, 1)
+	if err != nil || z != 0 {
+		t.Errorf("0-neighbour halo = %v,%v want 0", z, err)
+	}
+	// 4 neighbours on 2 rails = 2 rounds; 2 neighbours on 2 rails = 1 round.
+	h2, err := ft.HaloExchangeTime(2, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := ft.HaloExchangeTime(4, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h4-2*h2) > 1e-12 {
+		t.Errorf("4-neighbour halo = %v, want 2x %v", h4, h2)
+	}
+	if _, err := ft.HaloExchangeTime(-1, 1, 1); err == nil {
+		t.Error("negative neighbours should error")
+	}
+	if _, err := ft.HaloExchangeTime(1, 1, 0); err == nil {
+		t.Error("zero rails should error")
+	}
+}
+
+// Property: transfer time is monotone in message size and in hop count.
+func TestTransferMonotoneProperty(t *testing.T) {
+	ft, err := DefaultFatTree(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint32) bool {
+		small, err1 := ft.TransferTime(0, 63, uint64(n), 2)
+		big, err2 := ft.TransferTime(0, 63, uint64(n)+1024, 2)
+		near, err3 := ft.TransferTime(0, 1, uint64(n), 2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return big > small && near <= small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fat-tree capacity covers the node count at the computed level
+// count for any size up to 4096.
+func TestLevelsSufficientProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		nodes := int(n%4096) + 1
+		ft, err := DefaultFatTree(nodes)
+		if err != nil {
+			return false
+		}
+		capacity := ft.Radix
+		for l := 1; l < ft.Levels(); l++ {
+			capacity *= ft.Radix / 2
+		}
+		return capacity >= nodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

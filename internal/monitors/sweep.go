@@ -1,0 +1,83 @@
+package monitors
+
+import (
+	"errors"
+	"math"
+
+	"davide/internal/sensor"
+)
+
+// SweepPoint is one (rate, error) sample of a rate sweep.
+type SweepPoint struct {
+	RateSps     float64
+	Averaged    bool
+	RelErrorPct float64 // mean over the sweep's repetitions
+}
+
+// RateSweep measures energy-estimation error as a function of delivered
+// sample rate, with and without hardware averaging — the continuous
+// version of the monitoring comparison, and the ablation showing *why*
+// the EG's averaging decimation matters: without averaging, a sampler is
+// stuck with aliasing noise no matter its rate, while boxcar averaging
+// converts extra raw rate into accuracy.
+func RateSweep(sig sensor.Signal, t0, t1, fullScale float64, rates []float64, averaged bool, reps int, seed int64) ([]SweepPoint, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("monitors: no rates")
+	}
+	if reps <= 0 {
+		return nil, errors.New("monitors: reps must be positive")
+	}
+	out := make([]SweepPoint, 0, len(rates))
+	for _, rate := range rates {
+		if rate <= 0 {
+			return nil, errors.New("monitors: non-positive rate")
+		}
+		spec := Spec{
+			Class:      EnergyGateway,
+			RawRate:    rate,
+			OutputRate: rate,
+			Averaged:   false,
+			Bits:       12, NoiseLSB: 0.5, ClockOffsetS: 5e-6, FullScale: fullScale,
+		}
+		if averaged {
+			spec.RawRate = rate * 16
+			spec.Averaged = true
+		}
+		sum := 0.0
+		for r := 0; r < reps; r++ {
+			m, err := New(spec, seed+int64(r)*131)
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Measure(sig, t0, t1)
+			if err != nil {
+				return nil, err
+			}
+			sum += res.RelErrorPct
+		}
+		out = append(out, SweepPoint{RateSps: rate, Averaged: averaged, RelErrorPct: sum / float64(reps)})
+	}
+	return out, nil
+}
+
+// NyquistRate returns the minimum sampling rate that resolves a square
+// burst train of the given period: two samples per period is the floor;
+// resolving the duty cycle takes an order of magnitude more.
+func NyquistRate(period float64) (float64, error) {
+	if period <= 0 {
+		return 0, errors.New("monitors: non-positive period")
+	}
+	return 2 / period, nil
+}
+
+// ErrorKnee scans a sweep for the first rate whose error drops below
+// threshold, returning +Inf if none does.
+func ErrorKnee(points []SweepPoint, thresholdPct float64) float64 {
+	best := math.Inf(1)
+	for _, p := range points {
+		if p.RelErrorPct <= thresholdPct && p.RateSps < best {
+			best = p.RateSps
+		}
+	}
+	return best
+}

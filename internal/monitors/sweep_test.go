@@ -1,0 +1,100 @@
+package monitors
+
+import (
+	"math"
+	"testing"
+
+	"davide/internal/sensor"
+)
+
+func burstSignal() sensor.Signal {
+	return sensor.Sum{
+		sensor.Const(400),
+		sensor.Square{Low: 0, High: 1600, Period: 0.02, Duty: 0.2, Phase: 0.0013},
+	}
+}
+
+func TestRateSweepValidation(t *testing.T) {
+	sig := burstSignal()
+	if _, err := RateSweep(sig, 0, 1, 3000, nil, false, 3, 1); err == nil {
+		t.Error("no rates should error")
+	}
+	if _, err := RateSweep(sig, 0, 1, 3000, []float64{100}, false, 0, 1); err == nil {
+		t.Error("zero reps should error")
+	}
+	if _, err := RateSweep(sig, 0, 1, 3000, []float64{0}, false, 3, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestErrorFallsWithRate(t *testing.T) {
+	sig := burstSignal()
+	rates := []float64{10, 100, 1000, 10000}
+	pts, err := RateSweep(sig, 0, 1, 3000, rates, true, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(rates) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Error at 10 S/s (below Nyquist of the 50 Hz burst) must be far
+	// worse than at 10 kS/s.
+	if pts[0].RelErrorPct < pts[len(pts)-1].RelErrorPct*5 {
+		t.Errorf("sub-Nyquist error %v should dwarf high-rate error %v",
+			pts[0].RelErrorPct, pts[len(pts)-1].RelErrorPct)
+	}
+	// High-rate averaged sampling is accounting-grade.
+	if pts[len(pts)-1].RelErrorPct > 0.5 {
+		t.Errorf("10 kS/s averaged error = %v%%", pts[len(pts)-1].RelErrorPct)
+	}
+}
+
+func TestAveragingBeatsPointSampling(t *testing.T) {
+	// The decimation ablation (DESIGN.md §5): at the same delivered rate,
+	// hardware averaging beats instantaneous point sampling on a bursty
+	// signal, because each output sample integrates the signal instead of
+	// aliasing it.
+	// Rates incommensurate with the 50 Hz burst: a point sampler whose
+	// grid divides the period evenly would be exact by coincidence.
+	sig := burstSignal()
+	rates := []float64{170, 930}
+	avg, err := RateSweep(sig, 0, 1, 3000, rates, true, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := RateSweep(sig, 0, 1, 3000, rates, false, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		if avg[i].RelErrorPct >= raw[i].RelErrorPct {
+			t.Errorf("rate %v: averaged %v%% should beat raw %v%%",
+				rates[i], avg[i].RelErrorPct, raw[i].RelErrorPct)
+		}
+	}
+}
+
+func TestNyquistRate(t *testing.T) {
+	r, err := NyquistRate(0.02)
+	if err != nil || r != 100 {
+		t.Errorf("NyquistRate = %v,%v want 100", r, err)
+	}
+	if _, err := NyquistRate(0); err == nil {
+		t.Error("zero period should error")
+	}
+}
+
+func TestErrorKnee(t *testing.T) {
+	pts := []SweepPoint{
+		{RateSps: 10, RelErrorPct: 30},
+		{RateSps: 100, RelErrorPct: 5},
+		{RateSps: 1000, RelErrorPct: 0.2},
+		{RateSps: 10000, RelErrorPct: 0.05},
+	}
+	if got := ErrorKnee(pts, 1.0); got != 1000 {
+		t.Errorf("knee = %v, want 1000", got)
+	}
+	if got := ErrorKnee(pts, 0.01); !math.IsInf(got, 1) {
+		t.Errorf("unreachable knee = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,422 @@
+package mqtt
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BrokerStats counts broker activity; all fields are updated atomically.
+type BrokerStats struct {
+	Connections   atomic.Int64 // currently connected clients
+	TotalConnects atomic.Int64
+	PublishesIn   atomic.Int64
+	PublishesOut  atomic.Int64
+	BytesIn       atomic.Int64
+	BytesOut      atomic.Int64
+	Dropped       atomic.Int64 // messages dropped on slow subscribers
+}
+
+// Broker is an MQTT 3.1.1 broker: the role mosquitto plays on the
+// D.A.V.I.D.E. management node, receiving gateway telemetry and fanning it
+// out to subscriber agents.
+type Broker struct {
+	ln       net.Listener
+	mu       sync.RWMutex
+	sessions map[string]*session // by client ID
+	retained map[string]*PublishPacket
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	Stats    BrokerStats
+	// QueueDepth is the per-subscriber outbound buffer; a full buffer
+	// drops QoS-0 messages (matching mosquitto's max_queued_messages
+	// behaviour) rather than stalling the whole broker.
+	QueueDepth int
+	logf       func(format string, args ...any)
+}
+
+// NewBroker listens on addr (e.g. "127.0.0.1:0") and starts serving.
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: listen: %w", err)
+	}
+	b := &Broker{
+		ln:         ln,
+		sessions:   make(map[string]*session),
+		retained:   make(map[string]*PublishPacket),
+		QueueDepth: 1024,
+		logf:       func(string, ...any) {},
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// SetLogger installs a debug logger (nil disables logging).
+func (b *Broker) SetLogger(l *log.Logger) {
+	if l == nil {
+		b.logf = func(string, ...any) {}
+		return
+	}
+	b.logf = l.Printf
+}
+
+// Addr returns the listening address, useful with port 0.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Close stops the broker and disconnects all clients.
+func (b *Broker) Close() error {
+	if !b.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := b.ln.Close()
+	b.mu.Lock()
+	for _, s := range b.sessions {
+		s.close()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	return err
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.serve(conn)
+		}()
+	}
+}
+
+// session is one connected client on the broker side.
+type session struct {
+	id        string
+	conn      net.Conn
+	out       chan []byte // pre-encoded packets to send
+	subs      map[string]byte
+	subsMu    sync.RWMutex
+	closeOnce sync.Once
+	done      chan struct{}
+	keepAlive time.Duration
+}
+
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		_ = s.conn.Close()
+	})
+}
+
+// serve runs one client connection to completion.
+func (b *Broker) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	hdr, err := ReadFixedHeader(conn)
+	if err != nil || hdr.Type != CONNECT {
+		return
+	}
+	body := make([]byte, hdr.Length)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return
+	}
+	cp, err := decodeConnect(body)
+	if err != nil {
+		_ = encodeConnack(conn, false, ConnRefusedProtocol)
+		return
+	}
+	if cp.ClientID == "" {
+		_ = encodeConnack(conn, false, ConnRefusedIdentifier)
+		return
+	}
+
+	s := &session{
+		id:   cp.ClientID,
+		conn: conn,
+		out:  make(chan []byte, b.QueueDepth),
+		subs: make(map[string]byte),
+		done: make(chan struct{}),
+	}
+	if cp.KeepAliveSec > 0 {
+		s.keepAlive = time.Duration(cp.KeepAliveSec) * time.Second * 3 / 2
+	}
+
+	// A reconnecting client ID takes over the old session.
+	b.mu.Lock()
+	if old, ok := b.sessions[s.id]; ok {
+		old.close()
+	}
+	b.sessions[s.id] = s
+	b.mu.Unlock()
+	b.Stats.Connections.Add(1)
+	b.Stats.TotalConnects.Add(1)
+
+	defer func() {
+		b.mu.Lock()
+		if b.sessions[s.id] == s {
+			delete(b.sessions, s.id)
+		}
+		b.mu.Unlock()
+		b.Stats.Connections.Add(-1)
+		s.close()
+	}()
+
+	if err := encodeConnack(conn, false, ConnAccepted); err != nil {
+		return
+	}
+	b.logf("mqtt: client %q connected from %v", s.id, conn.RemoteAddr())
+
+	// Writer goroutine: serialises all outbound traffic for this client.
+	go func() {
+		for {
+			select {
+			case pkt := <-s.out:
+				if _, err := s.conn.Write(pkt); err != nil {
+					s.close()
+					return
+				}
+				b.Stats.BytesOut.Add(int64(len(pkt)))
+			case <-s.done:
+				return
+			}
+		}
+	}()
+
+	// Reader loop.
+	for {
+		if s.keepAlive > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.keepAlive))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
+		hdr, err := ReadFixedHeader(conn)
+		if err != nil {
+			return
+		}
+		body := make([]byte, hdr.Length)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		b.Stats.BytesIn.Add(int64(2 + hdr.Length))
+		switch hdr.Type {
+		case PUBLISH:
+			p, err := decodePublish(hdr.Flags, body)
+			if err != nil {
+				return
+			}
+			b.Stats.PublishesIn.Add(1)
+			if p.QoS == 1 {
+				if err := b.send(s, encodedPuback(p.PacketID)); err != nil {
+					return
+				}
+			}
+			b.route(p)
+		case SUBSCRIBE:
+			sp, err := decodeSubscribe(body)
+			if err != nil {
+				return
+			}
+			codes := make([]byte, len(sp.Subs))
+			s.subsMu.Lock()
+			for i, sub := range sp.Subs {
+				s.subs[sub.Filter] = sub.QoS
+				codes[i] = sub.QoS
+			}
+			s.subsMu.Unlock()
+			if err := b.send(s, encodedSuback(sp.PacketID, codes)); err != nil {
+				return
+			}
+			b.deliverRetained(s, sp.Subs)
+		case UNSUBSCRIBE:
+			up, err := decodeUnsubscribe(body)
+			if err != nil {
+				return
+			}
+			s.subsMu.Lock()
+			for _, f := range up.Filters {
+				delete(s.subs, f)
+			}
+			s.subsMu.Unlock()
+			if err := b.send(s, encodedUnsuback(up.PacketID)); err != nil {
+				return
+			}
+		case PUBACK:
+			// QoS-1 delivery confirmation from a subscriber; our broker
+			// delivers at-most-once per connection, so nothing to retry.
+		case PINGREQ:
+			if err := b.send(s, encodedEmpty(PINGRESP)); err != nil {
+				return
+			}
+		case DISCONNECT:
+			return
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// route fans a publish out to every matching subscriber and stores retained
+// messages.
+func (b *Broker) route(p *PublishPacket) {
+	if p.Retain {
+		b.mu.Lock()
+		if len(p.Payload) == 0 {
+			delete(b.retained, p.Topic)
+		} else {
+			cp := *p
+			cp.Dup = false
+			b.retained[p.Topic] = &cp
+		}
+		b.mu.Unlock()
+	}
+	b.mu.RLock()
+	targets := make([]*session, 0, len(b.sessions))
+	qos := make([]byte, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		s.subsMu.RLock()
+		best, ok := byte(0), false
+		for f, q := range s.subs {
+			if TopicMatches(f, p.Topic) {
+				ok = true
+				if q > best {
+					best = q
+				}
+			}
+		}
+		s.subsMu.RUnlock()
+		if ok {
+			targets = append(targets, s)
+			qos = append(qos, best)
+		}
+	}
+	b.mu.RUnlock()
+
+	for i, s := range targets {
+		out := *p
+		out.Retain = false
+		out.QoS = min(p.QoS, qos[i])
+		if out.QoS > 0 {
+			out.PacketID = 1 // per-connection at-most-once delivery id
+		}
+		pkt, err := encodedPublish(&out)
+		if err != nil {
+			continue
+		}
+		select {
+		case s.out <- pkt:
+			b.Stats.PublishesOut.Add(1)
+		default:
+			b.Stats.Dropped.Add(1)
+		}
+	}
+}
+
+// deliverRetained sends retained messages matching fresh subscriptions.
+func (b *Broker) deliverRetained(s *session, subs []Subscription) {
+	b.mu.RLock()
+	var matched []*PublishPacket
+	var qos []byte
+	for topic, msg := range b.retained {
+		for _, sub := range subs {
+			if TopicMatches(sub.Filter, topic) {
+				matched = append(matched, msg)
+				qos = append(qos, min(msg.QoS, sub.QoS))
+				break
+			}
+		}
+	}
+	b.mu.RUnlock()
+	for i, msg := range matched {
+		out := *msg
+		out.Retain = true
+		out.QoS = qos[i]
+		if out.QoS > 0 {
+			out.PacketID = 1
+		}
+		pkt, err := encodedPublish(&out)
+		if err != nil {
+			continue
+		}
+		select {
+		case s.out <- pkt:
+			b.Stats.PublishesOut.Add(1)
+		default:
+			b.Stats.Dropped.Add(1)
+		}
+	}
+}
+
+// send enqueues a pre-encoded control packet for the session.
+func (b *Broker) send(s *session, pkt []byte) error {
+	select {
+	case s.out <- pkt:
+		return nil
+	case <-s.done:
+		return io.ErrClosedPipe
+	}
+}
+
+// RetainedCount returns the number of retained topics.
+func (b *Broker) RetainedCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.retained)
+}
+
+// Pre-encoded packet helpers (encode into a byte slice).
+
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func encodedPuback(id uint16) []byte {
+	var w sliceWriter
+	_ = encodePuback(&w, id)
+	return w.buf
+}
+
+func encodedSuback(id uint16, codes []byte) []byte {
+	var w sliceWriter
+	_ = encodeSuback(&w, id, codes)
+	return w.buf
+}
+
+func encodedUnsuback(id uint16) []byte {
+	var w sliceWriter
+	_ = encodeUnsuback(&w, id)
+	return w.buf
+}
+
+func encodedEmpty(t PacketType) []byte {
+	var w sliceWriter
+	_ = encodeEmpty(&w, t)
+	return w.buf
+}
+
+func encodedPublish(p *PublishPacket) ([]byte, error) {
+	var w sliceWriter
+	if err := p.encode(&w); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func min(a, b byte) byte {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,364 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is a received application message handed to the client callback.
+type Message struct {
+	Topic    string
+	Payload  []byte
+	QoS      byte
+	Retained bool
+}
+
+// MessageHandler receives inbound messages. It runs on the client's reader
+// goroutine: handlers must be quick or copy work elsewhere.
+type MessageHandler func(Message)
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	ClientID     string
+	KeepAlive    time.Duration // 0 disables client pings
+	CleanSession bool
+	ConnectWait  time.Duration // CONNACK timeout (default 5 s)
+	OnMessage    MessageHandler
+}
+
+// Client is an MQTT 3.1.1 client: the role the energy gateways (publishers)
+// and telemetry agents (subscribers) play.
+type Client struct {
+	opts     ClientOptions
+	conn     net.Conn
+	writeMu  sync.Mutex
+	nextID   atomic.Uint32
+	closed   atomic.Bool
+	done     chan struct{}
+	closeErr atomic.Value // error
+
+	ackMu   sync.Mutex
+	pending map[uint16]chan struct{} // QoS-1 publish awaiting PUBACK
+	subMu   sync.Mutex
+	subWait map[uint16]chan []byte // SUBACK/UNSUBACK waiters
+}
+
+// Dial connects to a broker and completes the CONNECT handshake.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	if opts.ClientID == "" {
+		return nil, errors.New("mqtt: client ID required")
+	}
+	if opts.ConnectWait <= 0 {
+		opts.ConnectWait = 5 * time.Second
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: dial: %w", err)
+	}
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		done:    make(chan struct{}),
+		pending: make(map[uint16]chan struct{}),
+		subWait: make(map[uint16]chan []byte),
+	}
+	cp := &ConnectPacket{
+		ClientID:     opts.ClientID,
+		CleanSession: opts.CleanSession,
+		KeepAliveSec: uint16(opts.KeepAlive / time.Second),
+	}
+	_ = conn.SetDeadline(time.Now().Add(opts.ConnectWait))
+	if err := cp.encode(conn); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	hdr, err := ReadFixedHeader(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if hdr.Type != CONNACK {
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: expected CONNACK, got %v", ErrMalformed, hdr.Type)
+	}
+	body := make([]byte, hdr.Length)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	_, code, err := decodeConnack(body)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if code != ConnAccepted {
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: code %d", ErrConnRefused, code)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	go c.readLoop()
+	if opts.KeepAlive > 0 {
+		go c.pingLoop()
+	}
+	return c, nil
+}
+
+// Close disconnects cleanly.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.writeMu.Lock()
+	_ = encodeEmpty(c.conn, DISCONNECT)
+	c.writeMu.Unlock()
+	close(c.done)
+	return c.conn.Close()
+}
+
+// Done is closed when the client's connection terminates for any reason.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err returns the error that terminated the connection, if any.
+func (c *Client) Err() error {
+	if v := c.closeErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+func (c *Client) fail(err error) {
+	if c.closed.CompareAndSwap(false, true) {
+		c.closeErr.Store(err)
+		close(c.done)
+		_ = c.conn.Close()
+	}
+}
+
+// Publish sends a message. QoS 0 returns after the write; QoS 1 blocks
+// until PUBACK or timeout.
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	if c.closed.Load() {
+		return io.ErrClosedPipe
+	}
+	if qos > 1 {
+		return fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, qos)
+	}
+	p := &PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	var ack chan struct{}
+	if qos == 1 {
+		p.PacketID = c.allocID()
+		ack = make(chan struct{})
+		c.ackMu.Lock()
+		c.pending[p.PacketID] = ack
+		c.ackMu.Unlock()
+		defer func() {
+			c.ackMu.Lock()
+			delete(c.pending, p.PacketID)
+			c.ackMu.Unlock()
+		}()
+	}
+	c.writeMu.Lock()
+	err := p.encode(c.conn)
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if qos == 0 {
+		return nil
+	}
+	select {
+	case <-ack:
+		return nil
+	case <-c.done:
+		return io.ErrClosedPipe
+	case <-time.After(c.opts.ConnectWait):
+		return errors.New("mqtt: PUBACK timeout")
+	}
+}
+
+// Subscribe registers topic filters and waits for the SUBACK.
+func (c *Client) Subscribe(subs ...Subscription) error {
+	if len(subs) == 0 {
+		return errors.New("mqtt: no subscriptions")
+	}
+	if c.closed.Load() {
+		return io.ErrClosedPipe
+	}
+	id := c.allocID()
+	wait := make(chan []byte, 1)
+	c.subMu.Lock()
+	c.subWait[id] = wait
+	c.subMu.Unlock()
+	defer func() {
+		c.subMu.Lock()
+		delete(c.subWait, id)
+		c.subMu.Unlock()
+	}()
+	p := &SubscribePacket{PacketID: id, Subs: subs}
+	c.writeMu.Lock()
+	err := p.encode(c.conn)
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case codes := <-wait:
+		if len(codes) != len(subs) {
+			return fmt.Errorf("%w: SUBACK size mismatch", ErrMalformed)
+		}
+		for i, code := range codes {
+			if code == SubackFailure {
+				return fmt.Errorf("mqtt: subscription %q rejected", subs[i].Filter)
+			}
+		}
+		return nil
+	case <-c.done:
+		return io.ErrClosedPipe
+	case <-time.After(c.opts.ConnectWait):
+		return errors.New("mqtt: SUBACK timeout")
+	}
+}
+
+// Unsubscribe removes topic filters and waits for the UNSUBACK.
+func (c *Client) Unsubscribe(filters ...string) error {
+	if len(filters) == 0 {
+		return errors.New("mqtt: no filters")
+	}
+	if c.closed.Load() {
+		return io.ErrClosedPipe
+	}
+	id := c.allocID()
+	wait := make(chan []byte, 1)
+	c.subMu.Lock()
+	c.subWait[id] = wait
+	c.subMu.Unlock()
+	defer func() {
+		c.subMu.Lock()
+		delete(c.subWait, id)
+		c.subMu.Unlock()
+	}()
+	p := &UnsubscribePacket{PacketID: id, Filters: filters}
+	c.writeMu.Lock()
+	err := p.encode(c.conn)
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-wait:
+		return nil
+	case <-c.done:
+		return io.ErrClosedPipe
+	case <-time.After(c.opts.ConnectWait):
+		return errors.New("mqtt: UNSUBACK timeout")
+	}
+}
+
+// allocID returns a non-zero 16-bit packet identifier.
+func (c *Client) allocID() uint16 {
+	for {
+		id := uint16(c.nextID.Add(1))
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	for {
+		hdr, err := ReadFixedHeader(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		body := make([]byte, hdr.Length)
+		if _, err := io.ReadFull(c.conn, body); err != nil {
+			c.fail(err)
+			return
+		}
+		switch hdr.Type {
+		case PUBLISH:
+			p, err := decodePublish(hdr.Flags, body)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if p.QoS == 1 {
+				c.writeMu.Lock()
+				err := encodePuback(c.conn, p.PacketID)
+				c.writeMu.Unlock()
+				if err != nil {
+					c.fail(err)
+					return
+				}
+			}
+			if c.opts.OnMessage != nil {
+				c.opts.OnMessage(Message{Topic: p.Topic, Payload: p.Payload, QoS: p.QoS, Retained: p.Retain})
+			}
+		case PUBACK:
+			id, err := decodePacketID(body)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.ackMu.Lock()
+			if ch, ok := c.pending[id]; ok {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.ackMu.Unlock()
+		case SUBACK:
+			id, codes, err := decodeSuback(body)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.subMu.Lock()
+			if ch, ok := c.subWait[id]; ok {
+				ch <- codes
+			}
+			c.subMu.Unlock()
+		case UNSUBACK:
+			id, err := decodePacketID(body)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.subMu.Lock()
+			if ch, ok := c.subWait[id]; ok {
+				ch <- nil
+			}
+			c.subMu.Unlock()
+		case PINGRESP:
+			// keepalive satisfied
+		default:
+			c.fail(fmt.Errorf("%w: unexpected %v", ErrMalformed, hdr.Type))
+			return
+		}
+	}
+}
+
+func (c *Client) pingLoop() {
+	t := time.NewTicker(c.opts.KeepAlive)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.writeMu.Lock()
+			err := encodeEmpty(c.conn, PINGREQ)
+			c.writeMu.Unlock()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}

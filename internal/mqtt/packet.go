@@ -1,0 +1,569 @@
+// Package mqtt implements the subset of MQTT 3.1.1 used by the
+// D.A.V.I.D.E. telemetry plane (§III-A1 of the paper): CONNECT/CONNACK,
+// PUBLISH with QoS 0 and 1 (PUBACK), SUBSCRIBE/SUBACK with + and #
+// wildcards, UNSUBSCRIBE/UNSUBACK, PINGREQ/PINGRESP, DISCONNECT, and
+// retained messages. It contains a broker (the role mosquitto plays on the
+// D.A.V.I.D.E. management node) and a client (the role the energy gateways
+// and the telemetry agents play), both over real TCP using only the
+// standard library.
+package mqtt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"unicode/utf8"
+)
+
+// PacketType is the MQTT control-packet type from the fixed header.
+type PacketType byte
+
+// MQTT 3.1.1 control packet types.
+const (
+	CONNECT     PacketType = 1
+	CONNACK     PacketType = 2
+	PUBLISH     PacketType = 3
+	PUBACK      PacketType = 4
+	SUBSCRIBE   PacketType = 8
+	SUBACK      PacketType = 9
+	UNSUBSCRIBE PacketType = 10
+	UNSUBACK    PacketType = 11
+	PINGREQ     PacketType = 12
+	PINGRESP    PacketType = 13
+	DISCONNECT  PacketType = 14
+)
+
+// String names the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case CONNECT:
+		return "CONNECT"
+	case CONNACK:
+		return "CONNACK"
+	case PUBLISH:
+		return "PUBLISH"
+	case PUBACK:
+		return "PUBACK"
+	case SUBSCRIBE:
+		return "SUBSCRIBE"
+	case SUBACK:
+		return "SUBACK"
+	case UNSUBSCRIBE:
+		return "UNSUBSCRIBE"
+	case UNSUBACK:
+		return "UNSUBACK"
+	case PINGREQ:
+		return "PINGREQ"
+	case PINGRESP:
+		return "PINGRESP"
+	case DISCONNECT:
+		return "DISCONNECT"
+	default:
+		return fmt.Sprintf("PacketType(%d)", byte(t))
+	}
+}
+
+// Errors shared by the codec.
+var (
+	ErrMalformed       = errors.New("mqtt: malformed packet")
+	ErrPacketTooLarge  = errors.New("mqtt: packet exceeds maximum size")
+	ErrBadTopic        = errors.New("mqtt: invalid topic")
+	ErrConnRefused     = errors.New("mqtt: connection refused")
+	errRemainingLength = errors.New("mqtt: bad remaining length")
+)
+
+// MaxPacketSize bounds accepted packets; telemetry messages are small, so a
+// tight bound protects the broker from hostile or broken peers.
+const MaxPacketSize = 1 << 20
+
+// FixedHeader is the two-to-five byte header of every packet.
+type FixedHeader struct {
+	Type   PacketType
+	Flags  byte // lower nibble of byte 1
+	Length int  // remaining length
+}
+
+// writeRemainingLength encodes the MQTT variable-length integer.
+func writeRemainingLength(w io.Writer, n int) error {
+	if n < 0 || n > 268_435_455 {
+		return errRemainingLength
+	}
+	var buf [4]byte
+	i := 0
+	for {
+		d := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			d |= 0x80
+		}
+		buf[i] = d
+		i++
+		if n == 0 {
+			break
+		}
+	}
+	_, err := w.Write(buf[:i])
+	return err
+}
+
+// readRemainingLength decodes the MQTT variable-length integer.
+func readRemainingLength(r io.ByteReader) (int, error) {
+	mul := 1
+	val := 0
+	for i := 0; i < 4; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		val += int(b&0x7f) * mul
+		if b&0x80 == 0 {
+			return val, nil
+		}
+		mul *= 128
+	}
+	return 0, errRemainingLength
+}
+
+// byteReader adapts an io.Reader to io.ByteReader without buffering beyond
+// single bytes (the fixed header must not over-read the stream).
+type byteReader struct{ r io.Reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	if _, err := io.ReadFull(b.r, one[:]); err != nil {
+		return 0, err
+	}
+	return one[0], nil
+}
+
+// ReadFixedHeader reads the fixed header from the stream.
+func ReadFixedHeader(r io.Reader) (FixedHeader, error) {
+	br := byteReader{r}
+	first, err := br.ReadByte()
+	if err != nil {
+		return FixedHeader{}, err
+	}
+	length, err := readRemainingLength(br)
+	if err != nil {
+		return FixedHeader{}, err
+	}
+	if length > MaxPacketSize {
+		return FixedHeader{}, ErrPacketTooLarge
+	}
+	return FixedHeader{Type: PacketType(first >> 4), Flags: first & 0x0f, Length: length}, nil
+}
+
+// writeString writes an MQTT UTF-8 prefixed string.
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xffff {
+		return ErrMalformed
+	}
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	if _, err := w.Write(l[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// readString consumes an MQTT UTF-8 prefixed string from buf, returning the
+// string and the remaining bytes.
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return "", nil, ErrMalformed
+	}
+	s := string(buf[2 : 2+n])
+	if !utf8.ValidString(s) {
+		return "", nil, ErrMalformed
+	}
+	return s, buf[2+n:], nil
+}
+
+// ConnectPacket is the CONNECT payload subset we support (no will, no
+// username/password — the telemetry plane runs on a trusted management
+// network, as in the real system).
+type ConnectPacket struct {
+	ClientID     string
+	KeepAliveSec uint16
+	CleanSession bool
+}
+
+// encode serialises the packet with its fixed header into w.
+func (p *ConnectPacket) encode(w io.Writer) error {
+	var body []byte
+	body = appendString(body, "MQTT")
+	body = append(body, 4) // protocol level 3.1.1
+	flags := byte(0)
+	if p.CleanSession {
+		flags |= 0x02
+	}
+	body = append(body, flags)
+	body = binary.BigEndian.AppendUint16(body, p.KeepAliveSec)
+	body = appendString(body, p.ClientID)
+	return writePacket(w, CONNECT, 0, body)
+}
+
+// decodeConnect parses a CONNECT body.
+func decodeConnect(body []byte) (*ConnectPacket, error) {
+	proto, rest, err := readString(body)
+	if err != nil {
+		return nil, err
+	}
+	if proto != "MQTT" && proto != "MQIsdp" {
+		return nil, fmt.Errorf("%w: protocol %q", ErrMalformed, proto)
+	}
+	if len(rest) < 4 {
+		return nil, ErrMalformed
+	}
+	level := rest[0]
+	if level != 4 && level != 3 {
+		return nil, fmt.Errorf("%w: protocol level %d", ErrMalformed, level)
+	}
+	flags := rest[1]
+	keep := binary.BigEndian.Uint16(rest[2:4])
+	id, _, err := readString(rest[4:])
+	if err != nil {
+		return nil, err
+	}
+	return &ConnectPacket{ClientID: id, KeepAliveSec: keep, CleanSession: flags&0x02 != 0}, nil
+}
+
+// ConnackCode is the CONNACK return code.
+type ConnackCode byte
+
+// CONNACK return codes (3.1.1 table 3.1).
+const (
+	ConnAccepted          ConnackCode = 0
+	ConnRefusedProtocol   ConnackCode = 1
+	ConnRefusedIdentifier ConnackCode = 2
+	ConnRefusedServer     ConnackCode = 3
+)
+
+func encodeConnack(w io.Writer, sessionPresent bool, code ConnackCode) error {
+	sp := byte(0)
+	if sessionPresent {
+		sp = 1
+	}
+	return writePacket(w, CONNACK, 0, []byte{sp, byte(code)})
+}
+
+func decodeConnack(body []byte) (sessionPresent bool, code ConnackCode, err error) {
+	if len(body) != 2 {
+		return false, 0, ErrMalformed
+	}
+	return body[0]&1 == 1, ConnackCode(body[1]), nil
+}
+
+// PublishPacket is an application message.
+type PublishPacket struct {
+	Topic    string
+	Payload  []byte
+	QoS      byte // 0 or 1
+	Retain   bool
+	Dup      bool
+	PacketID uint16 // present when QoS > 0
+}
+
+func (p *PublishPacket) encode(w io.Writer) error {
+	if err := ValidateTopicName(p.Topic); err != nil {
+		return err
+	}
+	if p.QoS > 1 {
+		return fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, p.QoS)
+	}
+	flags := p.QoS << 1
+	if p.Retain {
+		flags |= 0x01
+	}
+	if p.Dup {
+		flags |= 0x08
+	}
+	var body []byte
+	body = appendString(body, p.Topic)
+	if p.QoS > 0 {
+		body = binary.BigEndian.AppendUint16(body, p.PacketID)
+	}
+	body = append(body, p.Payload...)
+	return writePacket(w, PUBLISH, flags, body)
+}
+
+func decodePublish(flags byte, body []byte) (*PublishPacket, error) {
+	p := &PublishPacket{
+		Retain: flags&0x01 != 0,
+		QoS:    (flags >> 1) & 0x03,
+		Dup:    flags&0x08 != 0,
+	}
+	if p.QoS > 1 {
+		return nil, fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, p.QoS)
+	}
+	topic, rest, err := readString(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateTopicName(topic); err != nil {
+		return nil, err
+	}
+	p.Topic = topic
+	if p.QoS > 0 {
+		if len(rest) < 2 {
+			return nil, ErrMalformed
+		}
+		p.PacketID = binary.BigEndian.Uint16(rest)
+		rest = rest[2:]
+	}
+	p.Payload = append([]byte(nil), rest...)
+	return p, nil
+}
+
+func encodePuback(w io.Writer, id uint16) error {
+	var body [2]byte
+	binary.BigEndian.PutUint16(body[:], id)
+	return writePacket(w, PUBACK, 0, body[:])
+}
+
+func decodePacketID(body []byte) (uint16, error) {
+	if len(body) != 2 {
+		return 0, ErrMalformed
+	}
+	return binary.BigEndian.Uint16(body), nil
+}
+
+// Subscription pairs a topic filter with a requested QoS.
+type Subscription struct {
+	Filter string
+	QoS    byte
+}
+
+// SubscribePacket carries one or more subscription requests.
+type SubscribePacket struct {
+	PacketID uint16
+	Subs     []Subscription
+}
+
+func (p *SubscribePacket) encode(w io.Writer) error {
+	if len(p.Subs) == 0 {
+		return ErrMalformed
+	}
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, p.PacketID)
+	for _, s := range p.Subs {
+		if err := ValidateTopicFilter(s.Filter); err != nil {
+			return err
+		}
+		if s.QoS > 1 {
+			return fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, s.QoS)
+		}
+		body = appendString(body, s.Filter)
+		body = append(body, s.QoS)
+	}
+	return writePacket(w, SUBSCRIBE, 0x02, body)
+}
+
+func decodeSubscribe(body []byte) (*SubscribePacket, error) {
+	if len(body) < 2 {
+		return nil, ErrMalformed
+	}
+	p := &SubscribePacket{PacketID: binary.BigEndian.Uint16(body)}
+	rest := body[2:]
+	for len(rest) > 0 {
+		filter, r2, err := readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(r2) < 1 {
+			return nil, ErrMalformed
+		}
+		qos := r2[0]
+		if qos > 1 {
+			return nil, fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, qos)
+		}
+		if err := ValidateTopicFilter(filter); err != nil {
+			return nil, err
+		}
+		p.Subs = append(p.Subs, Subscription{Filter: filter, QoS: qos})
+		rest = r2[1:]
+	}
+	if len(p.Subs) == 0 {
+		return nil, ErrMalformed
+	}
+	return p, nil
+}
+
+// SubackFailure is the per-filter failure code in a SUBACK.
+const SubackFailure byte = 0x80
+
+func encodeSuback(w io.Writer, id uint16, codes []byte) error {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, id)
+	body = append(body, codes...)
+	return writePacket(w, SUBACK, 0, body)
+}
+
+func decodeSuback(body []byte) (id uint16, codes []byte, err error) {
+	if len(body) < 3 {
+		return 0, nil, ErrMalformed
+	}
+	return binary.BigEndian.Uint16(body), append([]byte(nil), body[2:]...), nil
+}
+
+// UnsubscribePacket removes topic filters.
+type UnsubscribePacket struct {
+	PacketID uint16
+	Filters  []string
+}
+
+func (p *UnsubscribePacket) encode(w io.Writer) error {
+	if len(p.Filters) == 0 {
+		return ErrMalformed
+	}
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, p.PacketID)
+	for _, f := range p.Filters {
+		if err := ValidateTopicFilter(f); err != nil {
+			return err
+		}
+		body = appendString(body, f)
+	}
+	return writePacket(w, UNSUBSCRIBE, 0x02, body)
+}
+
+func decodeUnsubscribe(body []byte) (*UnsubscribePacket, error) {
+	if len(body) < 2 {
+		return nil, ErrMalformed
+	}
+	p := &UnsubscribePacket{PacketID: binary.BigEndian.Uint16(body)}
+	rest := body[2:]
+	for len(rest) > 0 {
+		f, r2, err := readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Filters = append(p.Filters, f)
+		rest = r2
+	}
+	if len(p.Filters) == 0 {
+		return nil, ErrMalformed
+	}
+	return p, nil
+}
+
+func encodeUnsuback(w io.Writer, id uint16) error {
+	var body [2]byte
+	binary.BigEndian.PutUint16(body[:], id)
+	return writePacket(w, UNSUBACK, 0, body[:])
+}
+
+// encodeEmpty writes a packet with no body (PINGREQ/PINGRESP/DISCONNECT).
+func encodeEmpty(w io.Writer, t PacketType) error {
+	return writePacket(w, t, 0, nil)
+}
+
+// writePacket assembles fixed header + body and writes it in one call so
+// concurrent writers on the same connection cannot interleave.
+func writePacket(w io.Writer, t PacketType, flags byte, body []byte) error {
+	var hdr []byte
+	hdr = append(hdr, byte(t)<<4|flags)
+	n := len(body)
+	if n > MaxPacketSize {
+		return ErrPacketTooLarge
+	}
+	for {
+		d := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			d |= 0x80
+		}
+		hdr = append(hdr, d)
+		if n == 0 {
+			break
+		}
+	}
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// ValidateTopicName checks a PUBLISH topic: non-empty, no wildcards, no NUL.
+func ValidateTopicName(topic string) error {
+	if topic == "" || len(topic) > 0xffff {
+		return ErrBadTopic
+	}
+	for _, r := range topic {
+		if r == '+' || r == '#' || r == 0 {
+			return ErrBadTopic
+		}
+	}
+	return nil
+}
+
+// ValidateTopicFilter checks a SUBSCRIBE filter: non-empty, '#' only as the
+// final level, '+' only as a whole level.
+func ValidateTopicFilter(filter string) error {
+	if filter == "" || len(filter) > 0xffff {
+		return ErrBadTopic
+	}
+	levels := splitTopic(filter)
+	for i, l := range levels {
+		switch {
+		case l == "#":
+			if i != len(levels)-1 {
+				return ErrBadTopic
+			}
+		case l == "+":
+			// single-level wildcard, fine anywhere
+		default:
+			for _, r := range l {
+				if r == '+' || r == '#' || r == 0 {
+					return ErrBadTopic
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitTopic splits a topic or filter into levels.
+func splitTopic(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// TopicMatches reports whether a concrete topic name matches a filter with
+// MQTT wildcard semantics.
+func TopicMatches(filter, topic string) bool {
+	f := splitTopic(filter)
+	t := splitTopic(topic)
+	for i := 0; ; i++ {
+		switch {
+		case i == len(f) && i == len(t):
+			return true
+		case i == len(f):
+			return false
+		case f[i] == "#":
+			return true
+		case i == len(t):
+			return false
+		case f[i] == "+":
+			// matches any single level
+		case f[i] != t[i]:
+			return false
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package node assembles the D.A.V.I.D.E. compute node (§II-E of the
+// paper, the OpenPOWER "Garrison" design): two POWER8+ sockets with NVLink,
+// four Tesla P100 accelerators, memory and board overheads, per-die thermal
+// models fed by the chosen cooling, and the power-backplane sensing point
+// that the energy gateway samples. A node's peak performance is ~22 TFlops
+// DP at roughly 2 kW, matching the paper.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"davide/internal/cpu"
+	"davide/internal/gpu"
+	"davide/internal/sensor"
+	"davide/internal/thermal"
+	"davide/internal/units"
+)
+
+// Cooling selects the node's cooling configuration.
+type Cooling int
+
+// Cooling configurations (experiment E12 compares them).
+const (
+	Liquid Cooling = iota // direct hot-water cold plates (the pilot)
+	Air                   // conventional air heatsinks
+)
+
+// String names the cooling configuration.
+func (c Cooling) String() string {
+	if c == Liquid {
+		return "liquid"
+	}
+	return "air"
+}
+
+// Config describes a node.
+type Config struct {
+	Name        string
+	Sockets     int
+	GPUs        int
+	CPUConfig   cpu.Config
+	GPUConfig   gpu.Config
+	MiscPower   units.Watt // board, NIC, memory at idle
+	MemPowerMax units.Watt // additional memory power at full utilisation
+	Cooling     Cooling
+	CoolantTemp units.Celsius // water inlet (Liquid) or air inlet (Air)
+	// AirSpreadSeed varies per-die airflow shadows for Air cooling;
+	// dies get deterministic spreads derived from it.
+	AirSpreadSeed int64
+}
+
+// DefaultConfig returns the Garrison node of the pilot system.
+func DefaultConfig() Config {
+	return Config{
+		Name:        "Garrison 2xPOWER8+ 4xP100",
+		Sockets:     2,
+		GPUs:        4,
+		CPUConfig:   cpu.DefaultConfig(),
+		GPUConfig:   gpu.DefaultConfig(),
+		MiscPower:   150,
+		MemPowerMax: 70,
+		Cooling:     Liquid,
+		CoolantTemp: 35,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Sockets <= 0:
+		return errors.New("node: need at least one socket")
+	case c.GPUs < 0:
+		return errors.New("node: negative GPU count")
+	case c.MiscPower < 0 || c.MemPowerMax < 0:
+		return errors.New("node: negative power constants")
+	}
+	if err := c.CPUConfig.Validate(); err != nil {
+		return fmt.Errorf("node: cpu: %w", err)
+	}
+	if c.GPUs > 0 {
+		if err := c.GPUConfig.Validate(); err != nil {
+			return fmt.Errorf("node: gpu: %w", err)
+		}
+	}
+	return nil
+}
+
+// Node is one compute node.
+type Node struct {
+	ID      int
+	cfg     Config
+	Sockets []*cpu.Socket
+	GPUs    []*gpu.Device
+	cpuDies []*thermal.Die
+	gpuDies []*thermal.Die
+	trace   *sensor.Piecewise
+	lastT   float64
+	memUtil float64
+}
+
+// New builds a node with the given ID.
+func New(id int, cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{ID: id, cfg: cfg}
+	for i := 0; i < cfg.Sockets; i++ {
+		s, err := cpu.New(cfg.CPUConfig)
+		if err != nil {
+			return nil, err
+		}
+		n.Sockets = append(n.Sockets, s)
+		die, err := n.newDie(int64(i))
+		if err != nil {
+			return nil, err
+		}
+		n.cpuDies = append(n.cpuDies, die)
+	}
+	for i := 0; i < cfg.GPUs; i++ {
+		d, err := gpu.New(cfg.GPUConfig)
+		if err != nil {
+			return nil, err
+		}
+		n.GPUs = append(n.GPUs, d)
+		die, err := n.newDie(int64(100 + i))
+		if err != nil {
+			return nil, err
+		}
+		n.gpuDies = append(n.gpuDies, die)
+	}
+	n.trace = sensor.NewPiecewise(0, float64(n.Power()))
+	return n, nil
+}
+
+// newDie builds the thermal model for one device given the cooling config.
+func (n *Node) newDie(salt int64) (*thermal.Die, error) {
+	if n.cfg.Cooling == Liquid {
+		return thermal.LiquidCooledDie(n.cfg.CoolantTemp), nil
+	}
+	// Deterministic pseudo-random spread per die: position in the airflow.
+	h := uint64(n.cfg.AirSpreadSeed) + uint64(n.ID)*2654435761 + uint64(salt)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	spread := float64(h%1000) / 999
+	return thermal.AirCooledDie(n.cfg.CoolantTemp, spread)
+}
+
+// Config returns the node configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SetMemUtilization records memory subsystem utilisation (0..1) for the
+// power model.
+func (n *Node) SetMemUtilization(u float64) {
+	n.memUtil = math.Min(1, math.Max(0, u))
+}
+
+// Power returns the node's instantaneous DC power: sockets + GPUs + memory
+// + board overheads.
+func (n *Node) Power() units.Watt {
+	p := n.cfg.MiscPower + units.Watt(float64(n.cfg.MemPowerMax)*n.memUtil)
+	for _, s := range n.Sockets {
+		p += s.Power()
+	}
+	for _, g := range n.GPUs {
+		p += g.Power()
+	}
+	return p
+}
+
+// PeakFlops returns the node's peak DP throughput at the current operating
+// points (paper: ~22 TFlops with everything at full clock).
+func (n *Node) PeakFlops() units.Flops {
+	var f units.Flops
+	for _, s := range n.Sockets {
+		f += s.PeakFlops()
+	}
+	for _, g := range n.GPUs {
+		pk, err := g.Peak(gpu.FP64)
+		if err == nil {
+			f += pk
+		}
+	}
+	return f
+}
+
+// RecordPower appends the node's current power to its trace at time t.
+// Calls must use non-decreasing t (virtual time).
+func (n *Node) RecordPower(t float64) error {
+	if t < n.lastT {
+		return fmt.Errorf("node: time went backwards (%g < %g)", t, n.lastT)
+	}
+	n.lastT = t
+	return n.trace.Set(t, float64(n.Power()))
+}
+
+// Trace returns the node's power trace (a sensor.Signal).
+func (n *Node) Trace() *sensor.Piecewise { return n.trace }
+
+// Energy returns the exact energy consumed over [t0, t1] according to the
+// recorded trace.
+func (n *Node) Energy(t0, t1 float64) (units.Joule, error) {
+	e, err := n.trace.Energy(t0, t1)
+	return units.Joule(e), err
+}
+
+// AdvanceThermal integrates every die over dt seconds at current component
+// powers and applies/releases throttles on the corresponding devices.
+// It returns the number of throttled devices.
+func (n *Node) AdvanceThermal(dt float64) (throttled int, err error) {
+	for i, s := range n.Sockets {
+		if _, err := n.cpuDies[i].Advance(s.Power(), dt); err != nil {
+			return 0, err
+		}
+		s.SetThrottled(n.cpuDies[i].Throttled())
+		if s.Throttled() {
+			throttled++
+		}
+	}
+	for i, g := range n.GPUs {
+		if _, err := n.gpuDies[i].Advance(g.Power(), dt); err != nil {
+			return 0, err
+		}
+		g.SetThrottled(n.gpuDies[i].Throttled())
+		if g.Throttled() {
+			throttled++
+		}
+	}
+	return throttled, nil
+}
+
+// MaxDieTemperature returns the hottest die on the node.
+func (n *Node) MaxDieTemperature() units.Celsius {
+	max := units.Celsius(math.Inf(-1))
+	for _, d := range n.cpuDies {
+		if d.Temperature() > max {
+			max = d.Temperature()
+		}
+	}
+	for _, d := range n.gpuDies {
+		if d.Temperature() > max {
+			max = d.Temperature()
+		}
+	}
+	return max
+}
+
+// SetLoad drives the whole node to a utilisation level: all sockets and
+// GPUs at utilisation u, memory likewise. It is the coarse knob the
+// scheduler and the workload models use.
+func (n *Node) SetLoad(u float64) {
+	u = math.Min(1, math.Max(0, u))
+	for _, s := range n.Sockets {
+		s.SetUtilization(u)
+	}
+	for _, g := range n.GPUs {
+		g.SetUtilization(u)
+	}
+	n.SetMemUtilization(u)
+}
+
+// SetPState selects the DVFS P-state on every socket (the reactive capping
+// actuator).
+func (n *Node) SetPState(p int) error {
+	for _, s := range n.Sockets {
+		if err := s.SetPState(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PState returns the current P-state of the first socket (all sockets move
+// together under SetPState).
+func (n *Node) PState() int { return n.Sockets[0].PState() }
+
+// PStateCount returns the size of the P-state ladder.
+func (n *Node) PStateCount() int { return n.Sockets[0].PStateCount() }
+
+// GPUPowered reports how many GPUs are powered on.
+func (n *Node) GPUPowered() int {
+	c := 0
+	for _, g := range n.GPUs {
+		if g.Powered() {
+			c++
+		}
+	}
+	return c
+}
+
+// SetGPUsPowered powers on the first k GPUs and powers off the rest — the
+// §IV energy API "switch off unused accelerators".
+func (n *Node) SetGPUsPowered(k int) error {
+	if k < 0 || k > len(n.GPUs) {
+		return fmt.Errorf("node: GPU count %d out of range [0,%d]", k, len(n.GPUs))
+	}
+	for i, g := range n.GPUs {
+		g.SetPowered(i < k)
+	}
+	return nil
+}
+
+// IdlePower returns the node's power with zero utilisation at the current
+// P-states and GPU power states.
+func (n *Node) IdlePower() units.Watt {
+	saved := make([]float64, len(n.Sockets))
+	for i, s := range n.Sockets {
+		saved[i] = s.Utilization()
+		s.SetUtilization(0)
+	}
+	gsaved := make([]float64, len(n.GPUs))
+	for i, g := range n.GPUs {
+		gsaved[i] = g.Utilization()
+		g.SetUtilization(0)
+	}
+	msaved := n.memUtil
+	n.memUtil = 0
+	p := n.Power()
+	for i, s := range n.Sockets {
+		s.SetUtilization(saved[i])
+	}
+	for i, g := range n.GPUs {
+		g.SetUtilization(gsaved[i])
+	}
+	n.memUtil = msaved
+	return p
+}

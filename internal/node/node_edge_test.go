@@ -1,0 +1,106 @@
+package node
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCPUOnlyNode: a node config with zero GPUs (a login/service node)
+// must work throughout the power and thermal paths.
+func TestCPUOnlyNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GPUs = 0
+	n, err := New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1)
+	p := n.Power()
+	// 2x190 + 150 misc + 70 mem = 600 W.
+	if math.Abs(float64(p)-600) > 1 {
+		t.Errorf("CPU-only full power = %v, want ~600", p)
+	}
+	if n.GPUPowered() != 0 {
+		t.Errorf("GPUPowered = %d", n.GPUPowered())
+	}
+	if err := n.SetGPUsPowered(0); err != nil {
+		t.Errorf("SetGPUsPowered(0) on GPU-less node: %v", err)
+	}
+	if err := n.SetGPUsPowered(1); err == nil {
+		t.Error("powering non-existent GPU should error")
+	}
+	if _, err := n.AdvanceThermal(10); err != nil {
+		t.Fatal(err)
+	}
+	if n.PeakFlops().GFlops() < 400 {
+		t.Errorf("CPU-only peak = %v GFlops", n.PeakFlops().GFlops())
+	}
+}
+
+// TestSingleSocketNode covers the Sockets=1 configuration.
+func TestSingleSocketNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sockets = 1
+	cfg.GPUs = 2
+	n, err := New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1)
+	if len(n.Sockets) != 1 || len(n.GPUs) != 2 {
+		t.Fatalf("shape = %d sockets, %d gpus", len(n.Sockets), len(n.GPUs))
+	}
+	// 190 + 2x300 + 150 + 70 = 1010 W.
+	if math.Abs(float64(n.Power())-1010) > 1 {
+		t.Errorf("power = %v", n.Power())
+	}
+}
+
+// TestRecordPowerSameInstant: two records at the same virtual time must
+// not error (the second overwrites the segment).
+func TestRecordPowerSameInstant(t *testing.T) {
+	n, err := New(0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RecordPower(5); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1)
+	if err := n.RecordPower(5); err != nil {
+		t.Fatal(err)
+	}
+	if n.Trace().PowerAt(5) != float64(n.Power()) {
+		t.Error("same-instant record should overwrite")
+	}
+}
+
+// TestAirSpreadDeterminism: the per-die airflow spread must be a pure
+// function of (seed, node ID), so experiment runs are reproducible.
+func TestAirSpreadDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooling = Air
+	cfg.CoolantTemp = 30
+	cfg.AirSpreadSeed = 9
+	mk := func() []float64 {
+		n, err := New(4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetLoad(1)
+		for i := 0; i < 400; i++ {
+			if _, err := n.AdvanceThermal(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var temps []float64
+		temps = append(temps, float64(n.MaxDieTemperature()))
+		return temps
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("thermal trajectory not deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+}

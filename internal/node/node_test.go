@@ -1,0 +1,340 @@
+package node
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"davide/internal/units"
+)
+
+func newNode(t *testing.T) *Node {
+	t.Helper()
+	n, err := New(0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Sockets = 0 },
+		func(c *Config) { c.GPUs = -1 },
+		func(c *Config) { c.MiscPower = -1 },
+		func(c *Config) { c.MemPowerMax = -1 },
+		func(c *Config) { c.CPUConfig.Cores = 0 },
+		func(c *Config) { c.GPUConfig.TDP = 0 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if _, err := New(0, c); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestCoolingString(t *testing.T) {
+	if Liquid.String() != "liquid" || Air.String() != "air" {
+		t.Error("cooling names wrong")
+	}
+}
+
+func TestPeakFlopsMatchesPaper(t *testing.T) {
+	n := newNode(t)
+	got := n.PeakFlops().TFlops()
+	// 2 x 224 GFlops + 4 x 5.3 TFlops = 21.648, the paper rounds to 22.
+	if math.Abs(got-21.648) > 0.01 {
+		t.Errorf("PeakFlops = %v TFlops, want ~21.65", got)
+	}
+}
+
+func TestNodePowerMatchesPaper(t *testing.T) {
+	n := newNode(t)
+	n.SetLoad(1)
+	full := n.Power()
+	// 2x190 + 4x300 + 150 + 70 = 1980 W ≈ the paper's 2 kW estimate.
+	if full < 1800 || full > 2100 {
+		t.Errorf("full-load power = %v, want ~2 kW", full)
+	}
+	n.SetLoad(0)
+	idle := n.Power()
+	// 2x45 + 4x30 + 150 = 360 W.
+	if math.Abs(float64(idle-360)) > 1 {
+		t.Errorf("idle power = %v, want 360", idle)
+	}
+}
+
+func TestSystemLevelTargets(t *testing.T) {
+	// 45 nodes: within the paper's 1 PFlops / <100 kW pilot budget once
+	// rack overheads are added (checked further in the cluster package).
+	n := newNode(t)
+	n.SetLoad(1)
+	totalFlops := 45 * n.PeakFlops().TFlops()
+	totalPower := 45 * float64(n.Power()) / 1000
+	if totalFlops < 950 {
+		t.Errorf("45-node peak = %v TFlops, want ~1 PFlops", totalFlops)
+	}
+	if totalPower > 95 {
+		t.Errorf("45-node IT power = %v kW, want < 95", totalPower)
+	}
+}
+
+func TestSetLoadClamps(t *testing.T) {
+	n := newNode(t)
+	n.SetLoad(5)
+	if n.Sockets[0].Utilization() != 1 || n.GPUs[0].Utilization() != 1 {
+		t.Error("load should clamp to 1")
+	}
+	n.SetLoad(-2)
+	if n.Sockets[0].Utilization() != 0 {
+		t.Error("load should clamp to 0")
+	}
+}
+
+func TestPowerTraceRecording(t *testing.T) {
+	n := newNode(t)
+	if err := n.RecordPower(0); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1)
+	if err := n.RecordPower(10); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(0)
+	if err := n.RecordPower(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RecordPower(5); err == nil {
+		t.Error("backwards time should error")
+	}
+	e, err := n.Energy(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 s idle (360 W) + 10 s full (~1980 W) ≈ 23.4 kJ.
+	if e < 20000 || e > 26000 {
+		t.Errorf("energy = %v, want ~23.4 kJ", e)
+	}
+	if n.Trace().Segments() < 3 {
+		t.Error("trace should have segments")
+	}
+}
+
+func TestPStateControl(t *testing.T) {
+	n := newNode(t)
+	if err := n.SetPState(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.PState() != 0 {
+		t.Errorf("PState = %d", n.PState())
+	}
+	for _, s := range n.Sockets {
+		if s.PState() != 0 {
+			t.Error("all sockets must follow SetPState")
+		}
+	}
+	if err := n.SetPState(99); err == nil {
+		t.Error("bad P-state should error")
+	}
+	if n.PStateCount() != DefaultConfig().CPUConfig.NumPStates {
+		t.Errorf("PStateCount = %d", n.PStateCount())
+	}
+}
+
+func TestPStateReducesPower(t *testing.T) {
+	n := newNode(t)
+	n.SetLoad(1)
+	high := n.Power()
+	if err := n.SetPState(0); err != nil {
+		t.Fatal(err)
+	}
+	low := n.Power()
+	if low >= high {
+		t.Errorf("low P-state power %v should be below %v", low, high)
+	}
+}
+
+func TestGPUPowerControl(t *testing.T) {
+	n := newNode(t)
+	if n.GPUPowered() != 4 {
+		t.Errorf("GPUPowered = %d, want 4", n.GPUPowered())
+	}
+	if err := n.SetGPUsPowered(1); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUPowered() != 1 {
+		t.Errorf("GPUPowered = %d, want 1", n.GPUPowered())
+	}
+	n.SetLoad(0)
+	p1 := n.Power()
+	if err := n.SetGPUsPowered(4); err != nil {
+		t.Fatal(err)
+	}
+	p4 := n.Power()
+	// 3 extra idle GPUs at 30 W vs 5 W residual = +75 W.
+	if math.Abs(float64(p4-p1)-75) > 1 {
+		t.Errorf("power delta = %v, want 75", p4-p1)
+	}
+	if err := n.SetGPUsPowered(5); err == nil {
+		t.Error("too many GPUs should error")
+	}
+	if err := n.SetGPUsPowered(-1); err == nil {
+		t.Error("negative GPUs should error")
+	}
+}
+
+func TestIdlePowerRestoresState(t *testing.T) {
+	n := newNode(t)
+	n.SetLoad(0.7)
+	before := n.Power()
+	idle := n.IdlePower()
+	if n.Power() != before {
+		t.Error("IdlePower must not disturb state")
+	}
+	if idle >= before {
+		t.Errorf("idle %v should be below loaded %v", idle, before)
+	}
+}
+
+func TestLiquidCoolingNeverThrottles(t *testing.T) {
+	n := newNode(t)
+	n.SetLoad(1)
+	totalThrottled := 0
+	for i := 0; i < 600; i++ {
+		th, err := n.AdvanceThermal(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalThrottled += th
+	}
+	if totalThrottled != 0 {
+		t.Error("liquid-cooled node must not throttle at full load / 35°C water")
+	}
+	if n.MaxDieTemperature() >= 95 {
+		t.Errorf("max die temp = %v, want < 95", n.MaxDieTemperature())
+	}
+}
+
+func TestAirCoolingThrottlesUnevenly(t *testing.T) {
+	// Experiment E12's mechanism: with air cooling at a warm inlet, some
+	// dies (bad airflow position) throttle while others do not.
+	cfg := DefaultConfig()
+	cfg.Cooling = Air
+	cfg.CoolantTemp = 30
+	cfg.AirSpreadSeed = 3
+	throttledNodes := 0
+	totalDies := 0
+	throttledDies := 0
+	for id := 0; id < 10; id++ {
+		n, err := New(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetLoad(1)
+		for i := 0; i < 900; i++ {
+			if _, err := n.AdvanceThermal(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		th, err := n.AdvanceThermal(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalDies += 6
+		throttledDies += th
+		if th > 0 {
+			throttledNodes++
+		}
+	}
+	if throttledDies == 0 {
+		t.Error("air cooling at 30°C inlet should throttle some dies")
+	}
+	if throttledDies == totalDies {
+		t.Error("throttling should be uneven, not universal")
+	}
+	_ = throttledNodes
+}
+
+func TestThrottleReducesPowerAndFlops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooling = Air
+	cfg.CoolantTemp = 38 // hot air: everything eventually throttles
+	n, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1)
+	freePower := n.Power()
+	freeFlops := n.PeakFlops()
+	for i := 0; i < 1200; i++ {
+		if _, err := n.AdvanceThermal(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Power() >= freePower {
+		t.Errorf("throttled power %v should drop below %v", n.Power(), freePower)
+	}
+	if n.PeakFlops() >= freeFlops {
+		t.Errorf("throttled flops %v should drop below %v", n.PeakFlops(), freeFlops)
+	}
+}
+
+// Property: node power is monotone in load.
+func TestPowerMonotoneInLoadProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		ua := math.Mod(math.Abs(a), 1)
+		ub := math.Mod(math.Abs(b), 1)
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		n, err := New(0, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		n.SetLoad(ua)
+		pa := n.Power()
+		n.SetLoad(ub)
+		pb := n.Power()
+		return pb >= pa-units.Watt(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recorded trace energy over [0,T] equals power x time for
+// constant load.
+func TestTraceEnergyConsistencyProperty(t *testing.T) {
+	f := func(rawLoad, rawT float64) bool {
+		u := math.Mod(math.Abs(rawLoad), 1)
+		T := 1 + math.Mod(math.Abs(rawT), 100)
+		n, err := New(0, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		n.SetLoad(u)
+		if err := n.RecordPower(0); err != nil {
+			return false
+		}
+		if err := n.RecordPower(T); err != nil {
+			return false
+		}
+		e, err := n.Energy(0, T)
+		if err != nil {
+			return false
+		}
+		want := float64(n.Power()) * T
+		return math.Abs(float64(e)-want) < 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

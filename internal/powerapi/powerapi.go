@@ -1,0 +1,335 @@
+// Package powerapi implements a Sandia PowerAPI-style measurement and
+// control interface on top of the node and cluster models. §III-A1 of the
+// paper: "The EG can be easily re-programmed to build on top of the MQTT
+// communication emerging power measurement APIs (e.g. PowerAPI), aiming to
+// standardize the power measurement interface."
+//
+// The PowerAPI model is a tree of named objects (platform → cabinet →
+// node → socket/accelerator) whose attributes (power, energy, power cap,
+// frequency) are read and written through one uniform Get/Set interface —
+// which is exactly what site-level tools need to stay portable across
+// machines. This package maps that model onto the simulator.
+package powerapi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"davide/internal/cluster"
+	"davide/internal/node"
+	"davide/internal/units"
+)
+
+// ObjectType classifies a node in the PowerAPI object tree.
+type ObjectType int
+
+// Object types, mirroring PWR_OBJ_* of the PowerAPI specification.
+const (
+	Platform ObjectType = iota
+	Cabinet
+	NodeObj
+	Socket
+	Accelerator
+)
+
+// String names the object type.
+func (t ObjectType) String() string {
+	switch t {
+	case Platform:
+		return "platform"
+	case Cabinet:
+		return "cabinet"
+	case NodeObj:
+		return "node"
+	case Socket:
+		return "socket"
+	case Accelerator:
+		return "accelerator"
+	default:
+		return fmt.Sprintf("ObjectType(%d)", int(t))
+	}
+}
+
+// Attr identifies a measurable or controllable attribute.
+type Attr int
+
+// Attributes, mirroring PWR_ATTR_*.
+const (
+	AttrPower     Attr = iota // watts, read-only
+	AttrPowerCap              // watts, read-write (0 = uncapped)
+	AttrFreq                  // hertz, read-write via P-states
+	AttrTemp                  // degrees C, read-only
+	AttrPeakFlops             // flop/s, read-only
+)
+
+// String names the attribute.
+func (a Attr) String() string {
+	switch a {
+	case AttrPower:
+		return "power"
+	case AttrPowerCap:
+		return "power_cap"
+	case AttrFreq:
+		return "freq"
+	case AttrTemp:
+		return "temp"
+	case AttrPeakFlops:
+		return "peak_flops"
+	default:
+		return fmt.Sprintf("Attr(%d)", int(a))
+	}
+}
+
+// Errors returned by the API.
+var (
+	ErrNoSuchObject = errors.New("powerapi: no such object")
+	ErrNoSuchAttr   = errors.New("powerapi: attribute not supported on this object")
+	ErrReadOnly     = errors.New("powerapi: attribute is read-only")
+)
+
+// Object is one entry in the tree.
+type Object struct {
+	Name     string
+	Type     ObjectType
+	Parent   string
+	Children []string
+
+	nd     *node.Node // set for node/socket/accelerator objects
+	idx    int        // socket or GPU index within the node
+	clu    *cluster.Cluster
+	nodeIx int // node index within the cluster, -1 otherwise
+}
+
+// Hierarchy is the navigable object tree of one system.
+type Hierarchy struct {
+	objects map[string]*Object
+}
+
+// NewHierarchy builds the PowerAPI tree for a cluster: platform →
+// cabinets (racks) → nodes → sockets + accelerators.
+func NewHierarchy(c *cluster.Cluster, nodesPerRack int) (*Hierarchy, error) {
+	if c == nil {
+		return nil, errors.New("powerapi: nil cluster")
+	}
+	if nodesPerRack <= 0 {
+		return nil, errors.New("powerapi: nodes per rack must be positive")
+	}
+	h := &Hierarchy{objects: make(map[string]*Object)}
+	plat := &Object{Name: "davide", Type: Platform, clu: c, nodeIx: -1}
+	h.objects[plat.Name] = plat
+	for i, n := range c.Nodes {
+		rackIx := i / nodesPerRack
+		cabName := fmt.Sprintf("davide.cab%d", rackIx)
+		cab, ok := h.objects[cabName]
+		if !ok {
+			cab = &Object{Name: cabName, Type: Cabinet, Parent: plat.Name, clu: c, nodeIx: -1}
+			h.objects[cabName] = cab
+			plat.Children = append(plat.Children, cabName)
+		}
+		nodeName := fmt.Sprintf("%s.node%02d", cabName, i)
+		no := &Object{Name: nodeName, Type: NodeObj, Parent: cabName, nd: n, nodeIx: i, clu: c}
+		h.objects[nodeName] = no
+		cab.Children = append(cab.Children, nodeName)
+		for s := range n.Sockets {
+			sockName := fmt.Sprintf("%s.socket%d", nodeName, s)
+			h.objects[sockName] = &Object{Name: sockName, Type: Socket, Parent: nodeName, nd: n, idx: s, nodeIx: -1}
+			no.Children = append(no.Children, sockName)
+		}
+		for g := range n.GPUs {
+			accName := fmt.Sprintf("%s.gpu%d", nodeName, g)
+			h.objects[accName] = &Object{Name: accName, Type: Accelerator, Parent: nodeName, nd: n, idx: g, nodeIx: -1}
+			no.Children = append(no.Children, accName)
+		}
+	}
+	return h, nil
+}
+
+// NewNodeHierarchy builds a single-node tree (the per-node EG view).
+func NewNodeHierarchy(n *node.Node) (*Hierarchy, error) {
+	if n == nil {
+		return nil, errors.New("powerapi: nil node")
+	}
+	h := &Hierarchy{objects: make(map[string]*Object)}
+	nodeName := fmt.Sprintf("node%02d", n.ID)
+	no := &Object{Name: nodeName, Type: NodeObj, nd: n, nodeIx: -1}
+	h.objects[nodeName] = no
+	for s := range n.Sockets {
+		name := fmt.Sprintf("%s.socket%d", nodeName, s)
+		h.objects[name] = &Object{Name: name, Type: Socket, Parent: nodeName, nd: n, idx: s, nodeIx: -1}
+		no.Children = append(no.Children, name)
+	}
+	for g := range n.GPUs {
+		name := fmt.Sprintf("%s.gpu%d", nodeName, g)
+		h.objects[name] = &Object{Name: name, Type: Accelerator, Parent: nodeName, nd: n, idx: g, nodeIx: -1}
+		no.Children = append(no.Children, name)
+	}
+	return h, nil
+}
+
+// Lookup returns an object by name.
+func (h *Hierarchy) Lookup(name string) (*Object, error) {
+	o, ok := h.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchObject, name)
+	}
+	return o, nil
+}
+
+// Names returns all object names, sorted (for discovery and tests).
+func (h *Hierarchy) Names() []string {
+	out := make([]string, 0, len(h.objects))
+	for n := range h.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Walk visits the subtree rooted at name in depth-first order.
+func (h *Hierarchy) Walk(name string, fn func(*Object) error) error {
+	o, err := h.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(o); err != nil {
+		return err
+	}
+	for _, c := range o.Children {
+		if err := h.Walk(c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get reads an attribute value.
+func (h *Hierarchy) Get(name string, attr Attr) (float64, error) {
+	o, err := h.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	switch o.Type {
+	case Platform:
+		switch attr {
+		case AttrPower:
+			p, err := o.clu.FacilityPower()
+			return float64(p), err
+		case AttrPeakFlops:
+			return float64(o.clu.PeakFlops()), nil
+		}
+	case Cabinet:
+		switch attr {
+		case AttrPower:
+			// Sum of the cabinet's node powers.
+			total := 0.0
+			for _, cn := range o.Children {
+				v, err := h.Get(cn, AttrPower)
+				if err != nil {
+					return 0, err
+				}
+				total += v
+			}
+			return total, nil
+		}
+	case NodeObj:
+		switch attr {
+		case AttrPower:
+			return float64(o.nd.Power()), nil
+		case AttrPeakFlops:
+			return float64(o.nd.PeakFlops()), nil
+		case AttrTemp:
+			return float64(o.nd.MaxDieTemperature()), nil
+		case AttrFreq:
+			return float64(o.nd.Sockets[0].EffectiveFrequency()), nil
+		}
+	case Socket:
+		sock := o.nd.Sockets[o.idx]
+		switch attr {
+		case AttrPower:
+			return float64(sock.Power()), nil
+		case AttrFreq:
+			return float64(sock.EffectiveFrequency()), nil
+		case AttrPeakFlops:
+			return float64(sock.PeakFlops()), nil
+		}
+	case Accelerator:
+		g := o.nd.GPUs[o.idx]
+		switch attr {
+		case AttrPower:
+			return float64(g.Power()), nil
+		case AttrPowerCap:
+			return float64(g.PowerCap()), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s on %s", ErrNoSuchAttr, attr, o.Type)
+}
+
+// Set writes an attribute value.
+func (h *Hierarchy) Set(name string, attr Attr, value float64) error {
+	o, err := h.Lookup(name)
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.Type == Accelerator && attr == AttrPowerCap:
+		return o.nd.GPUs[o.idx].SetPowerCap(units.Watt(value))
+	case o.Type == Socket && attr == AttrFreq:
+		return setSocketFreq(o, value)
+	case o.Type == NodeObj && attr == AttrFreq:
+		// Node-level frequency: all sockets together.
+		for i := range o.nd.Sockets {
+			so := *o
+			so.idx = i
+			if err := setSocketFreq(&so, value); err != nil {
+				return err
+			}
+		}
+		return nil
+	case attr == AttrPower || attr == AttrTemp || attr == AttrPeakFlops:
+		return fmt.Errorf("%w: %s", ErrReadOnly, attr)
+	}
+	return fmt.Errorf("%w: set %s on %s", ErrNoSuchAttr, attr, o.Type)
+}
+
+// setSocketFreq picks the highest P-state at or below the requested
+// frequency (the PowerAPI contract: the actuator rounds down).
+func setSocketFreq(o *Object, hz float64) error {
+	sock := o.nd.Sockets[o.idx]
+	best := -1
+	for p := 0; p < sock.PStateCount(); p++ {
+		f, err := sock.Frequency(p)
+		if err != nil {
+			return err
+		}
+		if float64(f) <= hz {
+			best = p
+		}
+	}
+	if best < 0 {
+		return fmt.Errorf("powerapi: no P-state at or below %.2e Hz", hz)
+	}
+	return sock.SetPState(best)
+}
+
+// Report renders a one-line-per-object power report of a subtree, the
+// kind of output pwrcmd-style tools print.
+func (h *Hierarchy) Report(root string) (string, error) {
+	var sb strings.Builder
+	err := h.Walk(root, func(o *Object) error {
+		depth := strings.Count(o.Name, ".")
+		p, err := h.Get(o.Name, AttrPower)
+		if err != nil {
+			// Objects without a power attribute are skipped silently.
+			return nil
+		}
+		fmt.Fprintf(&sb, "%s%-12s %-40s %10.1f W\n",
+			strings.Repeat("  ", depth), o.Type, o.Name, p)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

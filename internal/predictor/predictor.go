@@ -1,0 +1,263 @@
+// Package predictor implements the job power predictors of §III-A2 of the
+// paper: D.A.V.I.D.E. trains machine-learning models on historical job and
+// power traces so the dispatcher can estimate a job's power draw *before*
+// it starts (paper refs [17] Borghesi et al. and [18] Sîrbu et al.). Three
+// predictors are provided:
+//
+//   - MeanPerKey: the per-(user, application) historical mean — the
+//     baseline every site can run;
+//   - OLS: multivariate linear regression on submission-time features;
+//   - KNN: k-nearest-neighbour regression on normalised features.
+//
+// All predictors consume workload.Job values and are evaluated by MAPE on
+// held-out jobs (experiment E9).
+package predictor
+
+import (
+	"errors"
+	"fmt"
+
+	"davide/internal/stats"
+	"davide/internal/workload"
+)
+
+// Predictor estimates a job's per-node mean power in watts from
+// submission-time information only.
+type Predictor interface {
+	// Name identifies the predictor in experiment tables.
+	Name() string
+	// Train fits the predictor on completed jobs with measured powers.
+	Train(history []workload.Job) error
+	// Predict returns the estimated per-node power for a job.
+	Predict(j workload.Job) (float64, error)
+}
+
+// ErrUntrained is returned by Predict before a successful Train.
+var ErrUntrained = errors.New("predictor: not trained")
+
+// globalFallback computes the global mean power of a history.
+func globalFallback(history []workload.Job) (float64, error) {
+	if len(history) == 0 {
+		return 0, errors.New("predictor: empty history")
+	}
+	s := 0.0
+	for _, j := range history {
+		s += j.TruePowerPerNode
+	}
+	return s / float64(len(history)), nil
+}
+
+// MeanPerKey predicts the historical mean power of the (user, app) pair,
+// falling back to the per-app mean and then the global mean.
+type MeanPerKey struct {
+	byUserApp map[[2]int]float64
+	byApp     map[workload.AppKind]float64
+	global    float64
+	trained   bool
+}
+
+// NewMeanPerKey returns an untrained baseline predictor.
+func NewMeanPerKey() *MeanPerKey { return &MeanPerKey{} }
+
+// Name implements Predictor.
+func (m *MeanPerKey) Name() string { return "mean-per-user-app" }
+
+// Train implements Predictor.
+func (m *MeanPerKey) Train(history []workload.Job) error {
+	g, err := globalFallback(history)
+	if err != nil {
+		return err
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	ua := map[[2]int]*acc{}
+	ap := map[workload.AppKind]*acc{}
+	for _, j := range history {
+		k := [2]int{j.User, int(j.App)}
+		if ua[k] == nil {
+			ua[k] = &acc{}
+		}
+		ua[k].sum += j.TruePowerPerNode
+		ua[k].n++
+		if ap[j.App] == nil {
+			ap[j.App] = &acc{}
+		}
+		ap[j.App].sum += j.TruePowerPerNode
+		ap[j.App].n++
+	}
+	m.byUserApp = make(map[[2]int]float64, len(ua))
+	for k, a := range ua {
+		m.byUserApp[k] = a.sum / float64(a.n)
+	}
+	m.byApp = make(map[workload.AppKind]float64, len(ap))
+	for k, a := range ap {
+		m.byApp[k] = a.sum / float64(a.n)
+	}
+	m.global = g
+	m.trained = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (m *MeanPerKey) Predict(j workload.Job) (float64, error) {
+	if !m.trained {
+		return 0, ErrUntrained
+	}
+	if v, ok := m.byUserApp[[2]int{j.User, int(j.App)}]; ok {
+		return v, nil
+	}
+	if v, ok := m.byApp[j.App]; ok {
+		return v, nil
+	}
+	return m.global, nil
+}
+
+// OLS is linear regression over workload.Job.Features().
+type OLS struct {
+	model  *stats.OLS
+	global float64
+}
+
+// NewOLS returns an untrained linear predictor.
+func NewOLS() *OLS { return &OLS{} }
+
+// Name implements Predictor.
+func (o *OLS) Name() string { return "linear-regression" }
+
+// Train implements Predictor.
+func (o *OLS) Train(history []workload.Job) error {
+	g, err := globalFallback(history)
+	if err != nil {
+		return err
+	}
+	X := make([][]float64, len(history))
+	y := make([]float64, len(history))
+	for i, j := range history {
+		X[i] = j.Features()
+		y[i] = j.TruePowerPerNode
+	}
+	model, err := stats.FitOLS(X, y)
+	if err != nil {
+		return fmt.Errorf("predictor: %w", err)
+	}
+	o.model = model
+	o.global = g
+	return nil
+}
+
+// Predict implements Predictor.
+func (o *OLS) Predict(j workload.Job) (float64, error) {
+	if o.model == nil {
+		return 0, ErrUntrained
+	}
+	p, err := o.model.Predict(j.Features())
+	if err != nil {
+		return 0, err
+	}
+	// Clamp to a physical node envelope; regressions can extrapolate.
+	if p < 300 {
+		p = 300
+	}
+	if p > 2500 {
+		p = 2500
+	}
+	return p, nil
+}
+
+// KNN is k-nearest-neighbour regression on z-scored features.
+type KNN struct {
+	K     int
+	model *stats.KNN
+	means []float64
+	stds  []float64
+}
+
+// NewKNN returns an untrained kNN predictor.
+func NewKNN(k int) (*KNN, error) {
+	if k <= 0 {
+		return nil, errors.New("predictor: k must be positive")
+	}
+	return &KNN{K: k}, nil
+}
+
+// Name implements Predictor.
+func (k *KNN) Name() string { return fmt.Sprintf("knn-%d", k.K) }
+
+// Train implements Predictor.
+func (k *KNN) Train(history []workload.Job) error {
+	if len(history) == 0 {
+		return errors.New("predictor: empty history")
+	}
+	X := make([][]float64, len(history))
+	y := make([]float64, len(history))
+	for i, j := range history {
+		X[i] = j.Features()
+		y[i] = j.TruePowerPerNode
+	}
+	means, stds := stats.Normalize(X)
+	model, err := stats.FitKNN(k.K, X, y)
+	if err != nil {
+		return fmt.Errorf("predictor: %w", err)
+	}
+	k.model = model
+	k.means = means
+	k.stds = stds
+	return nil
+}
+
+// Predict implements Predictor.
+func (k *KNN) Predict(j workload.Job) (float64, error) {
+	if k.model == nil {
+		return 0, ErrUntrained
+	}
+	q := stats.ApplyNormalization(j.Features(), k.means, k.stds)
+	return k.model.Predict(q)
+}
+
+// Evaluation summarises predictor accuracy on a test set.
+type Evaluation struct {
+	Name      string
+	TrainSize int
+	TestSize  int
+	MAPE      float64
+	MAE       float64
+	RMSE      float64
+}
+
+// Evaluate trains p on train and scores it on test.
+func Evaluate(p Predictor, train, test []workload.Job) (Evaluation, error) {
+	if len(test) == 0 {
+		return Evaluation{}, errors.New("predictor: empty test set")
+	}
+	if err := p.Train(train); err != nil {
+		return Evaluation{}, err
+	}
+	pred := make([]float64, len(test))
+	truth := make([]float64, len(test))
+	for i, j := range test {
+		v, err := p.Predict(j)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		pred[i] = v
+		truth[i] = j.TruePowerPerNode
+	}
+	mape, err := stats.MAPE(pred, truth)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	mae, err := stats.MAE(pred, truth)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	rmse, err := stats.RMSE(pred, truth)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{
+		Name: p.Name(), TrainSize: len(train), TestSize: len(test),
+		MAPE: mape, MAE: mae, RMSE: rmse,
+	}, nil
+}

@@ -1,0 +1,207 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"davide/internal/workload"
+)
+
+// trace generates a reproducible job history split into train/test.
+func trace(t *testing.T, n int, seed int64) (train, test []workload.Job) {
+	t.Helper()
+	g, err := workload.NewGenerator(workload.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := n * 4 / 5
+	return jobs[:cut], jobs[cut:]
+}
+
+func allPredictors(t *testing.T) []Predictor {
+	t.Helper()
+	knn, err := NewKNN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Predictor{NewMeanPerKey(), NewOLS(), knn}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range allPredictors(t) {
+		if p.Name() == "" {
+			t.Error("empty predictor name")
+		}
+	}
+	knn, _ := NewKNN(3)
+	if !strings.Contains(knn.Name(), "3") {
+		t.Error("knn name should include k")
+	}
+}
+
+func TestUntrainedPredictErrors(t *testing.T) {
+	j := workload.Job{ID: 1, Nodes: 1, WallLimit: 100, Duration: 50, TruePowerPerNode: 1000}
+	for _, p := range allPredictors(t) {
+		if _, err := p.Predict(j); err != ErrUntrained {
+			t.Errorf("%s: err = %v, want ErrUntrained", p.Name(), err)
+		}
+	}
+}
+
+func TestTrainEmptyHistoryErrors(t *testing.T) {
+	for _, p := range allPredictors(t) {
+		if err := p.Train(nil); err == nil {
+			t.Errorf("%s: empty train should error", p.Name())
+		}
+	}
+}
+
+func TestNewKNNValidation(t *testing.T) {
+	if _, err := NewKNN(0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewKNN(-3); err == nil {
+		t.Error("negative k should error")
+	}
+}
+
+func TestAllPredictorsBeatNoise(t *testing.T) {
+	// The paper's premise: job power is predictable at submission time.
+	// Every predictor must reach single-digit MAPE on the synthetic
+	// trace, far better than a blind global guess.
+	train, test := trace(t, 2000, 42)
+	for _, p := range allPredictors(t) {
+		ev, err := Evaluate(p, train, test)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if ev.MAPE > 12 {
+			t.Errorf("%s MAPE = %.2f%%, want < 12%%", p.Name(), ev.MAPE)
+		}
+		if ev.MAE <= 0 || ev.RMSE < ev.MAE {
+			t.Errorf("%s: inconsistent MAE %v / RMSE %v", p.Name(), ev.MAE, ev.RMSE)
+		}
+		if ev.TrainSize != len(train) || ev.TestSize != len(test) {
+			t.Errorf("%s: sizes not recorded", p.Name())
+		}
+	}
+}
+
+func TestStructuredBeatsGlobalMean(t *testing.T) {
+	train, test := trace(t, 2000, 7)
+	// Global-mean strawman for comparison.
+	sum := 0.0
+	for _, j := range train {
+		sum += j.TruePowerPerNode
+	}
+	global := sum / float64(len(train))
+	var globalErr float64
+	for _, j := range test {
+		d := (global - j.TruePowerPerNode) / j.TruePowerPerNode
+		if d < 0 {
+			d = -d
+		}
+		globalErr += 100 * d
+	}
+	globalErr /= float64(len(test))
+
+	for _, p := range allPredictors(t) {
+		ev, err := Evaluate(p, train, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.MAPE >= globalErr {
+			t.Errorf("%s MAPE %.2f%% should beat global mean %.2f%%", p.Name(), ev.MAPE, globalErr)
+		}
+	}
+}
+
+func TestMeanPerKeyFallbacks(t *testing.T) {
+	m := NewMeanPerKey()
+	hist := []workload.Job{
+		{ID: 0, User: 1, App: workload.NEMO, Nodes: 1, WallLimit: 100, Duration: 50, TruePowerPerNode: 1000},
+		{ID: 1, User: 1, App: workload.NEMO, Nodes: 1, WallLimit: 100, Duration: 50, TruePowerPerNode: 1100},
+		{ID: 2, User: 2, App: workload.BQCD, Nodes: 1, WallLimit: 100, Duration: 50, TruePowerPerNode: 1500},
+	}
+	if err := m.Train(hist); err != nil {
+		t.Fatal(err)
+	}
+	// Exact (user, app) hit.
+	v, err := m.Predict(workload.Job{User: 1, App: workload.NEMO})
+	if err != nil || v != 1050 {
+		t.Errorf("user-app mean = %v,%v want 1050", v, err)
+	}
+	// Unknown user, known app: per-app fallback.
+	v, err = m.Predict(workload.Job{User: 99, App: workload.BQCD})
+	if err != nil || v != 1500 {
+		t.Errorf("app fallback = %v,%v want 1500", v, err)
+	}
+	// Unknown user and app: global fallback.
+	v, err = m.Predict(workload.Job{User: 99, App: workload.Generic})
+	if err != nil || v != 1200 {
+		t.Errorf("global fallback = %v,%v want 1200", v, err)
+	}
+}
+
+func TestOLSClampsToEnvelope(t *testing.T) {
+	o := NewOLS()
+	train, _ := trace(t, 500, 3)
+	if err := o.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	// An absurd extrapolation request stays within physical limits.
+	huge := workload.Job{User: 1, App: workload.Generic, Nodes: 10000, WallLimit: 1e9, Duration: 1e8, TruePowerPerNode: 1000}
+	v, err := o.Predict(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 300 || v > 2500 {
+		t.Errorf("clamped prediction = %v", v)
+	}
+}
+
+func TestMoreHistoryHelpsOrHolds(t *testing.T) {
+	// E9's sweep: accuracy at 200 training jobs vs 2000. More data must
+	// not make things dramatically worse (allow small noise).
+	_, test := trace(t, 3000, 99)
+	g, err := workload.NewGenerator(workload.DefaultGeneratorConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := g.Batch(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := all[:200]
+	big := all[:2000]
+	for _, mk := range []func() Predictor{
+		func() Predictor { return NewMeanPerKey() },
+		func() Predictor { return NewOLS() },
+	} {
+		evSmall, err := Evaluate(mk(), small, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evBig, err := Evaluate(mk(), big, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evBig.MAPE > evSmall.MAPE*1.2 {
+			t.Errorf("%s: MAPE grew from %.2f to %.2f with more data", evBig.Name, evSmall.MAPE, evBig.MAPE)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	train, _ := trace(t, 100, 1)
+	if _, err := Evaluate(NewOLS(), train, nil); err == nil {
+		t.Error("empty test should error")
+	}
+	if _, err := Evaluate(NewOLS(), nil, train); err == nil {
+		t.Error("empty train should error")
+	}
+}

@@ -1,0 +1,80 @@
+package ptp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnsembleCrossNodeCorrelation is the paper's actual requirement: not
+// just that each gateway tracks the grandmaster, but that any *pair* of
+// gateways agree closely enough to correlate 50 kS/s power samples
+// (20 µs spacing) across nodes.
+func TestEnsembleCrossNodeCorrelation(t *testing.T) {
+	const gateways = 45
+	master, err := NewClock(0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slaves := make([]*Clock, gateways)
+	sessions := make([]*Session, gateways)
+	for i := range slaves {
+		slaves[i] = TypicalOscillator(int64(100 + i))
+		path, err := NewPath(1e-6, 0, 50e-9, int64(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = &Session{Master: master, Slave: slaves[i], Path: path, Servo: DefaultServo(), ReqGap: 100e-6}
+	}
+	// 90 rounds of 1-second syncs, interleaved across gateways as the
+	// grandmaster would serve them.
+	for round := 0; round < 90; round++ {
+		for i, s := range sessions {
+			tm := float64(round) + float64(i)*1e-3
+			m, err := Exchange(tm, s.Master, s.Slave, s.Path, s.ReqGap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Servo.Apply(m, s.Slave, 1.0)
+		}
+	}
+	// Pairwise disagreement across all gateways.
+	maxPair := 0.0
+	for i := 0; i < gateways; i++ {
+		for j := i + 1; j < gateways; j++ {
+			d := math.Abs(slaves[i].Offset() - slaves[j].Offset())
+			if d > maxPair {
+				maxPair = d
+			}
+		}
+	}
+	if maxPair > 20e-6 {
+		t.Errorf("worst pairwise offset = %v s, want < 20 µs (one 50 kS/s sample)", maxPair)
+	}
+}
+
+// TestUnsyncedEnsembleDrifts is the negative control: without PTP the
+// typical oscillators drift tens of milliseconds apart within an hour,
+// making cross-node correlation useless.
+func TestUnsyncedEnsembleDrifts(t *testing.T) {
+	clocks := make([]*Clock, 10)
+	for i := range clocks {
+		clocks[i] = TypicalOscillator(int64(300 + i))
+	}
+	for _, c := range clocks {
+		if err := c.Advance(3600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxPair := 0.0
+	for i := 0; i < len(clocks); i++ {
+		for j := i + 1; j < len(clocks); j++ {
+			d := math.Abs(clocks[i].Offset() - clocks[j].Offset())
+			if d > maxPair {
+				maxPair = d
+			}
+		}
+	}
+	if maxPair < 1e-3 {
+		t.Errorf("unsynced drift after 1 h = %v s, expected > 1 ms", maxPair)
+	}
+}

@@ -1,0 +1,251 @@
+package rack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"davide/internal/units"
+)
+
+func TestPSUValidation(t *testing.T) {
+	good := NodePSU()
+	mut := []func(*PSU){
+		func(p *PSU) { p.RatedPower = 0 },
+		func(p *PSU) { p.EffLow = 0 },
+		func(p *PSU) { p.EffLow = 1 },
+		func(p *PSU) { p.EffPeak = 0 },
+		func(p *PSU) { p.EffFull = 1.2 },
+		func(p *PSU) { p.EffPeak = p.EffLow - 0.1 },
+	}
+	for i, m := range mut {
+		p := good
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+	if err := NodePSU().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := RackPSU().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyCurveShape(t *testing.T) {
+	p := RackPSU()
+	e10, err := p.Efficiency(units.Watt(0.10 * float64(p.RatedPower)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e60, err := p.Efficiency(units.Watt(0.60 * float64(p.RatedPower)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e100, err := p.Efficiency(p.RatedPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e10-p.EffLow) > 1e-9 || math.Abs(e60-p.EffPeak) > 1e-9 || math.Abs(e100-p.EffFull) > 1e-9 {
+		t.Errorf("anchors = %v/%v/%v", e10, e60, e100)
+	}
+	if e60 <= e10 || e60 <= e100 {
+		t.Error("efficiency must peak at mid load")
+	}
+	// Below 10% load efficiency collapses.
+	e2, err := p.Efficiency(units.Watt(0.02 * float64(p.RatedPower)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e10 {
+		t.Errorf("light-load efficiency %v should be below %v", e2, e10)
+	}
+}
+
+func TestEfficiencyErrors(t *testing.T) {
+	p := NodePSU()
+	if _, err := p.Efficiency(-1); err == nil {
+		t.Error("negative load should error")
+	}
+	if _, err := p.Efficiency(p.RatedPower + 1); err == nil {
+		t.Error("overload should error")
+	}
+	bad := PSU{}
+	if _, err := bad.Efficiency(1); err == nil {
+		t.Error("invalid PSU should error")
+	}
+}
+
+func TestInputPower(t *testing.T) {
+	p := RackPSU()
+	in, err := p.InputPower(units.Watt(0.6 * float64(p.RatedPower)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6 * float64(p.RatedPower) / p.EffPeak
+	if math.Abs(float64(in)-want) > 1e-9 {
+		t.Errorf("InputPower = %v, want %v", in, want)
+	}
+	standby, err := p.InputPower(0)
+	if err != nil || standby <= 0 {
+		t.Errorf("standby = %v,%v want positive", standby, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(NodeLevelPSUs, 0, 32000); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := New(NodeLevelPSUs, 15, 0); err == nil {
+		t.Error("zero budget should error")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if NodeLevelPSUs.String() == "" || RackLevelBank.String() == "" {
+		t.Error("scheme names must be non-empty")
+	}
+	if NodeLevelPSUs.String() == RackLevelBank.String() {
+		t.Error("scheme names must differ")
+	}
+}
+
+func TestSetNodeLoad(t *testing.T) {
+	r, err := New(NodeLevelPSUs, 4, 32000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetNodeLoad(0, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetNodeLoad(4, 1); err == nil {
+		t.Error("out-of-range node should error")
+	}
+	if err := r.SetNodeLoad(-1, 1); err == nil {
+		t.Error("negative node should error")
+	}
+	if err := r.SetNodeLoad(1, -5); err == nil {
+		t.Error("negative load should error")
+	}
+	if r.DCLoad() != 2000 {
+		t.Errorf("DCLoad = %v", r.DCLoad())
+	}
+}
+
+func TestPSUCounts(t *testing.T) {
+	nl, _ := New(NodeLevelPSUs, 15, 32000)
+	rl, _ := New(RackLevelBank, 15, 32000)
+	if nl.PSUCount() != 30 {
+		t.Errorf("node-level PSUs = %d, want 30", nl.PSUCount())
+	}
+	// 32 kW / 3.3 kW = 9.7 → 10 + 1 redundancy = 11.
+	if rl.PSUCount() != 11 {
+		t.Errorf("rack-level PSUs = %d, want 11", rl.PSUCount())
+	}
+	if rl.PSUCount() >= nl.PSUCount() {
+		t.Error("consolidation must reduce PSU count")
+	}
+}
+
+func TestConsolidationSavingMatchesPaper(t *testing.T) {
+	// The paper claims up to 5 % total power saving from rack-level
+	// conversion. At the pilot's 2 kW nodes, 15 per rack:
+	c, err := Compare(15, 2000, 32000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SavingPct < 2 || c.SavingPct > 8 {
+		t.Errorf("saving = %.2f%%, want in the paper's up-to-5%% ballpark (2-8)", c.SavingPct)
+	}
+	if c.RackLevelAC >= c.NodeLevelAC {
+		t.Error("rack-level AC must be lower")
+	}
+	if c.RackPSUCount >= c.NodePSUCount {
+		t.Error("rack-level must use fewer PSUs")
+	}
+	if c.RackNoisePct >= c.NodeNoisePct {
+		t.Error("rack-level must have cleaner measurements")
+	}
+}
+
+func TestACInputIncludesManagement(t *testing.T) {
+	r, _ := New(RackLevelBank, 15, 32000)
+	in, err := r.ACInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero load: standby + management.
+	if in <= r.MgmtPowerW {
+		t.Errorf("idle AC input = %v, want above management draw", in)
+	}
+	loss, err := r.ConversionLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Errorf("conversion loss = %v, want positive", loss)
+	}
+}
+
+func TestExpectedPSUFailures(t *testing.T) {
+	nl, _ := New(NodeLevelPSUs, 15, 32000)
+	rl, _ := New(RackLevelBank, 15, 32000)
+	fn, err := nl.ExpectedPSUFailuresPerYear(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := rl.ExpectedPSUFailuresPerYear(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr >= fn {
+		t.Errorf("rack failures %v should be below node-level %v", fr, fn)
+	}
+	if _, err := nl.ExpectedPSUFailuresPerYear(-1); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(0, 2000, 32000); err == nil {
+		t.Error("zero nodes should error")
+	}
+	// Per-node load beyond PSU capability must surface as an error.
+	if _, err := Compare(15, 4000, 64000); err == nil {
+		t.Error("over-rated node load should error")
+	}
+}
+
+// Property: rack-level conversion never loses to node-level at equal,
+// realistic loads.
+func TestConsolidationAlwaysWinsProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		perNode := units.Watt(500 + math.Mod(math.Abs(raw), 1800)) // 0.5-2.3 kW
+		c, err := Compare(15, perNode, 40000)
+		if err != nil {
+			return false
+		}
+		return c.SavingPct > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: efficiency stays within (0,1) across the whole load range.
+func TestEfficiencyBoundedProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		for _, p := range []PSU{NodePSU(), RackPSU()} {
+			load := units.Watt(math.Mod(math.Abs(raw), float64(p.RatedPower)))
+			eff, err := p.Efficiency(load)
+			if err != nil || eff <= 0 || eff >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package sched implements the job dispatcher of §III-A2 of the paper:
+// the SLURM-style scheduling layer that D.A.V.I.D.E. extends with power
+// awareness. The same backfill core supports four policies compared in
+// experiment E8:
+//
+//   - FCFS: first-come-first-served, no power awareness;
+//   - EASY: FCFS with EASY backfilling (aggressive backfill with a
+//     reservation for the queue head);
+//   - proactive: EASY plus admission control against a system power cap,
+//     using per-job power *predictions* (the paper's ML predictors);
+//   - reactive-only: EASY with no admission control; when the machine
+//     exceeds the cap, node-level capping slows every running job down
+//     (performance loss and SLA risk, as the paper warns).
+//
+// Proactive and reactive can be combined, the configuration the paper
+// advocates ("mix both proactive and reactive power capping techniques").
+//
+// The simulation is event-driven over virtual time with variable execution
+// speed: when reactive capping engages, running jobs stretch; the recorded
+// power trace and all QoS metrics account for it.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"davide/internal/sensor"
+	"davide/internal/stats"
+	"davide/internal/workload"
+)
+
+// Policy selects the dispatching algorithm.
+type Policy int
+
+// Dispatching policies.
+const (
+	FCFS Policy = iota
+	EASY
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == FCFS {
+		return "FCFS"
+	}
+	return "EASY-backfill"
+}
+
+// Config describes one scheduling run.
+type Config struct {
+	Nodes  int    // machine size in nodes
+	Policy Policy // base dispatching order
+	// PowerCapW caps the whole machine's compute power draw; 0 disables.
+	PowerCapW float64
+	// Estimator returns the per-node power prediction for a job. When
+	// non-nil and PowerCapW > 0, admission control (proactive capping)
+	// refuses to start jobs whose predicted power exceeds the headroom.
+	Estimator func(workload.Job) (float64, error)
+	// ReactiveCapping slows all running jobs proportionally whenever true
+	// power exceeds the cap, emulating node-level capping.
+	ReactiveCapping bool
+	// IdleNodePowerW is the draw of an idle node, included in the trace.
+	IdleNodePowerW float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return errors.New("sched: need at least one node")
+	case c.PowerCapW < 0:
+		return errors.New("sched: negative power cap")
+	case c.IdleNodePowerW < 0:
+		return errors.New("sched: negative idle power")
+	}
+	return nil
+}
+
+// jobState tracks one job through the simulation.
+type jobState struct {
+	job       workload.Job
+	predicted float64 // per-node predicted power (proactive only)
+	startAt   float64
+	endAt     float64
+	remaining float64 // full-speed seconds of work left
+	started   bool
+	finished  bool
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Policy          string
+	Jobs            int
+	Makespan        float64
+	MeanWait        float64
+	MaxWait         float64
+	MeanSlowdown    float64 // bounded slowdown, threshold 60 s
+	P95Slowdown     float64
+	UtilizationPct  float64 // node-seconds busy / node-seconds total
+	EnergyJ         float64 // compute energy from the true power trace
+	CapW            float64
+	CapViolationSec float64 // seconds with true power above cap
+	CapOverRMSW     float64 // RMS overshoot during violations
+	SlowdownGini    float64 // fairness over per-job slowdowns
+	Trace           *sensor.Piecewise
+	Starts          map[int]float64 // job ID -> start time
+	Ends            map[int]float64 // job ID -> end time
+}
+
+// Simulator runs one scheduling experiment.
+type Simulator struct {
+	cfg        Config
+	pending    []*jobState // submitted, not yet started, in FCFS order
+	running    []*jobState
+	arrived    int
+	jobs       []*jobState // all, in submission order
+	now        float64
+	speed      float64 // current execution speed (1 = nominal)
+	trace      *sensor.Piecewise
+	capViolSec float64
+	capOverSq  float64 // integral of squared overshoot
+}
+
+// NewSimulator validates the config and prepares a run over the jobs.
+func NewSimulator(cfg Config, jobs []workload.Job) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("sched: no jobs")
+	}
+	s := &Simulator{cfg: cfg, speed: 1}
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: job %d: %w", j.ID, err)
+		}
+		if j.Nodes > cfg.Nodes {
+			return nil, fmt.Errorf("sched: job %d requests %d nodes, machine has %d", j.ID, j.Nodes, cfg.Nodes)
+		}
+		if i > 0 && j.SubmitAt < jobs[i-1].SubmitAt {
+			return nil, errors.New("sched: jobs must be sorted by submit time")
+		}
+		s.jobs = append(s.jobs, &jobState{job: j, remaining: j.Duration})
+	}
+	s.trace = sensor.NewPiecewise(0, cfg.IdleNodePowerW*float64(cfg.Nodes))
+	return s, nil
+}
+
+// freeNodes returns currently idle node count.
+func (s *Simulator) freeNodes() int {
+	used := 0
+	for _, r := range s.running {
+		used += r.job.Nodes
+	}
+	return s.cfg.Nodes - used
+}
+
+// truePower returns the actual compute power of running jobs plus idle
+// nodes.
+func (s *Simulator) truePower() float64 {
+	p := float64(s.freeNodes()) * s.cfg.IdleNodePowerW
+	for _, r := range s.running {
+		p += r.job.TotalPower()
+	}
+	return p
+}
+
+// predictedPower returns the scheduler's belief about current power.
+func (s *Simulator) predictedPower() float64 {
+	p := float64(s.freeNodes()) * s.cfg.IdleNodePowerW
+	for _, r := range s.running {
+		p += r.predicted * float64(r.job.Nodes)
+	}
+	return p
+}
+
+// admit reports whether the job fits the power envelope under proactive
+// admission control.
+func (s *Simulator) admit(js *jobState) (bool, error) {
+	if s.cfg.PowerCapW == 0 || s.cfg.Estimator == nil {
+		return true, nil
+	}
+	if js.predicted == 0 {
+		pred, err := s.cfg.Estimator(js.job)
+		if err != nil {
+			return false, err
+		}
+		js.predicted = pred
+	}
+	// Starting the job converts idle nodes to active ones.
+	delta := js.predicted*float64(js.job.Nodes) - s.cfg.IdleNodePowerW*float64(js.job.Nodes)
+	return s.predictedPower()+delta <= s.cfg.PowerCapW, nil
+}
+
+// start launches a job now.
+func (s *Simulator) start(js *jobState) {
+	js.started = true
+	js.startAt = s.now
+	s.running = append(s.running, js)
+}
+
+// schedule runs one dispatching pass.
+func (s *Simulator) schedule() error {
+	// FCFS phase: start queue-head jobs while they fit.
+	for len(s.pending) > 0 {
+		head := s.pending[0]
+		if head.job.Nodes > s.freeNodes() {
+			break
+		}
+		ok, err := s.admit(head)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.start(head)
+		s.pending = s.pending[1:]
+	}
+	if s.cfg.Policy != EASY || len(s.pending) == 0 {
+		return nil
+	}
+	// EASY backfill: compute the shadow time at which the blocked head
+	// could start, from running jobs' wall-limit-based expected ends.
+	head := s.pending[0]
+	type rel struct {
+		end   float64
+		nodes int
+	}
+	rels := make([]rel, 0, len(s.running))
+	for _, r := range s.running {
+		// Expected end uses the user wall limit (the scheduler cannot
+		// see true durations), at nominal speed.
+		rels = append(rels, rel{end: r.startAt + r.job.WallLimit, nodes: r.job.Nodes})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].end < rels[j].end })
+	avail := s.freeNodes()
+	shadow := s.now
+	for _, r := range rels {
+		if avail >= head.job.Nodes {
+			break
+		}
+		avail += r.nodes
+		shadow = r.end
+	}
+	if avail < head.job.Nodes {
+		return nil // head cannot ever start (should not happen: validated)
+	}
+	// Nodes spare at the shadow time beyond the head's need.
+	spareAtShadow := avail - head.job.Nodes
+	// Try to backfill the rest of the queue in order.
+	kept := s.pending[:1]
+	for _, cand := range s.pending[1:] {
+		fitsNow := cand.job.Nodes <= s.freeNodes()
+		finishesBeforeShadow := s.now+cand.job.WallLimit <= shadow
+		fitsSpare := cand.job.Nodes <= spareAtShadow
+		if fitsNow && (finishesBeforeShadow || fitsSpare) {
+			ok, err := s.admit(cand)
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.start(cand)
+				if !finishesBeforeShadow {
+					spareAtShadow -= cand.job.Nodes
+				}
+				continue
+			}
+		}
+		kept = append(kept, cand)
+	}
+	s.pending = kept
+	return nil
+}
+
+// updateSpeed recomputes the reactive-capping execution speed.
+func (s *Simulator) updateSpeed() {
+	s.speed = 1
+	if !s.cfg.ReactiveCapping || s.cfg.PowerCapW == 0 {
+		return
+	}
+	p := s.truePower()
+	if p > s.cfg.PowerCapW {
+		// Node capping slows compute; power tracks the cap. Guard the
+		// idle floor: capping cannot reduce idle draw.
+		idle := float64(s.cfg.Nodes) * s.cfg.IdleNodePowerW
+		dyn := p - idle
+		budget := s.cfg.PowerCapW - idle
+		if budget <= 0 {
+			s.speed = 0.05
+			return
+		}
+		s.speed = math.Max(0.05, budget/dyn)
+	}
+}
+
+// effectivePower returns the power recorded in the trace, accounting for
+// reactive capping pushing power down to the cap.
+func (s *Simulator) effectivePower() float64 {
+	p := s.truePower()
+	if s.cfg.ReactiveCapping && s.cfg.PowerCapW > 0 && p > s.cfg.PowerCapW {
+		idle := float64(s.cfg.Nodes) * s.cfg.IdleNodePowerW
+		capped := idle + (p-idle)*s.speed
+		return math.Max(math.Min(capped, s.cfg.PowerCapW), idle)
+	}
+	return p
+}
+
+// Run executes the simulation to completion and returns metrics.
+func (s *Simulator) Run() (*Result, error) {
+	if s.trace == nil {
+		return nil, errors.New("sched: simulator already consumed")
+	}
+	for {
+		// Next event: arrival or completion.
+		nextArrival := math.Inf(1)
+		if s.arrived < len(s.jobs) {
+			nextArrival = s.jobs[s.arrived].job.SubmitAt
+		}
+		nextEnd := math.Inf(1)
+		if s.speed > 0 {
+			for _, r := range s.running {
+				end := s.now + r.remaining/s.speed
+				if end < nextEnd {
+					nextEnd = end
+				}
+			}
+		}
+		t := math.Min(nextArrival, nextEnd)
+		if math.IsInf(t, 1) {
+			break // no arrivals left, nothing running
+		}
+		// Advance work and account the power trace for [now, t].
+		dt := t - s.now
+		if dt > 0 {
+			p := s.effectivePower()
+			if s.cfg.PowerCapW > 0 && p > s.cfg.PowerCapW {
+				s.capViolSec += dt
+				over := p - s.cfg.PowerCapW
+				s.capOverSq += over * over * dt
+			}
+			for _, r := range s.running {
+				r.remaining -= dt * s.speed
+			}
+		}
+		s.now = t
+		// Completions (tolerance for float error).
+		stillRunning := s.running[:0]
+		for _, r := range s.running {
+			if r.remaining <= 1e-9 {
+				r.finished = true
+				r.endAt = s.now
+			} else {
+				stillRunning = append(stillRunning, r)
+			}
+		}
+		s.running = stillRunning
+		// Arrivals.
+		for s.arrived < len(s.jobs) && s.jobs[s.arrived].job.SubmitAt <= s.now {
+			s.pending = append(s.pending, s.jobs[s.arrived])
+			s.arrived++
+		}
+		if err := s.schedule(); err != nil {
+			return nil, err
+		}
+		s.updateSpeed()
+		if err := s.trace.Set(s.now, s.effectivePower()); err != nil {
+			return nil, err
+		}
+	}
+	return s.collect()
+}
+
+// collect computes the final metrics.
+func (s *Simulator) collect() (*Result, error) {
+	res := &Result{
+		Policy: s.policyName(),
+		Jobs:   len(s.jobs),
+		CapW:   s.cfg.PowerCapW,
+		Trace:  s.trace,
+		Starts: make(map[int]float64, len(s.jobs)),
+		Ends:   make(map[int]float64, len(s.jobs)),
+	}
+	var waits, slows []float64
+	var busyNodeSec float64
+	for _, j := range s.jobs {
+		if !j.finished {
+			return nil, fmt.Errorf("sched: job %d never finished", j.job.ID)
+		}
+		res.Starts[j.job.ID] = j.startAt
+		res.Ends[j.job.ID] = j.endAt
+		wait := j.startAt - j.job.SubmitAt
+		waits = append(waits, wait)
+		run := j.endAt - j.startAt
+		// Bounded slowdown with a 60-second threshold.
+		den := math.Max(run, 60)
+		slows = append(slows, math.Max(1, (wait+run)/den))
+		busyNodeSec += run * float64(j.job.Nodes)
+		if j.endAt > res.Makespan {
+			res.Makespan = j.endAt
+		}
+	}
+	res.MeanWait = stats.Mean(waits)
+	res.MaxWait = stats.Max(waits)
+	res.MeanSlowdown = stats.Mean(slows)
+	p95, err := stats.Percentile(slows, 95)
+	if err != nil {
+		return nil, err
+	}
+	res.P95Slowdown = p95
+	if res.Makespan > 0 {
+		res.UtilizationPct = 100 * busyNodeSec / (res.Makespan * float64(s.cfg.Nodes))
+	}
+	gini, err := stats.Gini(slows)
+	if err != nil {
+		return nil, err
+	}
+	res.SlowdownGini = gini
+	e, err := s.trace.Energy(0, res.Makespan)
+	if err != nil {
+		return nil, err
+	}
+	res.EnergyJ = e
+	res.CapViolationSec = s.capViolSec
+	if s.capViolSec > 0 {
+		res.CapOverRMSW = math.Sqrt(s.capOverSq / s.capViolSec)
+	}
+	s.trace = nil // mark consumed
+	return res, nil
+}
+
+// policyName renders the full policy description.
+func (s *Simulator) policyName() string {
+	name := s.cfg.Policy.String()
+	if s.cfg.PowerCapW > 0 {
+		switch {
+		case s.cfg.Estimator != nil && s.cfg.ReactiveCapping:
+			name += "+proactive+reactive"
+		case s.cfg.Estimator != nil:
+			name += "+proactive"
+		case s.cfg.ReactiveCapping:
+			name += "+reactive"
+		default:
+			name += "+cap-ignored"
+		}
+	}
+	return name
+}

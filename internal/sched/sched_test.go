@@ -1,0 +1,383 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"davide/internal/predictor"
+	"davide/internal/workload"
+)
+
+// mkJob builds a simple valid job.
+func mkJob(id int, submit, dur, wall float64, nodes int, power float64) workload.Job {
+	return workload.Job{
+		ID: id, User: id % 4, App: workload.Generic, Nodes: nodes,
+		SubmitAt: submit, WallLimit: wall, Duration: dur, TruePowerPerNode: power,
+	}
+}
+
+// genJobs produces a realistic trace for integration-style tests.
+func genJobs(t *testing.T, n int, seed int64) []workload.Job {
+	t.Helper()
+	cfg := workload.DefaultGeneratorConfig(seed)
+	cfg.MaxNodes = 8
+	g, err := workload.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// trainedEstimator returns a predictor-backed estimator trained on a
+// disjoint seed.
+func trainedEstimator(t *testing.T) func(workload.Job) (float64, error) {
+	t.Helper()
+	hist := genJobs(t, 1500, 777)
+	p := predictor.NewMeanPerKey()
+	if err := p.Train(hist); err != nil {
+		t.Fatal(err)
+	}
+	return p.Predict
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{Nodes: 0}).Validate(); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if err := (Config{Nodes: 1, PowerCapW: -1}).Validate(); err == nil {
+		t.Error("negative cap should error")
+	}
+	if err := (Config{Nodes: 1, IdleNodePowerW: -1}).Validate(); err == nil {
+		t.Error("negative idle should error")
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	cfg := Config{Nodes: 4}
+	if _, err := NewSimulator(cfg, nil); err == nil {
+		t.Error("no jobs should error")
+	}
+	if _, err := NewSimulator(cfg, []workload.Job{mkJob(0, 0, 10, 20, 8, 1000)}); err == nil {
+		t.Error("oversized job should error")
+	}
+	if _, err := NewSimulator(cfg, []workload.Job{mkJob(0, 0, 0, 20, 1, 1000)}); err == nil {
+		t.Error("invalid job should error")
+	}
+	if _, err := NewSimulator(cfg, []workload.Job{
+		mkJob(0, 100, 10, 20, 1, 1000), mkJob(1, 50, 10, 20, 1, 1000),
+	}); err == nil {
+		t.Error("unsorted jobs should error")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() == "" || EASY.String() == "" || FCFS.String() == EASY.String() {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestSingleJobRuns(t *testing.T) {
+	sim, err := NewSimulator(Config{Nodes: 4}, []workload.Job{mkJob(0, 10, 100, 200, 2, 1500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts[0] != 10 {
+		t.Errorf("start = %v, want 10 (immediate)", res.Starts[0])
+	}
+	if math.Abs(res.Ends[0]-110) > 1e-6 {
+		t.Errorf("end = %v, want 110", res.Ends[0])
+	}
+	if res.MeanWait != 0 {
+		t.Errorf("wait = %v, want 0", res.MeanWait)
+	}
+	if math.Abs(res.Makespan-110) > 1e-6 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+	if res.Jobs != 1 {
+		t.Errorf("Jobs = %d", res.Jobs)
+	}
+}
+
+func TestFCFSOrdering(t *testing.T) {
+	// Two 3-node jobs on a 4-node machine: must serialise in order, and a
+	// later 1-node job must wait behind the head under FCFS.
+	jobs := []workload.Job{
+		mkJob(0, 0, 100, 150, 3, 1000),
+		mkJob(1, 1, 100, 150, 3, 1000),
+		mkJob(2, 2, 10, 20, 1, 1000),
+	}
+	sim, err := NewSimulator(Config{Nodes: 4, Policy: FCFS}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts[1] < res.Ends[0] {
+		t.Error("job 1 must wait for job 0 under FCFS")
+	}
+	// Job 2 fits beside job 0 (1 free node) but FCFS blocks behind job 1.
+	if res.Starts[2] < res.Starts[1] {
+		t.Error("FCFS must not reorder the queue")
+	}
+}
+
+func TestEASYBackfillsSmallJob(t *testing.T) {
+	jobs := []workload.Job{
+		mkJob(0, 0, 100, 150, 3, 1000),
+		mkJob(1, 1, 100, 150, 3, 1000),
+		mkJob(2, 2, 10, 20, 1, 1000), // fits the free node and ends before the shadow
+	}
+	sim, err := NewSimulator(Config{Nodes: 4, Policy: EASY}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts[2] > 2+1e-6 {
+		t.Errorf("job 2 should backfill immediately, started at %v", res.Starts[2])
+	}
+	// The head's start must not be delayed by the backfill.
+	if res.Starts[1] > res.Ends[0]+1e-6 {
+		t.Errorf("backfill delayed the reserved job: start %v vs shadow %v", res.Starts[1], res.Ends[0])
+	}
+}
+
+func TestEASYBeatsOrMatchesFCFSWait(t *testing.T) {
+	jobs := genJobs(t, 300, 5)
+	fc, err := NewSimulator(Config{Nodes: 45, Policy: FCFS}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resF, err := fc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := NewSimulator(Config{Nodes: 45, Policy: EASY}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resE, err := ea.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resE.MeanWait > resF.MeanWait*1.02 {
+		t.Errorf("EASY wait %v should not exceed FCFS %v", resE.MeanWait, resF.MeanWait)
+	}
+	if resE.UtilizationPct < resF.UtilizationPct*0.98 {
+		t.Errorf("EASY utilisation %v should not trail FCFS %v", resE.UtilizationPct, resF.UtilizationPct)
+	}
+}
+
+func TestProactiveCapNeverViolates(t *testing.T) {
+	// With oracle predictions (estimator = truth), proactive admission
+	// must keep true power at or below the cap for the entire run.
+	jobs := genJobs(t, 200, 9)
+	oracle := func(j workload.Job) (float64, error) { return j.TruePowerPerNode, nil }
+	cap := 45 * 1200.0
+	sim, err := NewSimulator(Config{
+		Nodes: 45, Policy: EASY, PowerCapW: cap,
+		Estimator: oracle, IdleNodePowerW: 360,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapViolationSec > 0 {
+		t.Errorf("oracle proactive capping violated the cap for %v s", res.CapViolationSec)
+	}
+}
+
+func TestReactiveOnlyViolatesButCompletes(t *testing.T) {
+	jobs := genJobs(t, 200, 9)
+	cap := 45 * 1000.0 // tight cap
+	sim, err := NewSimulator(Config{
+		Nodes: 45, Policy: EASY, PowerCapW: cap,
+		ReactiveCapping: true, IdleNodePowerW: 360,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reactive capping stretches jobs instead of queueing them, so the
+	// effective trace respects the cap...
+	if res.CapViolationSec > 0 {
+		t.Errorf("reactive trace should track the cap, violated %v s", res.CapViolationSec)
+	}
+	// ...at the cost of a longer makespan than the uncapped baseline.
+	free, err := NewSimulator(Config{Nodes: 45, Policy: EASY, IdleNodePowerW: 360}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFree, err := free.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= resFree.Makespan {
+		t.Errorf("reactive-capped makespan %v should exceed uncapped %v", res.Makespan, resFree.Makespan)
+	}
+}
+
+func TestProactivePredictorKeepsQoSBetterThanReactive(t *testing.T) {
+	// The paper's central scheduling claim: prediction-driven proactive
+	// dispatch sustains better QoS than reactive-only at the same cap.
+	jobs := genJobs(t, 300, 21)
+	cap := 45 * 1150.0
+	est := trainedEstimator(t)
+
+	pro, err := NewSimulator(Config{
+		Nodes: 45, Policy: EASY, PowerCapW: cap,
+		Estimator: est, ReactiveCapping: true, IdleNodePowerW: 360,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPro, err := pro.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rea, err := NewSimulator(Config{
+		Nodes: 45, Policy: EASY, PowerCapW: cap,
+		ReactiveCapping: true, IdleNodePowerW: 360,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRea, err := rea.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reactive slows everything; proactive pays with queue waits. The mean
+	// bounded slowdowns must stay in the same band (the paper's point is
+	// that proactive admission meets the cap without wrecking QoS).
+	if resPro.MeanSlowdown > resRea.MeanSlowdown*1.5 {
+		t.Errorf("proactive slowdown %v should be competitive with reactive %v",
+			resPro.MeanSlowdown, resRea.MeanSlowdown)
+	}
+	// Both cap-respecting configurations must track the cap.
+	if resPro.CapViolationSec > 0.01*resPro.Makespan {
+		t.Errorf("proactive+reactive violated cap %v s of %v", resPro.CapViolationSec, resPro.Makespan)
+	}
+}
+
+func TestCapIgnoredCountsViolations(t *testing.T) {
+	// A cap with no mechanism (neither proactive nor reactive) must
+	// record violations — the measurement experiment E8 baselines on.
+	jobs := genJobs(t, 150, 33)
+	sim, err := NewSimulator(Config{
+		Nodes: 45, Policy: EASY, PowerCapW: 45 * 900.0, IdleNodePowerW: 360,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapViolationSec == 0 {
+		t.Error("ignored cap should record violations")
+	}
+	if res.CapOverRMSW <= 0 {
+		t.Error("violations should have positive RMS overshoot")
+	}
+	if res.Policy != "EASY-backfill+cap-ignored" {
+		t.Errorf("policy name = %q", res.Policy)
+	}
+}
+
+func TestAllJobsComplete(t *testing.T) {
+	jobs := genJobs(t, 400, 1)
+	for _, policy := range []Policy{FCFS, EASY} {
+		sim, err := NewSimulator(Config{Nodes: 45, Policy: policy, IdleNodePowerW: 360}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Ends) != len(jobs) {
+			t.Fatalf("%v: %d of %d jobs finished", policy, len(res.Ends), len(jobs))
+		}
+		for id, end := range res.Ends {
+			if end < res.Starts[id] {
+				t.Fatalf("%v: job %d ends before start", policy, id)
+			}
+		}
+		if res.UtilizationPct <= 0 || res.UtilizationPct > 100 {
+			t.Errorf("%v: utilisation %v out of range", policy, res.UtilizationPct)
+		}
+		if res.EnergyJ <= 0 {
+			t.Errorf("%v: energy %v", policy, res.EnergyJ)
+		}
+		if res.SlowdownGini < 0 || res.SlowdownGini > 1 {
+			t.Errorf("%v: Gini %v", policy, res.SlowdownGini)
+		}
+	}
+}
+
+func TestNoStartBeforeSubmit(t *testing.T) {
+	jobs := genJobs(t, 200, 8)
+	sim, err := NewSimulator(Config{Nodes: 45, Policy: EASY, IdleNodePowerW: 360}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if res.Starts[j.ID] < j.SubmitAt-1e-9 {
+			t.Fatalf("job %d started %v before submit %v", j.ID, res.Starts[j.ID], j.SubmitAt)
+		}
+	}
+}
+
+func TestSimulatorSingleUse(t *testing.T) {
+	jobs := []workload.Job{mkJob(0, 0, 10, 20, 1, 1000)}
+	sim, err := NewSimulator(Config{Nodes: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Error("second Run should error")
+	}
+}
+
+func TestEstimatorErrorPropagates(t *testing.T) {
+	jobs := []workload.Job{mkJob(0, 0, 10, 20, 1, 1000)}
+	bad := func(workload.Job) (float64, error) { return 0, errTest }
+	sim, err := NewSimulator(Config{Nodes: 1, PowerCapW: 5000, Estimator: bad}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Error("estimator error should propagate")
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test estimator failure" }

@@ -1,0 +1,207 @@
+// Package simclock implements the deterministic discrete-event simulation
+// engine that drives the virtual-time plane of the D.A.V.I.D.E. simulator:
+// job arrivals, scheduler decisions, power-capping control steps, thermal
+// updates and sensor sampling windows all execute as events on one engine.
+//
+// Virtual time is a float64 number of seconds since simulation start. Events
+// scheduled for the same instant execute in the order they were scheduled
+// (FIFO tie-break), which keeps runs reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a virtual-time instant.
+type Event func(now float64)
+
+// ErrStopped is returned by Run variants when the engine was stopped early
+// via Stop.
+var ErrStopped = errors.New("simclock: engine stopped")
+
+type item struct {
+	at   float64
+	seq  uint64 // FIFO tie-break for equal timestamps
+	fn   Event
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ it *item }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use; all model code runs on the single
+// goroutine that calls Run.
+type Engine struct {
+	now     float64
+	seq     uint64
+	q       eventHeap
+	stopped bool
+	events  uint64 // executed event count
+}
+
+// New returns a fresh engine at virtual time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.events }
+
+// Pending returns the number of events currently queued (including cancelled
+// events not yet drained).
+func (e *Engine) Pending() int { return len(e.q) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (or NaN) is an error; scheduling exactly at Now is allowed and runs after
+// events already queued for Now.
+func (e *Engine) At(at float64, fn Event) (Timer, error) {
+	if math.IsNaN(at) {
+		return Timer{}, errors.New("simclock: NaN timestamp")
+	}
+	if at < e.now {
+		return Timer{}, fmt.Errorf("simclock: schedule at %g before now %g", at, e.now)
+	}
+	if fn == nil {
+		return Timer{}, errors.New("simclock: nil event")
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.q, it)
+	return Timer{it: it}, nil
+}
+
+// After schedules fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn Event) (Timer, error) {
+	if delay < 0 {
+		return Timer{}, fmt.Errorf("simclock: negative delay %g", delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Every schedules fn to run now+delay and then every period seconds until
+// cancel is called or the engine stops. The returned cancel function is
+// idempotent.
+func (e *Engine) Every(delay, period float64, fn Event) (cancel func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("simclock: non-positive period %g", period)
+	}
+	stopped := false
+	var schedule func(at float64)
+	var tm Timer
+	schedule = func(at float64) {
+		var err2 error
+		tm, err2 = e.At(at, func(now float64) {
+			if stopped {
+				return
+			}
+			fn(now)
+			if !stopped && !e.stopped {
+				schedule(now + period)
+			}
+		})
+		_ = err2 // at >= now by construction
+	}
+	schedule(e.now + delay)
+	return func() {
+		stopped = true
+		tm.Cancel()
+	}, nil
+}
+
+// Cancel prevents the event from running if it has not run yet.
+func (t Timer) Cancel() {
+	if t.it != nil {
+		t.it.dead = true
+	}
+}
+
+// Stop halts the engine: the currently executing event finishes and Run
+// returns ErrStopped. Safe to call from within an event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, advancing virtual time to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.q) > 0 {
+		it := heap.Pop(&e.q).(*item)
+		if it.dead {
+			continue
+		}
+		e.now = it.at
+		e.events++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// ErrStopped when stopped early, nil otherwise.
+func (e *Engine) Run() error {
+	for !e.stopped {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances
+// virtual time to the deadline. Events scheduled beyond deadline remain
+// queued. Returns ErrStopped when stopped early.
+func (e *Engine) RunUntil(deadline float64) error {
+	if deadline < e.now {
+		return fmt.Errorf("simclock: deadline %g before now %g", deadline, e.now)
+	}
+	for !e.stopped {
+		// Peek.
+		var next *item
+		for len(e.q) > 0 && e.q[0].dead {
+			heap.Pop(&e.q)
+		}
+		if len(e.q) > 0 {
+			next = e.q[0]
+		}
+		if next == nil || next.at > deadline {
+			e.now = deadline
+			return nil
+		}
+		e.Step()
+	}
+	return ErrStopped
+}

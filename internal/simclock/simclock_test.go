@@ -1,0 +1,305 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtOrdering(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, at := range []float64{3, 1, 2} {
+		at := at
+		if _, err := e.At(at, func(now float64) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	if e.Executed() != 3 {
+		t.Errorf("Executed = %d, want 3", e.Executed())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.At(5, func(float64) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-time events ran out of order: %v", got)
+	}
+}
+
+func TestSchedulePastErrors(t *testing.T) {
+	e := New()
+	if _, err := e.At(1, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Step() {
+		t.Fatal("expected one event")
+	}
+	if _, err := e.At(0.5, func(float64) {}); err == nil {
+		t.Error("scheduling in the past should error")
+	}
+	if _, err := e.After(-1, func(float64) {}); err == nil {
+		t.Error("negative delay should error")
+	}
+	if _, err := e.At(2, nil); err == nil {
+		t.Error("nil event should error")
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	e := New()
+	var got []float64
+	_, err := e.At(1, func(now float64) {
+		got = append(got, now)
+		_, _ = e.After(2, func(now2 float64) { got = append(got, now2) })
+		_, _ = e.At(now, func(now3 float64) { got = append(got, -now3) }) // same instant, runs next
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -1, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	tm, err := e.At(1, func(float64) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.Cancel()
+	tm.Cancel() // idempotent
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", e.Executed())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	var ticks []float64
+	cancel, err := e.Every(0.5, 1.0, func(now float64) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(3.6); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.5, 2.5, 3.5}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	cancel()
+	cancel() // idempotent
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != len(want) {
+		t.Errorf("ticks after cancel = %v", ticks)
+	}
+}
+
+func TestEveryBadPeriod(t *testing.T) {
+	e := New()
+	if _, err := e.Every(0, 0, func(float64) {}); err == nil {
+		t.Error("zero period should error")
+	}
+	if _, err := e.Every(0, -1, func(float64) {}); err == nil {
+		t.Error("negative period should error")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := New()
+	if err := e.RunUntil(42); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 42 {
+		t.Errorf("Now = %v, want 42", e.Now())
+	}
+	if err := e.RunUntil(10); err == nil {
+		t.Error("RunUntil into the past should error")
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := New()
+	ran := false
+	if _, err := e.At(5, func(float64) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("future event ran early")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event at deadline should run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		_, _ = e.At(float64(i), func(float64) {
+			count++
+			if i == 2 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Errorf("Run = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestStopEveryLoop(t *testing.T) {
+	e := New()
+	n := 0
+	_, err := e.Every(1, 1, func(float64) {
+		n++
+		if n == 3 {
+			e.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Errorf("Run = %v, want ErrStopped", err)
+	}
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+}
+
+// Property: events always execute in non-decreasing time order, regardless
+// of insertion order.
+func TestMonotonicTimeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var times []float64
+		k := int(n%64) + 1
+		for i := 0; i < k; i++ {
+			at := rng.Float64() * 100
+			if _, err := e.At(at, func(now float64) { times = append(times, now) }); err != nil {
+				return false
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return sort.Float64sAreSorted(times) && len(times) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil in increments visits exactly the same events as one
+// big Run.
+func TestIncrementalEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(e *Engine, log *[]float64) {
+			for i := 0; i < 50; i++ {
+				at := rng.Float64() * 10
+				_, _ = e.At(at, func(now float64) { *log = append(*log, now) })
+			}
+		}
+		rng = rand.New(rand.NewSource(seed))
+		e1 := New()
+		var l1 []float64
+		build(e1, &l1)
+		if err := e1.Run(); err != nil {
+			return false
+		}
+
+		rng = rand.New(rand.NewSource(seed))
+		e2 := New()
+		var l2 []float64
+		build(e2, &l2)
+		for d := 1.0; d <= 10.0; d++ {
+			if err := e2.RunUntil(d); err != nil {
+				return false
+			}
+		}
+		if len(l1) != len(l2) {
+			return false
+		}
+		for i := range l1 {
+			if l1[i] != l2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngine10kEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		rng := rand.New(rand.NewSource(1))
+		for j := 0; j < 10000; j++ {
+			_, _ = e.At(rng.Float64()*1000, func(float64) {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Samples outside
+// the range are counted in Under/Over. The zero value is not usable; call
+// NewHistogram.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []uint64
+	Under   uint64
+	Over    uint64
+	samples uint64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bucket")
+	}
+	if !(lo < hi) {
+		return nil, errors.New("stats: histogram range must satisfy lo < hi")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.samples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the total number of recorded samples including out-of-range ones.
+func (h *Histogram) N() uint64 { return h.samples }
+
+// BucketWidth returns the width of one bucket.
+func (h *Histogram) BucketWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// Quantile returns an approximate q-quantile (0..1) computed from bucket
+// midpoints. Out-of-range samples are clamped to the range ends.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.samples == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	target := uint64(math.Ceil(q * float64(h.samples)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64 = h.Under
+	if cum >= target {
+		return h.Lo, nil
+	}
+	w := h.BucketWidth()
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.Lo + (float64(i)+0.5)*w, nil
+		}
+	}
+	return h.Hi, nil
+}
+
+// String renders a compact ASCII view, useful in experiment logs.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxC := uint64(1)
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	w := h.BucketWidth()
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(40*c/maxC))
+		fmt.Fprintf(&sb, "[%10.3g,%10.3g) %8d %s\n", h.Lo+float64(i)*w, h.Lo+float64(i+1)*w, c, bar)
+	}
+	if h.Under > 0 || h.Over > 0 {
+		fmt.Fprintf(&sb, "under=%d over=%d\n", h.Under, h.Over)
+	}
+	return sb.String()
+}

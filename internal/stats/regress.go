@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// OLS is a multivariate ordinary-least-squares linear model with intercept:
+// y = Coef[0] + Coef[1]*x1 + ... + Coef[d]*xd. It is fitted by solving the
+// normal equations with Gaussian elimination and partial pivoting, which is
+// adequate for the small feature dimensions used by the job power predictors.
+type OLS struct {
+	Coef []float64 // intercept followed by one coefficient per feature
+}
+
+// FitOLS fits an OLS model to rows of features X and targets y.
+// All rows must have the same dimension and len(X) must equal len(y).
+func FitOLS(X [][]float64, y []float64) (*OLS, error) {
+	if len(X) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(X) != len(y) {
+		return nil, errors.New("stats: X/y length mismatch")
+	}
+	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return nil, errors.New("stats: ragged feature matrix")
+		}
+	}
+	n := d + 1 // intercept column
+	// Accumulate normal equations A w = b with A = XᵀX, b = Xᵀy,
+	// where X has an implicit leading 1 column.
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+	}
+	b := make([]float64, n)
+	aug := make([]float64, n)
+	for r, row := range X {
+		aug[0] = 1
+		copy(aug[1:], row)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A[i][j] += aug[i] * aug[j]
+			}
+			b[i] += aug[i] * y[r]
+		}
+	}
+	// Tiny ridge term keeps the system solvable when features are collinear
+	// (e.g. a workload generator that emits a constant feature).
+	const ridge = 1e-9
+	for i := 1; i < n; i++ {
+		A[i][i] += ridge
+	}
+	w, err := solveLinear(A, b)
+	if err != nil {
+		return nil, err
+	}
+	return &OLS{Coef: w}, nil
+}
+
+// Predict evaluates the model on a single feature vector.
+func (m *OLS) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.Coef)-1 {
+		return 0, errors.New("stats: feature dimension mismatch")
+	}
+	y := m.Coef[0]
+	for i, v := range x {
+		y += m.Coef[i+1] * v
+	}
+	return y, nil
+}
+
+// solveLinear solves A w = b in place using Gaussian elimination with
+// partial pivoting. A and b are modified.
+func solveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-14 {
+			return nil, errors.New("stats: singular system")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= A[r][c] * w[c]
+		}
+		w[r] = s / A[r][r]
+	}
+	return w, nil
+}
+
+// KNN is a k-nearest-neighbour regressor over Euclidean feature distance.
+// Features should be roughly comparable in scale; Normalize can be used to
+// z-score them first.
+type KNN struct {
+	K int
+	X [][]float64
+	Y []float64
+}
+
+// FitKNN stores the training set for later queries.
+func FitKNN(k int, X [][]float64, y []float64) (*KNN, error) {
+	if k <= 0 {
+		return nil, errors.New("stats: k must be positive")
+	}
+	if len(X) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(X) != len(y) {
+		return nil, errors.New("stats: X/y length mismatch")
+	}
+	return &KNN{K: k, X: X, Y: y}, nil
+}
+
+// Predict returns the mean target of the k nearest training points.
+func (m *KNN) Predict(x []float64) (float64, error) {
+	if len(m.X) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(x) != len(m.X[0]) {
+		return 0, errors.New("stats: feature dimension mismatch")
+	}
+	type nd struct {
+		d float64
+		y float64
+	}
+	ds := make([]nd, len(m.X))
+	for i, row := range m.X {
+		s := 0.0
+		for j := range row {
+			d := row[j] - x[j]
+			s += d * d
+		}
+		ds[i] = nd{d: s, y: m.Y[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	k := m.K
+	if k > len(ds) {
+		k = len(ds)
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += ds[i].y
+	}
+	return s / float64(k), nil
+}
+
+// Normalize z-scores every column of X in place and returns the per-column
+// means and standard deviations so queries can be transformed identically.
+// Columns with zero variance are left centred but unscaled.
+func Normalize(X [][]float64) (means, stds []float64) {
+	if len(X) == 0 {
+		return nil, nil
+	}
+	d := len(X[0])
+	means = make([]float64, d)
+	stds = make([]float64, d)
+	col := make([]float64, len(X))
+	for j := 0; j < d; j++ {
+		for i := range X {
+			col[i] = X[i][j]
+		}
+		means[j] = Mean(col)
+		stds[j] = StdDev(col)
+		for i := range X {
+			X[i][j] -= means[j]
+			if stds[j] > 0 {
+				X[i][j] /= stds[j]
+			}
+		}
+	}
+	return means, stds
+}
+
+// ApplyNormalization transforms a single feature vector with the statistics
+// returned by Normalize.
+func ApplyNormalization(x, means, stds []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = x[j] - means[j]
+		if j < len(stds) && stds[j] > 0 {
+			out[j] /= stds[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package telemetry implements the consumer side of the D.A.V.I.D.E.
+// monitoring plane (§III-A1 of the paper): agents subscribe to the
+// gateways' MQTT topics and turn the raw power streams into per-node and
+// per-job information. The paper's requirement list — "measured values
+// need to be available in real-time to multiple agents with a low-latency
+// and a synchronized timestamp" — maps to the Aggregator (many can attach
+// to one broker) and to the windowed per-job integration that the
+// energy-accounting layer (EA in Fig. 4) consumes.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"davide/internal/gateway"
+	"davide/internal/mqtt"
+)
+
+// NodeSeries is the reconstructed power series of one node.
+type NodeSeries struct {
+	Node    int
+	Times   []float64 // sample timestamps (gateway clock)
+	Powers  []float64 // watts
+	Batches int
+}
+
+// energyBetween integrates the series over [t0, t1] by rectangle rule.
+func (s *NodeSeries) energyBetween(t0, t1 float64) (float64, error) {
+	if len(s.Times) < 2 {
+		return 0, errors.New("telemetry: series too short")
+	}
+	if t1 < t0 {
+		return 0, errors.New("telemetry: t1 < t0")
+	}
+	dt := s.Times[1] - s.Times[0]
+	e := 0.0
+	for i, t := range s.Times {
+		lo, hi := t, t+dt
+		if lo < t0 {
+			lo = t0
+		}
+		if hi > t1 {
+			hi = t1
+		}
+		if hi > lo {
+			e += s.Powers[i] * (hi - lo)
+		}
+	}
+	return e, nil
+}
+
+// Aggregator subscribes to gateway topics and maintains per-node series.
+// It is safe for concurrent use (the MQTT reader goroutine feeds it while
+// experiment code queries it).
+type Aggregator struct {
+	mu       sync.RWMutex
+	series   map[int]*NodeSeries
+	energies map[int][]gateway.EnergySummary
+	dropped  int
+}
+
+// NewAggregator creates an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		series:   make(map[int]*NodeSeries),
+		energies: make(map[int][]gateway.EnergySummary),
+	}
+}
+
+// Handler returns the mqtt.MessageHandler that feeds this aggregator.
+func (a *Aggregator) Handler() mqtt.MessageHandler {
+	return func(m mqtt.Message) { a.consume(m) }
+}
+
+// consume routes one MQTT message.
+func (a *Aggregator) consume(m mqtt.Message) {
+	switch {
+	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/power", m.Topic):
+		b, err := gateway.DecodeBatch(m.Payload)
+		if err != nil {
+			a.mu.Lock()
+			a.dropped++
+			a.mu.Unlock()
+			return
+		}
+		a.AddBatch(b)
+	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/energy", m.Topic):
+		e, err := gateway.DecodeEnergySummary(m.Payload)
+		if err != nil {
+			a.mu.Lock()
+			a.dropped++
+			a.mu.Unlock()
+			return
+		}
+		a.mu.Lock()
+		a.energies[e.Node] = append(a.energies[e.Node], e)
+		a.mu.Unlock()
+	default:
+		a.mu.Lock()
+		a.dropped++
+		a.mu.Unlock()
+	}
+}
+
+// AddBatch ingests one decoded power batch (also usable without MQTT).
+func (a *Aggregator) AddBatch(b gateway.Batch) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.series[b.Node]
+	if s == nil {
+		s = &NodeSeries{Node: b.Node}
+		a.series[b.Node] = s
+	}
+	for i, p := range b.Samples {
+		s.Times = append(s.Times, b.T0+float64(i)*b.Dt)
+		s.Powers = append(s.Powers, p)
+	}
+	s.Batches++
+}
+
+// Dropped returns the number of undecodable or unroutable messages.
+func (a *Aggregator) Dropped() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.dropped
+}
+
+// Nodes returns the node IDs seen so far, sorted.
+func (a *Aggregator) Nodes() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]int, 0, len(a.series))
+	for id := range a.series {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Samples returns the number of samples held for a node.
+func (a *Aggregator) Samples(node int) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if s := a.series[node]; s != nil {
+		return len(s.Times)
+	}
+	return 0
+}
+
+// NodeEnergy integrates a node's power series over [t0, t1].
+func (a *Aggregator) NodeEnergy(node int, t0, t1 float64) (float64, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s := a.series[node]
+	if s == nil {
+		return 0, fmt.Errorf("telemetry: no data for node %d", node)
+	}
+	return s.energyBetween(t0, t1)
+}
+
+// MeanPower returns the mean power of a node's series over [t0, t1].
+func (a *Aggregator) MeanPower(node int, t0, t1 float64) (float64, error) {
+	e, err := a.NodeEnergy(node, t0, t1)
+	if err != nil {
+		return 0, err
+	}
+	if t1 <= t0 {
+		return 0, errors.New("telemetry: empty window")
+	}
+	return e / (t1 - t0), nil
+}
+
+// Summaries returns the retained energy summaries received for a node.
+func (a *Aggregator) Summaries(node int) []gateway.EnergySummary {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]gateway.EnergySummary(nil), a.energies[node]...)
+}
+
+// JobInterval describes where and when a job ran, for per-job accounting.
+type JobInterval struct {
+	JobID int
+	Nodes []int
+	T0    float64
+	T1    float64
+}
+
+// Validate reports whether the interval is usable.
+func (ji JobInterval) Validate() error {
+	if len(ji.Nodes) == 0 {
+		return errors.New("telemetry: job interval has no nodes")
+	}
+	if ji.T1 <= ji.T0 {
+		return errors.New("telemetry: job interval is empty")
+	}
+	return nil
+}
+
+// JobEnergy computes the job's energy-to-solution by integrating every
+// participating node's series over the job's interval — the paper's
+// per-job energy accounting (EA) primitive.
+func (a *Aggregator) JobEnergy(ji JobInterval) (float64, error) {
+	if err := ji.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, n := range ji.Nodes {
+		e, err := a.NodeEnergy(n, ji.T0, ji.T1)
+		if err != nil {
+			return 0, fmt.Errorf("telemetry: job %d: %w", ji.JobID, err)
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// CorrelatePhases aligns a power series with application phase markers:
+// given phase boundaries (timestamps from the application, synchronised
+// via PTP), it returns the mean power within each phase — the profiling
+// (Pr) functionality of Fig. 4.
+func (a *Aggregator) CorrelatePhases(node int, boundaries []float64) ([]float64, error) {
+	if len(boundaries) < 2 {
+		return nil, errors.New("telemetry: need at least two boundaries")
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			return nil, errors.New("telemetry: boundaries must increase")
+		}
+	}
+	out := make([]float64, 0, len(boundaries)-1)
+	for i := 1; i < len(boundaries); i++ {
+		m, err := a.MeanPower(node, boundaries[i-1], boundaries[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Subscribe attaches the aggregator to a broker by creating an MQTT client
+// subscribed to the whole telemetry tree. The caller owns the returned
+// client and must Close it.
+func Subscribe(brokerAddr, clientID string) (*Aggregator, *mqtt.Client, error) {
+	a := NewAggregator()
+	c, err := mqtt.Dial(brokerAddr, mqtt.ClientOptions{
+		ClientID:     clientID,
+		CleanSession: true,
+		OnMessage:    a.Handler(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.Subscribe(
+		mqtt.Subscription{Filter: gateway.TopicPrefix + "/+/power", QoS: 0},
+		mqtt.Subscription{Filter: gateway.TopicPrefix + "/+/energy", QoS: 1},
+	); err != nil {
+		_ = c.Close()
+		return nil, nil, err
+	}
+	return a, c, nil
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"davide/internal/gateway"
+	"davide/internal/monitors"
+	"davide/internal/mqtt"
+	"davide/internal/ptp"
+	"davide/internal/sensor"
+)
+
+func mkBatch(node int, t0, dt float64, powers ...float64) gateway.Batch {
+	return gateway.Batch{Node: node, T0: t0, Dt: dt, Samples: powers}
+}
+
+func TestAddBatchAndQueries(t *testing.T) {
+	a := NewAggregator()
+	a.AddBatch(mkBatch(3, 0, 1, 100, 100, 100, 100))
+	a.AddBatch(mkBatch(3, 4, 1, 200, 200))
+	a.AddBatch(mkBatch(5, 0, 1, 50))
+	nodes := a.Nodes()
+	if len(nodes) != 2 || nodes[0] != 3 || nodes[1] != 5 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if a.Samples(3) != 6 || a.Samples(5) != 1 || a.Samples(99) != 0 {
+		t.Errorf("Samples = %d/%d/%d", a.Samples(3), a.Samples(5), a.Samples(99))
+	}
+	e, err := a.NodeEnergy(3, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-(400+400)) > 1e-9 {
+		t.Errorf("energy = %v, want 800", e)
+	}
+	m, err := a.MeanPower(3, 0, 4)
+	if err != nil || math.Abs(m-100) > 1e-9 {
+		t.Errorf("mean = %v,%v want 100", m, err)
+	}
+	if _, err := a.NodeEnergy(99, 0, 1); err == nil {
+		t.Error("unknown node should error")
+	}
+	if _, err := a.NodeEnergy(5, 0, 1); err == nil {
+		t.Error("single-sample series should error")
+	}
+	if _, err := a.MeanPower(3, 4, 4); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestJobEnergy(t *testing.T) {
+	a := NewAggregator()
+	for _, n := range []int{0, 1} {
+		a.AddBatch(mkBatch(n, 0, 1, 1000, 1000, 1000, 1000, 1000))
+	}
+	ji := JobInterval{JobID: 9, Nodes: []int{0, 1}, T0: 1, T1: 4}
+	e, err := a.JobEnergy(ji)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-6000) > 1e-9 { // 2 nodes x 1 kW x 3 s
+		t.Errorf("job energy = %v, want 6000", e)
+	}
+	if _, err := a.JobEnergy(JobInterval{JobID: 1, T0: 0, T1: 1}); err == nil {
+		t.Error("no nodes should error")
+	}
+	if _, err := a.JobEnergy(JobInterval{JobID: 1, Nodes: []int{0}, T0: 1, T1: 1}); err == nil {
+		t.Error("empty interval should error")
+	}
+	if _, err := a.JobEnergy(JobInterval{JobID: 1, Nodes: []int{42}, T0: 0, T1: 1}); err == nil {
+		t.Error("missing node should error")
+	}
+}
+
+func TestCorrelatePhases(t *testing.T) {
+	a := NewAggregator()
+	// Power: 100 W for t<5, then 300 W.
+	a.AddBatch(mkBatch(0, 0, 1, 100, 100, 100, 100, 100, 300, 300, 300, 300, 300))
+	phases, err := a.CorrelatePhases(0, []float64{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 || math.Abs(phases[0]-100) > 1e-9 || math.Abs(phases[1]-300) > 1e-9 {
+		t.Errorf("phases = %v", phases)
+	}
+	if _, err := a.CorrelatePhases(0, []float64{1}); err == nil {
+		t.Error("single boundary should error")
+	}
+	if _, err := a.CorrelatePhases(0, []float64{5, 5}); err == nil {
+		t.Error("non-increasing boundaries should error")
+	}
+}
+
+func TestConsumeRoutesAndDrops(t *testing.T) {
+	a := NewAggregator()
+	h := a.Handler()
+	b, err := mkBatch(4, 0, 1, 10, 20).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h(mqtt.Message{Topic: "davide/node04/power", Payload: b})
+	if a.Samples(4) != 2 {
+		t.Errorf("Samples = %d", a.Samples(4))
+	}
+	sum, err := (gateway.EnergySummary{Node: 4, T0: 0, T1: 2, Joules: 30, MeanW: 15}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h(mqtt.Message{Topic: "davide/node04/energy", Payload: sum})
+	if got := a.Summaries(4); len(got) != 1 || got[0].Joules != 30 {
+		t.Errorf("Summaries = %v", got)
+	}
+	// Garbage payloads and foreign topics are dropped, not fatal.
+	h(mqtt.Message{Topic: "davide/node04/power", Payload: []byte("junk")})
+	h(mqtt.Message{Topic: "davide/node04/energy", Payload: []byte("junk")})
+	h(mqtt.Message{Topic: "other/topic", Payload: b})
+	if a.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", a.Dropped())
+	}
+}
+
+// TestEndToEndOverMQTT wires gateway -> broker -> aggregator over real TCP
+// and verifies the delivered energy matches the gateway's own estimate.
+func TestEndToEndOverMQTT(t *testing.T) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = broker.Close() }()
+
+	agg, sub, err := Subscribe(broker.Addr(), "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Close() }()
+
+	pubClient, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: "gw07"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pubClient.Close() }()
+
+	mon, err := monitors.NewBuiltin(monitors.EnergyGateway, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := ptp.NewClock(0, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(7, mon, clock, gateway.ClientPublisher{C: pubClient}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sig := sensor.Sum{sensor.Const(1500), sensor.Square{Low: 0, High: 400, Period: 0.01, Duty: 0.5}}
+	want, err := gw.PublishWindow(sig, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if agg.Samples(7) >= 2500 && len(agg.Summaries(7)) == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if agg.Samples(7) < 2500 {
+		t.Fatalf("samples delivered = %d, want 2500", agg.Samples(7))
+	}
+	got, err := agg.NodeEnergy(7, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.01*want {
+		t.Errorf("delivered energy %v deviates from gateway estimate %v", got, want)
+	}
+	sums := agg.Summaries(7)
+	if len(sums) != 1 || math.Abs(sums[0].Joules-want) > 1e-9 {
+		t.Errorf("summary = %+v, want %v J", sums, want)
+	}
+}
+
+// TestMultipleAgents verifies the paper's "multiple agents" requirement:
+// two aggregators on one broker both see the full stream.
+func TestMultipleAgents(t *testing.T) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = broker.Close() }()
+
+	agg1, sub1, err := Subscribe(broker.Addr(), "agent-accounting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub1.Close() }()
+	agg2, sub2, err := Subscribe(broker.Addr(), "agent-profiler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub2.Close() }()
+
+	pubClient, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: "gw01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pubClient.Close() }()
+	payload, err := mkBatch(1, 0, 1, 500, 600, 700).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pubClient.Publish(gateway.PowerTopic(1), payload, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if agg1.Samples(1) == 3 && agg2.Samples(1) == 3 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("agents got %d and %d samples, want 3 each", agg1.Samples(1), agg2.Samples(1))
+}

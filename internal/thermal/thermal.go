@@ -1,0 +1,303 @@
+// Package thermal models the cooling side of D.A.V.I.D.E. (§II-C, §II-G,
+// §II-I of the paper): per-die RC thermal dynamics under a cold plate or an
+// air heatsink, the direct hot-water loop (35/40 °C inlet, 30 L/min per
+// rack), the liquid/air heat split (75-80 % of heat to liquid), fan laws
+// for the OpenRack fan wall, and the thermal-throttling behaviour that
+// motivates liquid cooling (air-cooled nodes throttle unevenly; liquid
+// cooled nodes all receive the same cooling capacity).
+//
+// The die model is the standard one-pole RC network
+//
+//	C dT/dt = P - (T - Tcoolant)/R
+//
+// integrated in closed form between power changes, so the simulator never
+// needs small time steps.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"davide/internal/units"
+)
+
+// Water properties at ~35 °C.
+const (
+	waterDensityKgPerL  = 0.994
+	waterHeatCapJPerKgK = 4178
+)
+
+// Die is one silicon device under a heatsink or cold plate.
+type Die struct {
+	// RThermal is the junction-to-coolant thermal resistance in K/W.
+	// Direct liquid cold plates reach ~0.04 K/W; air heatsinks in dense
+	// servers are several times worse and vary with their position in
+	// the airflow shadow.
+	RThermal float64
+	// CThermal is the thermal capacitance in J/K.
+	CThermal float64
+	// TMax is the throttle trip temperature in °C.
+	TMax units.Celsius
+	// THyst is the hysteresis below TMax at which the throttle releases.
+	THyst float64
+
+	temp      units.Celsius // current junction temperature
+	coolant   units.Celsius // current coolant/air reference temperature
+	throttled bool
+}
+
+// NewDie creates a die at thermal equilibrium with its coolant.
+func NewDie(r, c float64, tmax units.Celsius, hyst float64, coolant units.Celsius) (*Die, error) {
+	switch {
+	case r <= 0:
+		return nil, errors.New("thermal: thermal resistance must be positive")
+	case c <= 0:
+		return nil, errors.New("thermal: thermal capacitance must be positive")
+	case hyst < 0:
+		return nil, errors.New("thermal: negative hysteresis")
+	case tmax <= coolant:
+		return nil, fmt.Errorf("thermal: TMax %v not above coolant %v", tmax, coolant)
+	}
+	return &Die{RThermal: r, CThermal: c, TMax: tmax, THyst: hyst, temp: coolant, coolant: coolant}, nil
+}
+
+// LiquidCooledDie returns the cold-plate model used for the pilot's CPUs and
+// GPUs: low, uniform thermal resistance.
+func LiquidCooledDie(coolant units.Celsius) *Die {
+	d, err := NewDie(0.06, 120, 95, 8, coolant)
+	if err != nil {
+		panic("thermal: LiquidCooledDie defaults invalid: " + err.Error())
+	}
+	return d
+}
+
+// AirCooledDie returns an air-heatsink model. spread (0..1) worsens the
+// thermal resistance to represent the die's position in the airflow shadow
+// — the source of the uneven throttling the paper describes.
+func AirCooledDie(inletAir units.Celsius, spread float64) (*Die, error) {
+	if spread < 0 || spread > 1 {
+		return nil, errors.New("thermal: spread must be in [0,1]")
+	}
+	r := 0.17 * (1 + 0.8*spread)
+	return NewDie(r, 160, 95, 8, inletAir)
+}
+
+// Temperature returns the current junction temperature.
+func (d *Die) Temperature() units.Celsius { return d.temp }
+
+// Coolant returns the current coolant reference temperature.
+func (d *Die) Coolant() units.Celsius { return d.coolant }
+
+// SetCoolant changes the coolant reference (e.g. warmer facility water).
+func (d *Die) SetCoolant(t units.Celsius) { d.coolant = t }
+
+// Throttled reports whether the junction has tripped its thermal limit.
+func (d *Die) Throttled() bool { return d.throttled }
+
+// SteadyState returns the equilibrium temperature under constant power.
+func (d *Die) SteadyState(power units.Watt) units.Celsius {
+	return d.coolant + units.Celsius(float64(power)*d.RThermal)
+}
+
+// Advance integrates the die temperature over dt seconds under constant
+// power, updating the throttle state with hysteresis, and returns the new
+// temperature.
+func (d *Die) Advance(power units.Watt, dt float64) (units.Celsius, error) {
+	if dt < 0 || math.IsNaN(dt) {
+		return 0, errors.New("thermal: negative time step")
+	}
+	if power < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	tInf := d.SteadyState(power)
+	tau := d.RThermal * d.CThermal
+	d.temp = tInf + (d.temp-tInf)*units.Celsius(math.Exp(-dt/tau))
+	switch {
+	case d.temp >= d.TMax:
+		d.throttled = true
+	case float64(d.temp) <= float64(d.TMax)-d.THyst:
+		d.throttled = false
+	}
+	return d.temp, nil
+}
+
+// TimeToThrottle returns how long the die can sustain the given power
+// before tripping TMax, or +Inf if the steady state stays below the limit.
+func (d *Die) TimeToThrottle(power units.Watt) float64 {
+	tInf := d.SteadyState(power)
+	if tInf < d.TMax {
+		return math.Inf(1)
+	}
+	if d.temp >= d.TMax {
+		return 0
+	}
+	tau := d.RThermal * d.CThermal
+	// Solve TMax = tInf + (T0 - tInf) e^{-t/tau}.
+	frac := float64(d.TMax-tInf) / float64(d.temp-tInf)
+	return -tau * math.Log(frac)
+}
+
+// Loop is the rack-level hot-water loop (§II-I): facility water enters the
+// rack heat exchanger, flows through the manifold and the node cold plates,
+// and leaves warmer.
+type Loop struct {
+	InletTemp units.Celsius // facility inlet (paper: 35-40 °C, up to 45)
+	FlowLPM   float64       // litres per minute (paper: 30 L/min per rack)
+	// LiquidFraction is the share of node heat captured by the cold
+	// plates; the paper commits to 75-80 %.
+	LiquidFraction float64
+	// DewPoint is the facility dew point; inlet must stay 5 °C above it
+	// to avoid condensation (paper §II-C).
+	DewPoint units.Celsius
+}
+
+// NewLoop validates and creates a cooling loop.
+func NewLoop(inlet units.Celsius, flowLPM, liquidFraction float64, dewPoint units.Celsius) (*Loop, error) {
+	switch {
+	case flowLPM <= 0:
+		return nil, errors.New("thermal: flow must be positive")
+	case liquidFraction <= 0 || liquidFraction > 1:
+		return nil, errors.New("thermal: liquid fraction must be in (0,1]")
+	case inlet < dewPoint+5:
+		return nil, fmt.Errorf("thermal: inlet %v below dew point %v + 5°C margin", inlet, dewPoint)
+	case inlet > 45:
+		return nil, fmt.Errorf("thermal: inlet %v exceeds 45°C maximum", inlet)
+	}
+	return &Loop{InletTemp: inlet, FlowLPM: flowLPM, LiquidFraction: liquidFraction, DewPoint: dewPoint}, nil
+}
+
+// PilotLoop returns the pilot-system loop: 35 °C inlet, 30 L/min, 78 %
+// liquid capture, 18 °C dew point.
+func PilotLoop() *Loop {
+	l, err := NewLoop(35, 30, 0.78, 18)
+	if err != nil {
+		panic("thermal: PilotLoop defaults invalid: " + err.Error())
+	}
+	return l
+}
+
+// Split divides node heat between the liquid loop and the air path.
+func (l *Loop) Split(heat units.Watt) (liquid, air units.Watt) {
+	liquid = units.Watt(float64(heat) * l.LiquidFraction)
+	return liquid, heat - liquid
+}
+
+// OutletTemp returns the water temperature leaving the rack when the loop
+// absorbs the given heat at the configured flow.
+func (l *Loop) OutletTemp(liquidHeat units.Watt) units.Celsius {
+	massFlowKgPerS := l.FlowLPM / 60 * waterDensityKgPerL
+	dT := float64(liquidHeat) / (massFlowKgPerS * waterHeatCapJPerKgK)
+	return l.InletTemp + units.Celsius(dT)
+}
+
+// MaxHeatForOutlet returns the heat the loop can absorb before the outlet
+// exceeds maxOutlet (facility limit 50-55 °C in the paper).
+func (l *Loop) MaxHeatForOutlet(maxOutlet units.Celsius) (units.Watt, error) {
+	if maxOutlet <= l.InletTemp {
+		return 0, errors.New("thermal: max outlet below inlet")
+	}
+	massFlowKgPerS := l.FlowLPM / 60 * waterDensityKgPerL
+	return units.Watt(float64(maxOutlet-l.InletTemp) * massFlowKgPerS * waterHeatCapJPerKgK), nil
+}
+
+// Fan models one heavy-duty 5U OpenRack fan with the cube law
+// P = Pnominal * (rpm/rpmNominal)^3.
+type Fan struct {
+	NominalPower units.Watt
+	NominalRPM   float64
+	MinRPMFrac   float64 // idle floor as a fraction of nominal
+	rpmFrac      float64
+}
+
+// NewFan creates a fan running at its minimum speed.
+func NewFan(nominal units.Watt, rpm float64, minFrac float64) (*Fan, error) {
+	switch {
+	case nominal <= 0 || rpm <= 0:
+		return nil, errors.New("thermal: fan nominals must be positive")
+	case minFrac <= 0 || minFrac > 1:
+		return nil, errors.New("thermal: fan floor must be in (0,1]")
+	}
+	return &Fan{NominalPower: nominal, NominalRPM: rpm, MinRPMFrac: minFrac, rpmFrac: minFrac}, nil
+}
+
+// OpenRackFan returns one 5U fan of the pilot's fan wall.
+func OpenRackFan() *Fan {
+	f, err := NewFan(180, 3000, 0.25)
+	if err != nil {
+		panic("thermal: OpenRackFan defaults invalid: " + err.Error())
+	}
+	return f
+}
+
+// SetSpeed sets the fan speed as a fraction of nominal, clamped to
+// [MinRPMFrac, 1].
+func (f *Fan) SetSpeed(frac float64) {
+	if math.IsNaN(frac) {
+		frac = f.MinRPMFrac
+	}
+	f.rpmFrac = math.Min(1, math.Max(f.MinRPMFrac, frac))
+}
+
+// Speed returns the current speed fraction.
+func (f *Fan) Speed() float64 { return f.rpmFrac }
+
+// Power returns the electrical power at the current speed (cube law).
+func (f *Fan) Power() units.Watt {
+	return units.Watt(float64(f.NominalPower) * math.Pow(f.rpmFrac, 3))
+}
+
+// Airflow returns relative airflow (linear in speed), 0..1 of nominal.
+func (f *Fan) Airflow() float64 { return f.rpmFrac }
+
+// SpeedForHeat returns the fan-speed fraction needed to remove airHeat with
+// the given per-fan nominal capacity, clamped to the fan's range.
+func (f *Fan) SpeedForHeat(airHeat, nominalCapacity units.Watt) float64 {
+	if nominalCapacity <= 0 {
+		return 1
+	}
+	frac := float64(airHeat) / float64(nominalCapacity)
+	return math.Min(1, math.Max(f.MinRPMFrac, frac))
+}
+
+// CoolingEfficiency summarises a cooling configuration for experiment E2:
+// the fraction of IT power spent on moving heat (fans + pumping).
+type CoolingEfficiency struct {
+	ITPower     units.Watt
+	LiquidHeat  units.Watt
+	AirHeat     units.Watt
+	FanPower    units.Watt
+	PumpPower   units.Watt
+	OutletTemp  units.Celsius
+	CoolingOver float64 // cooling overhead fraction: (fan+pump)/IT
+}
+
+// EvaluateLoop computes the heat split, outlet temperature, fan-wall power
+// and cooling overhead for a rack dissipating itPower.
+func EvaluateLoop(l *Loop, itPower units.Watt, fans []*Fan, perFanCapacity units.Watt, pumpPower units.Watt) (CoolingEfficiency, error) {
+	if itPower < 0 {
+		return CoolingEfficiency{}, errors.New("thermal: negative IT power")
+	}
+	if len(fans) == 0 {
+		return CoolingEfficiency{}, errors.New("thermal: no fans")
+	}
+	liquid, air := l.Split(itPower)
+	perFanHeat := units.Watt(float64(air) / float64(len(fans)))
+	var fanPower units.Watt
+	for _, f := range fans {
+		f.SetSpeed(f.SpeedForHeat(perFanHeat, perFanCapacity))
+		fanPower += f.Power()
+	}
+	eff := CoolingEfficiency{
+		ITPower:    itPower,
+		LiquidHeat: liquid,
+		AirHeat:    air,
+		FanPower:   fanPower,
+		PumpPower:  pumpPower,
+		OutletTemp: l.OutletTemp(liquid),
+	}
+	if itPower > 0 {
+		eff.CoolingOver = float64(fanPower+pumpPower) / float64(itPower)
+	}
+	return eff, nil
+}

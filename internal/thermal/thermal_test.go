@@ -1,0 +1,405 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"davide/internal/units"
+)
+
+func TestNewDieValidation(t *testing.T) {
+	if _, err := NewDie(0, 100, 95, 5, 35); err == nil {
+		t.Error("zero R should error")
+	}
+	if _, err := NewDie(0.1, 0, 95, 5, 35); err == nil {
+		t.Error("zero C should error")
+	}
+	if _, err := NewDie(0.1, 100, 95, -1, 35); err == nil {
+		t.Error("negative hysteresis should error")
+	}
+	if _, err := NewDie(0.1, 100, 30, 5, 35); err == nil {
+		t.Error("TMax below coolant should error")
+	}
+}
+
+func TestDieStartsAtEquilibrium(t *testing.T) {
+	d := LiquidCooledDie(35)
+	if d.Temperature() != 35 || d.Coolant() != 35 {
+		t.Errorf("initial temp/coolant = %v/%v", d.Temperature(), d.Coolant())
+	}
+	if d.Throttled() {
+		t.Error("fresh die should not be throttled")
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	d := LiquidCooledDie(35) // R = 0.06
+	got := d.SteadyState(300)
+	want := units.Celsius(35 + 300*0.06) // 53 °C
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Errorf("SteadyState(300) = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceConvergesToSteadyState(t *testing.T) {
+	d := LiquidCooledDie(35)
+	want := d.SteadyState(250)
+	var err error
+	var temp units.Celsius
+	for i := 0; i < 100; i++ {
+		temp, err = d.Advance(250, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(float64(temp-want)) > 0.01 {
+		t.Errorf("temp after 100 s = %v, want %v", temp, want)
+	}
+}
+
+func TestAdvanceExactExponential(t *testing.T) {
+	d, err := NewDie(0.1, 100, 95, 5, 30) // tau = 10 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One step of tau: T = Tinf + (T0-Tinf)/e.
+	temp, err := d.Advance(400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tInf := 30 + 400*0.1 // 70
+	want := tInf + (30-tInf)*math.Exp(-1)
+	if math.Abs(float64(temp)-want) > 1e-9 {
+		t.Errorf("temp = %v, want %v", temp, want)
+	}
+	// Integrating in two half-steps gives the same result as one step.
+	d2, _ := NewDie(0.1, 100, 95, 5, 30)
+	_, _ = d2.Advance(400, 5)
+	temp2, _ := d2.Advance(400, 5)
+	if math.Abs(float64(temp2-temp)) > 1e-9 {
+		t.Errorf("two half-steps %v != one step %v", temp2, temp)
+	}
+}
+
+func TestAdvanceErrors(t *testing.T) {
+	d := LiquidCooledDie(35)
+	if _, err := d.Advance(100, -1); err == nil {
+		t.Error("negative dt should error")
+	}
+	if _, err := d.Advance(-5, 1); err == nil {
+		t.Error("negative power should error")
+	}
+}
+
+func TestThrottleHysteresis(t *testing.T) {
+	d, err := NewDie(0.2, 50, 90, 10, 35) // steady at 300 W = 95 °C > TMax
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && !d.Throttled(); i++ {
+		if _, err := d.Advance(300, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Throttled() {
+		t.Fatal("die should throttle at 300 W")
+	}
+	// Dropping power releases the throttle only below TMax - hysteresis.
+	released := false
+	for i := 0; i < 500; i++ {
+		if _, err := d.Advance(50, 1); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Throttled() {
+			released = true
+			if d.Temperature() > units.Celsius(90-10)+0.5 {
+				t.Errorf("released at %v, want <= 80", d.Temperature())
+			}
+			break
+		}
+	}
+	if !released {
+		t.Error("throttle never released")
+	}
+}
+
+func TestLiquidNeverThrottlesAtNodePower(t *testing.T) {
+	// A 300 W GPU under a cold plate with 45 °C water stays below 95 °C:
+	// 45 + 300*0.06 = 63 °C. The paper's reason for liquid cooling.
+	d := LiquidCooledDie(45)
+	for i := 0; i < 600; i++ {
+		if _, err := d.Advance(300, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Throttled() {
+		t.Error("liquid-cooled die must not throttle at 300 W / 45 °C water")
+	}
+}
+
+func TestAirCooledWorstCaseThrottles(t *testing.T) {
+	// The worst-positioned air-cooled die (full spread) at 300 W:
+	// R = 0.17*1.8 = 0.306 → steady 28 + 91.8 ≈ 120 °C → throttles.
+	d, err := AirCooledDie(28, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttt := d.TimeToThrottle(300)
+	if math.IsInf(ttt, 1) {
+		t.Fatal("worst-case air die should eventually throttle")
+	}
+	best, err := AirCooledDie(28, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(best.TimeToThrottle(300), 1) {
+		// best-case air: 28 + 51 = 79 °C, below 95.
+		t.Error("best-case air die should not throttle")
+	}
+}
+
+func TestAirCooledSpreadValidation(t *testing.T) {
+	if _, err := AirCooledDie(28, -0.1); err == nil {
+		t.Error("negative spread should error")
+	}
+	if _, err := AirCooledDie(28, 1.1); err == nil {
+		t.Error("spread > 1 should error")
+	}
+}
+
+func TestTimeToThrottle(t *testing.T) {
+	d, err := NewDie(0.3, 100, 90, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttt := d.TimeToThrottle(300) // steady = 120 > 90
+	if ttt <= 0 || math.IsInf(ttt, 1) {
+		t.Fatalf("TimeToThrottle = %v", ttt)
+	}
+	// Advance exactly that long: temperature reaches TMax.
+	temp, err := d.Advance(300, ttt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(temp-90)) > 1e-6 {
+		t.Errorf("temp after TimeToThrottle = %v, want 90", temp)
+	}
+	if d.TimeToThrottle(300) != 0 {
+		t.Error("already-hot die should return 0")
+	}
+}
+
+func TestLoopValidation(t *testing.T) {
+	if _, err := NewLoop(35, 0, 0.78, 18); err == nil {
+		t.Error("zero flow should error")
+	}
+	if _, err := NewLoop(35, 30, 0, 18); err == nil {
+		t.Error("zero liquid fraction should error")
+	}
+	if _, err := NewLoop(35, 30, 1.2, 18); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+	if _, err := NewLoop(20, 30, 0.78, 18); err == nil {
+		t.Error("inlet below dew point margin should error")
+	}
+	if _, err := NewLoop(46, 30, 0.78, 18); err == nil {
+		t.Error("inlet above 45°C should error")
+	}
+}
+
+func TestSplitMatchesPaper(t *testing.T) {
+	l := PilotLoop()
+	liquid, air := l.Split(32000) // one rack at full load
+	frac := float64(liquid) / 32000
+	if frac < 0.75 || frac > 0.80 {
+		t.Errorf("liquid fraction = %v, want 75-80%%", frac)
+	}
+	if math.Abs(float64(liquid+air)-32000) > 1e-9 {
+		t.Error("split must conserve heat")
+	}
+}
+
+func TestOutletTemp(t *testing.T) {
+	l := PilotLoop() // 30 L/min, 35 °C inlet
+	// 30 L/min = 0.497 kg/s; 20 kW liquid heat → dT ≈ 9.63 °C.
+	out := l.OutletTemp(20000)
+	if out <= l.InletTemp {
+		t.Fatal("outlet must exceed inlet")
+	}
+	dT := float64(out - l.InletTemp)
+	if math.Abs(dT-9.63) > 0.2 {
+		t.Errorf("outlet dT = %v, want ~9.6", dT)
+	}
+}
+
+func TestMaxHeatForOutlet(t *testing.T) {
+	l := PilotLoop()
+	q, err := l.MaxHeatForOutlet(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check by inverting: the outlet at that heat is 50 °C.
+	out := l.OutletTemp(q)
+	if math.Abs(float64(out-50)) > 1e-6 {
+		t.Errorf("outlet at max heat = %v, want 50", out)
+	}
+	if _, err := l.MaxHeatForOutlet(30); err == nil {
+		t.Error("max outlet below inlet should error")
+	}
+}
+
+func TestRackHeatWithinFacilityLimit(t *testing.T) {
+	// The paper's rack: 32 kW budget, 78 % liquid → ~25 kW liquid heat,
+	// which must fit within the 50-55 °C facility outlet limit.
+	l := PilotLoop()
+	liquid, _ := l.Split(32000)
+	maxQ, err := l.MaxHeatForOutlet(55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liquid > maxQ {
+		t.Errorf("liquid heat %v exceeds facility limit %v", liquid, maxQ)
+	}
+}
+
+func TestFanValidation(t *testing.T) {
+	if _, err := NewFan(0, 3000, 0.2); err == nil {
+		t.Error("zero power should error")
+	}
+	if _, err := NewFan(100, 0, 0.2); err == nil {
+		t.Error("zero rpm should error")
+	}
+	if _, err := NewFan(100, 3000, 0); err == nil {
+		t.Error("zero floor should error")
+	}
+	if _, err := NewFan(100, 3000, 1.5); err == nil {
+		t.Error("floor > 1 should error")
+	}
+}
+
+func TestFanCubeLaw(t *testing.T) {
+	f := OpenRackFan()
+	f.SetSpeed(1.0)
+	full := f.Power()
+	f.SetSpeed(0.5)
+	half := f.Power()
+	if math.Abs(float64(half)/float64(full)-0.125) > 1e-9 {
+		t.Errorf("half-speed power ratio = %v, want 0.125", float64(half)/float64(full))
+	}
+	f.SetSpeed(0.01) // clamps to floor
+	if f.Speed() != f.MinRPMFrac {
+		t.Errorf("speed = %v, want floor %v", f.Speed(), f.MinRPMFrac)
+	}
+	f.SetSpeed(2)
+	if f.Speed() != 1 {
+		t.Errorf("speed = %v, want 1", f.Speed())
+	}
+	f.SetSpeed(math.NaN())
+	if f.Speed() != f.MinRPMFrac {
+		t.Errorf("NaN speed = %v, want floor", f.Speed())
+	}
+	if f.Airflow() != f.Speed() {
+		t.Error("airflow should track speed")
+	}
+}
+
+func TestSpeedForHeat(t *testing.T) {
+	f := OpenRackFan()
+	if got := f.SpeedForHeat(500, 1000); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SpeedForHeat = %v, want 0.5", got)
+	}
+	if got := f.SpeedForHeat(2000, 1000); got != 1 {
+		t.Errorf("over-capacity speed = %v, want 1", got)
+	}
+	if got := f.SpeedForHeat(1, 1000); got != f.MinRPMFrac {
+		t.Errorf("tiny heat speed = %v, want floor", got)
+	}
+	if got := f.SpeedForHeat(1, 0); got != 1 {
+		t.Errorf("zero capacity speed = %v, want 1", got)
+	}
+}
+
+func TestEvaluateLoop(t *testing.T) {
+	l := PilotLoop()
+	fans := []*Fan{OpenRackFan(), OpenRackFan(), OpenRackFan(), OpenRackFan()}
+	eff, err := EvaluateLoop(l, 32000, fans, 2500, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(eff.LiquidHeat+eff.AirHeat-eff.ITPower)) > 1e-9 {
+		t.Error("heat not conserved")
+	}
+	if eff.CoolingOver <= 0 || eff.CoolingOver > 0.2 {
+		t.Errorf("cooling overhead = %v, want small positive", eff.CoolingOver)
+	}
+	if eff.OutletTemp <= l.InletTemp {
+		t.Error("outlet must exceed inlet")
+	}
+	if _, err := EvaluateLoop(l, -1, fans, 2500, 0); err == nil {
+		t.Error("negative IT power should error")
+	}
+	if _, err := EvaluateLoop(l, 1000, nil, 2500, 0); err == nil {
+		t.Error("no fans should error")
+	}
+}
+
+func TestHotterWaterRaisesOutletNotOverhead(t *testing.T) {
+	// Hot-water cooling (§V-B): raising inlet temperature shifts outlet up
+	// 1:1 but leaves the fan overhead unchanged — that is why free cooling
+	// works with hot water.
+	fans := func() []*Fan { return []*Fan{OpenRackFan(), OpenRackFan()} }
+	cool, err := NewLoop(25, 30, 0.78, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewLoop(44, 30, 0.78, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCool, err := EvaluateLoop(cool, 20000, fans(), 3000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHot, err := EvaluateLoop(hot, 20000, fans(), 3000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(eHot.OutletTemp-eCool.OutletTemp)-19) > 1e-6 {
+		t.Errorf("outlet delta = %v, want 19", eHot.OutletTemp-eCool.OutletTemp)
+	}
+	if math.Abs(eHot.CoolingOver-eCool.CoolingOver) > 1e-12 {
+		t.Error("fan overhead should not depend on water temperature")
+	}
+}
+
+// Property: die temperature never undershoots coolant nor overshoots the
+// steady state when starting from equilibrium.
+func TestDieBoundedProperty(t *testing.T) {
+	f := func(rawP, rawDt float64) bool {
+		p := math.Mod(math.Abs(rawP), 500)
+		dt := math.Mod(math.Abs(rawDt), 100)
+		d := LiquidCooledDie(35)
+		temp, err := d.Advance(units.Watt(p), dt)
+		if err != nil {
+			return false
+		}
+		return temp >= 35-1e-9 && temp <= d.SteadyState(units.Watt(p))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: heat split conserves energy for any load.
+func TestSplitConservationProperty(t *testing.T) {
+	l := PilotLoop()
+	f := func(raw float64) bool {
+		p := units.Watt(math.Mod(math.Abs(raw), 50000))
+		liquid, air := l.Split(p)
+		return math.Abs(float64(liquid+air-p)) < 1e-6 && liquid >= 0 && air >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

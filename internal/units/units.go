@@ -1,0 +1,108 @@
+// Package units provides physical quantities and formatting helpers used
+// throughout the D.A.V.I.D.E. simulator: power, energy, frequency,
+// temperature, data rates and floating-point throughput.
+//
+// All quantities are represented as float64 in SI base units (watts, joules,
+// hertz, degrees Celsius, bytes per second, flop/s). The named types exist
+// for documentation and for their String methods; arithmetic is performed on
+// the underlying float64 values so the package imposes no runtime cost.
+package units
+
+import "fmt"
+
+// Watt is electrical power in watts.
+type Watt float64
+
+// Joule is energy in joules.
+type Joule float64
+
+// Hertz is frequency in hertz.
+type Hertz float64
+
+// Celsius is temperature in degrees Celsius.
+type Celsius float64
+
+// BytesPerSec is a data rate in bytes per second.
+type BytesPerSec float64
+
+// Flops is floating-point throughput in flop/s.
+type Flops float64
+
+// Common scale factors.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+	Peta = 1e15
+)
+
+// KW returns w expressed in kilowatts.
+func (w Watt) KW() float64 { return float64(w) / Kilo }
+
+// MW returns w expressed in megawatts.
+func (w Watt) MW() float64 { return float64(w) / Mega }
+
+// String formats the power with an auto-selected SI prefix.
+func (w Watt) String() string { return siFormat(float64(w), "W") }
+
+// KWh returns the energy expressed in kilowatt-hours.
+func (j Joule) KWh() float64 { return float64(j) / 3.6e6 }
+
+// String formats the energy with an auto-selected SI prefix.
+func (j Joule) String() string { return siFormat(float64(j), "J") }
+
+// GHz returns the frequency expressed in gigahertz.
+func (h Hertz) GHz() float64 { return float64(h) / Giga }
+
+// String formats the frequency with an auto-selected SI prefix.
+func (h Hertz) String() string { return siFormat(float64(h), "Hz") }
+
+// String formats the temperature.
+func (c Celsius) String() string { return fmt.Sprintf("%.1f°C", float64(c)) }
+
+// GBs returns the rate expressed in gigabytes per second.
+func (b BytesPerSec) GBs() float64 { return float64(b) / Giga }
+
+// String formats the data rate with an auto-selected SI prefix.
+func (b BytesPerSec) String() string { return siFormat(float64(b), "B/s") }
+
+// TFlops returns the throughput expressed in teraflop/s.
+func (f Flops) TFlops() float64 { return float64(f) / Tera }
+
+// GFlops returns the throughput expressed in gigaflop/s.
+func (f Flops) GFlops() float64 { return float64(f) / Giga }
+
+// String formats the throughput with an auto-selected SI prefix.
+func (f Flops) String() string { return siFormat(float64(f), "Flops") }
+
+// Efficiency returns the energy-efficiency metric used by the Green500 list,
+// gigaflop/s per watt. It returns 0 when power is not positive.
+func Efficiency(f Flops, w Watt) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return f.GFlops() / float64(w)
+}
+
+// siFormat renders v with the largest SI prefix that keeps the mantissa >= 1.
+func siFormat(v float64, unit string) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= Peta:
+		return fmt.Sprintf("%.2fP%s", v/Peta, unit)
+	case av >= Tera:
+		return fmt.Sprintf("%.2fT%s", v/Tera, unit)
+	case av >= Giga:
+		return fmt.Sprintf("%.2fG%s", v/Giga, unit)
+	case av >= Mega:
+		return fmt.Sprintf("%.2fM%s", v/Mega, unit)
+	case av >= Kilo:
+		return fmt.Sprintf("%.2fk%s", v/Kilo, unit)
+	default:
+		return fmt.Sprintf("%.2f%s", v, unit)
+	}
+}

@@ -1,0 +1,98 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWattConversions(t *testing.T) {
+	w := Watt(98_000)
+	if got := w.KW(); got != 98 {
+		t.Errorf("KW() = %v, want 98", got)
+	}
+	if got := w.MW(); got != 0.098 {
+		t.Errorf("MW() = %v, want 0.098", got)
+	}
+}
+
+func TestJouleKWh(t *testing.T) {
+	j := Joule(3.6e6)
+	if got := j.KWh(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("KWh() = %v, want 1", got)
+	}
+}
+
+func TestHertzGHz(t *testing.T) {
+	h := Hertz(3.5e9)
+	if got := h.GHz(); got != 3.5 {
+		t.Errorf("GHz() = %v, want 3.5", got)
+	}
+}
+
+func TestFlopsConversions(t *testing.T) {
+	f := Flops(22e12) // one D.A.V.I.D.E. node
+	if got := f.TFlops(); got != 22 {
+		t.Errorf("TFlops() = %v, want 22", got)
+	}
+	if got := f.GFlops(); got != 22000 {
+		t.Errorf("GFlops() = %v, want 22000", got)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// The paper's pilot target: 1 PFlops at <100 kW is >=10 GFlops/W.
+	eff := Efficiency(Flops(1e15), Watt(100_000))
+	if math.Abs(eff-10) > 1e-9 {
+		t.Errorf("Efficiency = %v, want 10", eff)
+	}
+	if got := Efficiency(Flops(1), Watt(0)); got != 0 {
+		t.Errorf("Efficiency with zero power = %v, want 0", got)
+	}
+	if got := Efficiency(Flops(1), Watt(-5)); got != 0 {
+		t.Errorf("Efficiency with negative power = %v, want 0", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, wantSub string
+	}{
+		{Watt(2000).String(), "2.00kW"},
+		{Watt(98e3).String(), "98.00kW"},
+		{Watt(0.5).String(), "0.50W"},
+		{Joule(7.2e6).String(), "7.20MJ"},
+		{Hertz(3.5e9).String(), "3.50GHz"},
+		{Flops(1e15).String(), "1.00PFlops"},
+		{Flops(22e12).String(), "22.00TFlops"},
+		{BytesPerSec(80e9).String(), "80.00GB/s"},
+		{Celsius(35).String(), "35.0°C"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.got, c.wantSub) {
+			t.Errorf("String() = %q, want substring %q", c.got, c.wantSub)
+		}
+	}
+}
+
+func TestNegativeSIFormat(t *testing.T) {
+	if got := Watt(-2000).String(); got != "-2.00kW" {
+		t.Errorf("negative watt String() = %q, want -2.00kW", got)
+	}
+}
+
+func TestEfficiencyScaleInvariance(t *testing.T) {
+	// Efficiency(k*f, k*w) == Efficiency(f, w) for k > 0.
+	f := func(flops, watts, scale float64) bool {
+		flops = math.Mod(math.Abs(flops), 1e18) + 1
+		watts = math.Mod(math.Abs(watts), 1e6) + 1
+		scale = math.Mod(math.Abs(scale), 100) + 0.5
+		a := Efficiency(Flops(flops), Watt(watts))
+		b := Efficiency(Flops(flops*scale), Watt(watts*scale))
+		return math.Abs(a-b) <= 1e-9*math.Max(a, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

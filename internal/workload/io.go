@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// jobJSON is the stable on-disk form of a Job (the trace format the
+// paper's management node records for predictor training).
+type jobJSON struct {
+	ID        int     `json:"id"`
+	User      int     `json:"user"`
+	App       string  `json:"app"`
+	Nodes     int     `json:"nodes"`
+	SubmitAt  float64 `json:"submit_at"`
+	WallLimit float64 `json:"wall_limit"`
+	Duration  float64 `json:"duration"`
+	PowerW    float64 `json:"power_per_node_w"`
+}
+
+// appByName maps the stable names back to kinds.
+func appByName(name string) (AppKind, error) {
+	for k := AppKind(0); k < numAppKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown app %q", name)
+}
+
+// WriteJobs serialises a job trace as JSON.
+func WriteJobs(w io.Writer, jobs []Job) error {
+	if len(jobs) == 0 {
+		return errors.New("workload: no jobs to write")
+	}
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("workload: job %d: %w", j.ID, err)
+		}
+		out[i] = jobJSON{
+			ID: j.ID, User: j.User, App: j.App.String(), Nodes: j.Nodes,
+			SubmitAt: j.SubmitAt, WallLimit: j.WallLimit,
+			Duration: j.Duration, PowerW: j.TruePowerPerNode,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJobs parses a JSON job trace, validating every record and the
+// submission-time ordering.
+func ReadJobs(r io.Reader) ([]Job, error) {
+	var raw []jobJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("workload: empty trace")
+	}
+	out := make([]Job, len(raw))
+	for i, jj := range raw {
+		app, err := appByName(jj.App)
+		if err != nil {
+			return nil, err
+		}
+		j := Job{
+			ID: jj.ID, User: jj.User, App: app, Nodes: jj.Nodes,
+			SubmitAt: jj.SubmitAt, WallLimit: jj.WallLimit,
+			Duration: jj.Duration, TruePowerPerNode: jj.PowerW,
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: record %d: %w", i, err)
+		}
+		if i > 0 && j.SubmitAt < out[i-1].SubmitAt {
+			return nil, errors.New("workload: trace not sorted by submit time")
+		}
+		out[i] = j
+	}
+	return out, nil
+}

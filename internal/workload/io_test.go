@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJobsJSONRoundTrip(t *testing.T) {
+	g, err := NewGenerator(DefaultGeneratorConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, got[i], jobs[i])
+		}
+	}
+}
+
+func TestWriteJobsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	bad := []Job{{ID: 1, Nodes: 0, WallLimit: 1, Duration: 1, TruePowerPerNode: 1}}
+	if err := WriteJobs(&buf, bad); err == nil {
+		t.Error("invalid job should error")
+	}
+}
+
+func TestReadJobsErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		"[]",
+		`[{"id":1,"app":"NoSuchApp","nodes":1,"wall_limit":10,"duration":5,"power_per_node_w":100}]`,
+		`[{"id":1,"app":"NEMO","nodes":0,"wall_limit":10,"duration":5,"power_per_node_w":100}]`,
+		`[{"id":1,"app":"NEMO","nodes":1,"submit_at":100,"wall_limit":10,"duration":5,"power_per_node_w":100},
+		  {"id":2,"app":"NEMO","nodes":1,"submit_at":50,"wall_limit":10,"duration":5,"power_per_node_w":100}]`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJobs(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestAppByNameCoversAllKinds(t *testing.T) {
+	for k := AppKind(0); k < numAppKinds; k++ {
+		got, err := appByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("appByName(%q) = %v,%v", k.String(), got, err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package workload models the job stream of the D.A.V.I.D.E. pilot: the
+// four applications of European interest from §IV of the paper (Quantum
+// ESPRESSO, NEMO, SPECFEM3D, BQCD) plus a generic filler class, a user
+// population with per-user habits, Poisson arrivals and log-normal service
+// times. The generator substitutes for the historical CINECA traces the
+// paper's machine-learning power predictors would train on: each job's true
+// mean power is a deterministic function of its submission-time features
+// plus noise, which is exactly the structure those predictors exploit
+// (refs [17][18] of the paper).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AppKind identifies an application class.
+type AppKind int
+
+// Application classes from §IV of the paper.
+const (
+	QuantumESPRESSO AppKind = iota // FFT-heavy, GPU-bound, NVLink-sensitive
+	NEMO                           // stencil, memory-bound, flat profile
+	SPECFEM3D                      // spectral elements, GPU, overlap-friendly
+	BQCD                           // lattice QCD CG, comm-sensitive
+	Generic                        // everything else in the queue
+	numAppKinds
+)
+
+// String names the application.
+func (a AppKind) String() string {
+	switch a {
+	case QuantumESPRESSO:
+		return "QuantumESPRESSO"
+	case NEMO:
+		return "NEMO"
+	case SPECFEM3D:
+		return "SPECFEM3D"
+	case BQCD:
+		return "BQCD"
+	case Generic:
+		return "Generic"
+	default:
+		return fmt.Sprintf("AppKind(%d)", int(a))
+	}
+}
+
+// AppProfile captures how an application class loads a node.
+type AppProfile struct {
+	Kind AppKind
+	// CPUUtil / GPUUtil / MemUtil are the mean component utilisations
+	// while the job runs.
+	CPUUtil, GPUUtil, MemUtil float64
+	// PowerPerNode is the resulting mean node power draw in watts on a
+	// Garrison node (derived from the node model; kept here so the
+	// predictor's ground truth is self-contained).
+	PowerPerNode float64
+	// PowerSpread is the relative run-to-run variation of that power.
+	PowerSpread float64
+	// PhasePeriod/PhaseDuty describe the power phase structure (compute
+	// vs communication) for the high-rate monitoring experiments.
+	PhasePeriod float64
+	PhaseDuty   float64
+}
+
+// Profile returns the built-in profile of an application class.
+func Profile(kind AppKind) (AppProfile, error) {
+	switch kind {
+	case QuantumESPRESSO:
+		// GPU-localised FFT: high GPU, moderate CPU, bursty phases.
+		return AppProfile{Kind: kind, CPUUtil: 0.45, GPUUtil: 0.95, MemUtil: 0.6,
+			PowerPerNode: 1750, PowerSpread: 0.06, PhasePeriod: 0.8, PhaseDuty: 0.7}, nil
+	case NEMO:
+		// Memory-bound stencil, CPU-dominated (GPU port immature), flat.
+		return AppProfile{Kind: kind, CPUUtil: 0.85, GPUUtil: 0.25, MemUtil: 0.95,
+			PowerPerNode: 1050, PowerSpread: 0.04, PhasePeriod: 4.0, PhaseDuty: 0.9}, nil
+	case SPECFEM3D:
+		// GPU-heavy with neat comm overlap: steady high draw.
+		return AppProfile{Kind: kind, CPUUtil: 0.35, GPUUtil: 0.9, MemUtil: 0.55,
+			PowerPerNode: 1680, PowerSpread: 0.05, PhasePeriod: 2.0, PhaseDuty: 0.85}, nil
+	case BQCD:
+		// CG solver with halo exchanges: pronounced compute/comm phases.
+		return AppProfile{Kind: kind, CPUUtil: 0.5, GPUUtil: 0.85, MemUtil: 0.7,
+			PowerPerNode: 1550, PowerSpread: 0.07, PhasePeriod: 0.25, PhaseDuty: 0.6}, nil
+	case Generic:
+		return AppProfile{Kind: kind, CPUUtil: 0.6, GPUUtil: 0.4, MemUtil: 0.5,
+			PowerPerNode: 1100, PowerSpread: 0.12, PhasePeriod: 1.5, PhaseDuty: 0.75}, nil
+	default:
+		return AppProfile{}, fmt.Errorf("workload: unknown app kind %d", int(kind))
+	}
+}
+
+// Job is one batch job as the scheduler sees it.
+type Job struct {
+	ID        int
+	User      int
+	App       AppKind
+	Nodes     int     // requested node count
+	SubmitAt  float64 // submission time, seconds
+	WallLimit float64 // user-requested wall-clock limit, seconds
+	Duration  float64 // actual runtime, seconds (hidden from scheduler)
+	// TruePowerPerNode is the job's actual mean node power draw in watts
+	// (hidden from the scheduler; predictors estimate it).
+	TruePowerPerNode float64
+}
+
+// Validate reports whether the job is well-formed.
+func (j Job) Validate() error {
+	switch {
+	case j.Nodes <= 0:
+		return errors.New("workload: job needs at least one node")
+	case j.WallLimit <= 0:
+		return errors.New("workload: non-positive wall limit")
+	case j.Duration <= 0 || j.Duration > j.WallLimit:
+		return fmt.Errorf("workload: duration %g outside (0, wall %g]", j.Duration, j.WallLimit)
+	case j.TruePowerPerNode <= 0:
+		return errors.New("workload: non-positive power")
+	case j.SubmitAt < 0:
+		return errors.New("workload: negative submit time")
+	}
+	return nil
+}
+
+// TotalPower returns the job's mean power across all its nodes.
+func (j Job) TotalPower() float64 { return j.TruePowerPerNode * float64(j.Nodes) }
+
+// Features returns the submission-time feature vector used by the power
+// predictors: everything here is known before the job starts (paper refs
+// [17][18]): app class one-hot, requested nodes, requested wall time, and
+// the user's identity bucket.
+func (j Job) Features() []float64 {
+	f := make([]float64, 0, int(numAppKinds)+3)
+	for k := AppKind(0); k < numAppKinds; k++ {
+		if j.App == k {
+			f = append(f, 1)
+		} else {
+			f = append(f, 0)
+		}
+	}
+	f = append(f, float64(j.Nodes))
+	f = append(f, j.WallLimit/3600) // hours
+	f = append(f, float64(j.User%16))
+	return f
+}
+
+// GeneratorConfig tunes the synthetic trace.
+type GeneratorConfig struct {
+	Seed int64
+	// Users in the population.
+	Users int
+	// MeanInterarrival between submissions, seconds.
+	MeanInterarrival float64
+	// MaxNodes a job may request.
+	MaxNodes int
+	// MeanRuntime and RuntimeSigma parameterise the log-normal service
+	// time (sigma in log space).
+	MeanRuntime  float64
+	RuntimeSigma float64
+	// AppMix weights the application classes; nil = default mix.
+	AppMix []float64
+	// WallFactorMax: users request up to this multiple of actual runtime.
+	WallFactorMax float64
+}
+
+// DefaultGeneratorConfig returns a pilot-like workload: 32 users, jobs of
+// 1-8 nodes, ~45 minute mean runtime.
+func DefaultGeneratorConfig(seed int64) GeneratorConfig {
+	return GeneratorConfig{
+		Seed:             seed,
+		Users:            32,
+		MeanInterarrival: 180,
+		MaxNodes:         8,
+		MeanRuntime:      2700,
+		RuntimeSigma:     0.9,
+		AppMix:           []float64{0.22, 0.18, 0.15, 0.15, 0.30},
+		WallFactorMax:    3.0,
+	}
+}
+
+// Validate reports whether the generator configuration is usable.
+func (c GeneratorConfig) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return errors.New("workload: need at least one user")
+	case c.MeanInterarrival <= 0:
+		return errors.New("workload: non-positive interarrival")
+	case c.MaxNodes <= 0:
+		return errors.New("workload: non-positive max nodes")
+	case c.MeanRuntime <= 0 || c.RuntimeSigma <= 0:
+		return errors.New("workload: invalid runtime distribution")
+	case c.WallFactorMax < 1:
+		return errors.New("workload: wall factor must be >= 1")
+	}
+	if c.AppMix != nil {
+		if len(c.AppMix) != int(numAppKinds) {
+			return fmt.Errorf("workload: app mix needs %d weights", int(numAppKinds))
+		}
+		s := 0.0
+		for _, w := range c.AppMix {
+			if w < 0 {
+				return errors.New("workload: negative app weight")
+			}
+			s += w
+		}
+		if s <= 0 {
+			return errors.New("workload: zero total app weight")
+		}
+	}
+	return nil
+}
+
+// Generator produces a deterministic synthetic job trace.
+type Generator struct {
+	cfg  GeneratorConfig
+	rng  *rand.Rand
+	next int // next job ID
+	now  float64
+	// userBias gives each user a personal power factor (some users run
+	// better-optimised inputs): part of the learnable structure.
+	userBias []float64
+	// userApps biases each user towards a home application.
+	userApps []AppKind
+}
+
+// NewGenerator creates a generator.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, rng: rng}
+	for u := 0; u < cfg.Users; u++ {
+		g.userBias = append(g.userBias, 0.85+0.3*rng.Float64())
+		g.userApps = append(g.userApps, g.sampleApp())
+	}
+	return g, nil
+}
+
+// sampleApp draws an application class from the mix.
+func (g *Generator) sampleApp() AppKind {
+	mix := g.cfg.AppMix
+	if mix == nil {
+		mix = DefaultGeneratorConfig(0).AppMix
+	}
+	total := 0.0
+	for _, w := range mix {
+		total += w
+	}
+	x := g.rng.Float64() * total
+	for k, w := range mix {
+		x -= w
+		if x < 0 {
+			return AppKind(k)
+		}
+	}
+	return Generic
+}
+
+// Next generates the next job in submission order.
+func (g *Generator) Next() Job {
+	g.now += g.rng.ExpFloat64() * g.cfg.MeanInterarrival
+	user := g.rng.Intn(g.cfg.Users)
+	app := g.sampleApp()
+	// 60% of the time a user runs their home application.
+	if g.rng.Float64() < 0.6 {
+		app = g.userApps[user]
+	}
+	prof, err := Profile(app)
+	if err != nil {
+		prof, _ = Profile(Generic)
+	}
+	// Log-normal runtime around the configured mean.
+	mu := math.Log(g.cfg.MeanRuntime) - g.cfg.RuntimeSigma*g.cfg.RuntimeSigma/2
+	dur := math.Exp(mu + g.cfg.RuntimeSigma*g.rng.NormFloat64())
+	if dur < 60 {
+		dur = 60
+	}
+	wall := dur * (1 + g.rng.Float64()*(g.cfg.WallFactorMax-1))
+	nodes := 1 + g.rng.Intn(g.cfg.MaxNodes)
+	// True power: profile mean x user bias x mild node-count economy
+	// (larger jobs spend more time communicating) + noise.
+	nodeEconomy := 1 - 0.02*math.Min(float64(nodes-1), 8)
+	power := prof.PowerPerNode * g.userBias[user] * nodeEconomy *
+		(1 + prof.PowerSpread*g.rng.NormFloat64())
+	if power < 400 {
+		power = 400
+	}
+	j := Job{
+		ID:               g.next,
+		User:             user,
+		App:              app,
+		Nodes:            nodes,
+		SubmitAt:         g.now,
+		WallLimit:        wall,
+		Duration:         dur,
+		TruePowerPerNode: power,
+	}
+	g.next++
+	return j
+}
+
+// Batch generates n jobs in submission order.
+func (g *Generator) Batch(n int) ([]Job, error) {
+	if n <= 0 {
+		return nil, errors.New("workload: batch size must be positive")
+	}
+	out := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out, nil
+}

@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppKindString(t *testing.T) {
+	for k := AppKind(0); k < numAppKinds; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "AppKind(") {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+	}
+	if !strings.Contains(AppKind(99).String(), "99") {
+		t.Error("unknown kind should include number")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for k := AppKind(0); k < numAppKinds; k++ {
+		p, err := Profile(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if p.Kind != k {
+			t.Errorf("%v: profile kind mismatch", k)
+		}
+		if p.PowerPerNode <= 0 || p.PowerPerNode > 2000 {
+			t.Errorf("%v: power %v outside node envelope", k, p.PowerPerNode)
+		}
+		if p.CPUUtil < 0 || p.CPUUtil > 1 || p.GPUUtil < 0 || p.GPUUtil > 1 {
+			t.Errorf("%v: utilisations out of range", k)
+		}
+		if p.PhaseDuty <= 0 || p.PhaseDuty >= 1 || p.PhasePeriod <= 0 {
+			t.Errorf("%v: bad phase structure", k)
+		}
+	}
+	if _, err := Profile(AppKind(42)); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestProfileRelationshipsMatchPaper(t *testing.T) {
+	qe, _ := Profile(QuantumESPRESSO)
+	nemo, _ := Profile(NEMO)
+	bqcd, _ := Profile(BQCD)
+	// NEMO is memory-bound CPU code: highest memory, lowest GPU of the
+	// three; QE is GPU/FFT-bound: highest GPU utilisation.
+	if nemo.MemUtil <= qe.MemUtil {
+		t.Error("NEMO should be the most memory-bound")
+	}
+	if qe.GPUUtil < nemo.GPUUtil || qe.GPUUtil < 0.9 {
+		t.Error("QE should be GPU-dominated")
+	}
+	// BQCD's CG phases are the shortest — the aliasing stressor.
+	if bqcd.PhasePeriod >= qe.PhasePeriod || bqcd.PhasePeriod >= nemo.PhasePeriod {
+		t.Error("BQCD should have the fastest phase alternation")
+	}
+	// GPU-heavy codes draw more power than the CPU stencil.
+	if qe.PowerPerNode <= nemo.PowerPerNode {
+		t.Error("QE node power should exceed NEMO's")
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Job{ID: 1, Nodes: 2, SubmitAt: 0, WallLimit: 100, Duration: 50, TruePowerPerNode: 1500}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Job){
+		func(j *Job) { j.Nodes = 0 },
+		func(j *Job) { j.WallLimit = 0 },
+		func(j *Job) { j.Duration = 0 },
+		func(j *Job) { j.Duration = j.WallLimit + 1 },
+		func(j *Job) { j.TruePowerPerNode = 0 },
+		func(j *Job) { j.SubmitAt = -1 },
+	}
+	for i, m := range mut {
+		j := good
+		m(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	j := Job{Nodes: 4, TruePowerPerNode: 1500}
+	if j.TotalPower() != 6000 {
+		t.Errorf("TotalPower = %v", j.TotalPower())
+	}
+}
+
+func TestFeaturesShapeAndOneHot(t *testing.T) {
+	j := Job{ID: 1, User: 21, App: NEMO, Nodes: 4, WallLimit: 7200, Duration: 100, TruePowerPerNode: 1000}
+	f := j.Features()
+	wantLen := int(numAppKinds) + 3
+	if len(f) != wantLen {
+		t.Fatalf("features len = %d, want %d", len(f), wantLen)
+	}
+	ones := 0
+	for k := 0; k < int(numAppKinds); k++ {
+		if f[k] == 1 {
+			ones++
+			if AppKind(k) != NEMO {
+				t.Error("one-hot on wrong app")
+			}
+		} else if f[k] != 0 {
+			t.Error("one-hot entries must be 0/1")
+		}
+	}
+	if ones != 1 {
+		t.Errorf("one-hot count = %d", ones)
+	}
+	if f[int(numAppKinds)] != 4 {
+		t.Error("nodes feature wrong")
+	}
+	if f[int(numAppKinds)+1] != 2 { // 7200 s = 2 h
+		t.Error("wall-hours feature wrong")
+	}
+	if f[int(numAppKinds)+2] != float64(21%16) {
+		t.Error("user bucket feature wrong")
+	}
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	good := DefaultGeneratorConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*GeneratorConfig){
+		func(c *GeneratorConfig) { c.Users = 0 },
+		func(c *GeneratorConfig) { c.MeanInterarrival = 0 },
+		func(c *GeneratorConfig) { c.MaxNodes = 0 },
+		func(c *GeneratorConfig) { c.MeanRuntime = 0 },
+		func(c *GeneratorConfig) { c.RuntimeSigma = 0 },
+		func(c *GeneratorConfig) { c.WallFactorMax = 0.5 },
+		func(c *GeneratorConfig) { c.AppMix = []float64{1} },
+		func(c *GeneratorConfig) { c.AppMix = []float64{-1, 1, 1, 1, 1} },
+		func(c *GeneratorConfig) { c.AppMix = []float64{0, 0, 0, 0, 0} },
+	}
+	for i, m := range mut {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+		if _, err := NewGenerator(c); err == nil {
+			t.Errorf("NewGenerator with mutation %d should fail", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, err := NewGenerator(DefaultGeneratorConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(DefaultGeneratorConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := g1.Batch(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := g2.Batch(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("job %d differs between same-seed runs", i)
+		}
+	}
+	g3, _ := NewGenerator(DefaultGeneratorConfig(43))
+	b3, _ := g3.Batch(50)
+	same := true
+	for i := range b1 {
+		if b1[i] != b3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratedJobsValid(t *testing.T) {
+	g, err := NewGenerator(DefaultGeneratorConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSubmit := -1.0
+	ids := map[int]bool{}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", j.ID, err)
+		}
+		if j.SubmitAt < lastSubmit {
+			t.Fatal("submissions must be time-ordered")
+		}
+		lastSubmit = j.SubmitAt
+		if ids[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		ids[j.ID] = true
+		if j.Nodes > DefaultGeneratorConfig(7).MaxNodes {
+			t.Fatalf("job %d requests too many nodes", j.ID)
+		}
+	}
+}
+
+func TestGeneratedMixRoughlyMatchesWeights(t *testing.T) {
+	g, err := NewGenerator(DefaultGeneratorConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[AppKind]int{}
+	for _, j := range jobs {
+		counts[j.App]++
+	}
+	for k := AppKind(0); k < numAppKinds; k++ {
+		if counts[k] == 0 {
+			t.Errorf("app %v never generated", k)
+		}
+	}
+	// Generic carries the largest weight.
+	if counts[Generic] < counts[SPECFEM3D] {
+		t.Error("mix weights not respected")
+	}
+}
+
+func TestPowerStructureLearnable(t *testing.T) {
+	// Same user + same app should have much lower power variance than the
+	// population at large: this is the structure predictors exploit.
+	g, err := NewGenerator(DefaultGeneratorConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := g.Batch(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	groups := map[[2]int][]float64{}
+	for _, j := range jobs {
+		all = append(all, j.TruePowerPerNode)
+		key := [2]int{j.User, int(j.App)}
+		groups[key] = append(groups[key], j.TruePowerPerNode)
+	}
+	variance := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		return v / float64(len(xs))
+	}
+	popVar := variance(all)
+	var within, n float64
+	for _, xs := range groups {
+		if len(xs) >= 5 {
+			within += variance(xs) * float64(len(xs))
+			n += float64(len(xs))
+		}
+	}
+	within /= n
+	if within >= popVar/2 {
+		t.Errorf("within-group variance %v should be far below population %v", within, popVar)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	g, err := NewGenerator(DefaultGeneratorConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Batch(0); err == nil {
+		t.Error("zero batch should error")
+	}
+	if _, err := g.Batch(-1); err == nil {
+		t.Error("negative batch should error")
+	}
+}
+
+// Property: every generated job respects the node-power envelope of a
+// Garrison node (≤ ~2 kW per node).
+func TestGeneratedPowerEnvelopeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := NewGenerator(DefaultGeneratorConfig(seed))
+		if err != nil {
+			return false
+		}
+		jobs, err := g.Batch(100)
+		if err != nil {
+			return false
+		}
+		for _, j := range jobs {
+			if j.TruePowerPerNode < 400 || j.TruePowerPerNode > 2400 {
+				return false
+			}
+			if math.IsNaN(j.TruePowerPerNode) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package davide
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadePowerAPI(t *testing.T) {
+	n, err := NewNode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1)
+	h, err := NewNodePowerHierarchy(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.Get("node03", AttrPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-float64(n.Power())) > 1e-9 {
+		t.Errorf("power = %v", p)
+	}
+	// Cap a GPU through the standard interface and watch power drop.
+	before, err := h.Get("node03.gpu0", AttrPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Set("node03.gpu0", AttrPowerCap, 150); err != nil {
+		t.Fatal(err)
+	}
+	after, err := h.Get("node03.gpu0", AttrPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before || after > 150 {
+		t.Errorf("capped GPU power %v (was %v)", after, before)
+	}
+}
+
+func TestFacadeClusterPowerAPI(t *testing.T) {
+	c, err := NewPilotCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewPowerHierarchy(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := h.Get("davide", AttrPeakFlops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl < 0.9e15 {
+		t.Errorf("platform peak = %v, want ~1 PFlops", fl)
+	}
+	rep, err := h.Report("davide.cab0.node00")
+	if err != nil || rep == "" {
+		t.Errorf("report = %q, %v", rep, err)
+	}
+}
