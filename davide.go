@@ -23,6 +23,7 @@ import (
 	"davide/internal/cluster"
 	"davide/internal/core"
 	"davide/internal/energyapi"
+	"davide/internal/fleet"
 	"davide/internal/gateway"
 	"davide/internal/monitors"
 	"davide/internal/mqtt"
@@ -147,9 +148,45 @@ func CompareMonitors(sig Signal, t0, t1, fullScale float64, seed int64) ([]Monit
 // NewBroker starts an MQTT broker on addr (e.g. "127.0.0.1:0").
 func NewBroker(addr string) (*Broker, error) { return mqtt.NewBroker(addr) }
 
+// Telemetry fleet: the concurrent gateway→MQTT→aggregator replay
+// subsystem (see internal/fleet).
+type (
+	// Fleet assembles per-node gateways and streams signal windows
+	// through a shared broker over a bounded worker pool.
+	Fleet = fleet.Fleet
+	// GatewaySpec describes how every gateway in a fleet is built.
+	GatewaySpec = fleet.GatewaySpec
+	// NodeStream pairs a node ID with the signal its gateway samples.
+	NodeStream = fleet.NodeStream
+	// FleetNodeStats reports one node's share of a fleet stream.
+	FleetNodeStats = fleet.NodeStats
+	// FleetStreamStats aggregates one fleet stream across all nodes.
+	FleetStreamStats = fleet.StreamStats
+)
+
+// NewFleet creates a gateway fleet publishing to the broker at brokerAddr;
+// workers bounds streaming concurrency (0 = one worker per CPU).
+func NewFleet(brokerAddr string, spec GatewaySpec, workers int) (*Fleet, error) {
+	return fleet.New(brokerAddr, spec, workers)
+}
+
+// ConstSignal returns a constant power signal, the simplest input for a
+// standalone fleet replay (System.NodeSignal supplies scheduled traces).
+func ConstSignal(watts float64) Signal { return sensor.Const(watts) }
+
 // SubscribeTelemetry attaches a new aggregator to a broker.
 func SubscribeTelemetry(brokerAddr, clientID string) (*Aggregator, *mqtt.Client, error) {
 	return telemetry.Subscribe(brokerAddr, clientID)
+}
+
+// TelemetryIngest is a sharded parallel decode pool for an aggregator.
+type TelemetryIngest = telemetry.Ingest
+
+// SubscribeTelemetryParallel attaches a new aggregator through a parallel
+// decode pool (workers = 0 means one per CPU), so batch parsing scales
+// with cores. Close the client first, then the ingest pool.
+func SubscribeTelemetryParallel(brokerAddr, clientID string, workers int) (*Aggregator, *TelemetryIngest, *mqtt.Client, error) {
+	return telemetry.SubscribeParallel(brokerAddr, clientID, workers)
 }
 
 // Hardware and accounting.

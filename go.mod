@@ -1,0 +1,3 @@
+module davide
+
+go 1.24

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,11 +26,9 @@ import (
 
 	"davide/internal/accounting"
 	"davide/internal/cluster"
-	"davide/internal/gateway"
-	"davide/internal/monitors"
+	"davide/internal/fleet"
 	"davide/internal/mqtt"
 	"davide/internal/predictor"
-	"davide/internal/ptp"
 	"davide/internal/sched"
 	"davide/internal/sensor"
 	"davide/internal/telemetry"
@@ -44,6 +43,11 @@ type System struct {
 
 	// IdleNodePowerW is the idle draw used in node signals and billing.
 	IdleNodePowerW float64
+
+	// StreamWorkers bounds how many gateways publish concurrently during
+	// telemetry replays; 0 means one worker per CPU, 1 reproduces the
+	// sequential one-node-at-a-time replay.
+	StreamWorkers int
 
 	// Node power signals from the last RunScheduled, one per node.
 	signals []*sensor.Piecewise
@@ -229,6 +233,8 @@ type StreamResult struct {
 	// MaxEnergyErrPct is the worst per-node deviation between the
 	// telemetry-derived energy and the analytic truth.
 	MaxEnergyErrPct float64
+	// PerNode carries each gateway's publish/delivery statistics.
+	PerNode []fleet.NodeStats
 }
 
 // StreamWindow replays [t0, t1] of the last run's node signals through
@@ -258,60 +264,32 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	}
 	defer func() { _ = broker.Close() }()
 
-	agg, sub, err := telemetry.Subscribe(broker.Addr(), "core-aggregator")
+	agg, ingest, sub, err := telemetry.SubscribeParallel(broker.Addr(), "core-aggregator", 0)
 	if err != nil {
 		return StreamResult{}, err
 	}
+	defer ingest.Close()
 	defer func() { _ = sub.Close() }()
 
-	spec := monitors.Spec{
-		Class: monitors.EnergyGateway, RawRate: sampleRate * 16, OutputRate: sampleRate,
-		Averaged: true, Bits: 12, NoiseLSB: 0.5, ClockOffsetS: 5e-6, FullScale: 20000,
+	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
+		SampleRate: sampleRate, ClientPrefix: "gw", SeedBase: 1000,
+	}, s.StreamWorkers)
+	if err != nil {
+		return StreamResult{}, err
 	}
-	res := StreamResult{Window: t1 - t0, NodesStreamed: nodes}
-	for n := 0; n < nodes; n++ {
-		client, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: fmt.Sprintf("gw%02d", n)})
-		if err != nil {
-			return StreamResult{}, err
-		}
-		mon, err := monitors.New(spec, int64(1000+n))
-		if err != nil {
-			_ = client.Close()
-			return StreamResult{}, err
-		}
-		clock, err := ptp.NewClock(0, 0, 0, int64(n))
-		if err != nil {
-			_ = client.Close()
-			return StreamResult{}, err
-		}
-		gw, err := gateway.New(n, mon, clock, gateway.ClientPublisher{C: client}, 512)
-		if err != nil {
-			_ = client.Close()
-			return StreamResult{}, err
-		}
-		if _, err := gw.PublishWindow(s.signals[n], t0, t1); err != nil {
-			_ = client.Close()
-			return StreamResult{}, err
-		}
-		res.SamplesSent += gw.SampleCount()
-		res.BatchesSent += gw.Published()
-		_ = client.Close()
-	}
+	defer func() { _ = fl.Close() }()
 
-	// Wait for delivery.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		done := true
-		for n := 0; n < nodes; n++ {
-			if agg.Samples(n) < int((t1-t0)*sampleRate)-1 {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
-		time.Sleep(time.Millisecond)
+	streams := make([]fleet.NodeStream, nodes)
+	for n := 0; n < nodes; n++ {
+		streams[n] = fleet.NodeStream{Node: n, Signal: s.signals[n]}
+	}
+	st, err := fl.Stream(context.Background(), streams, t0, t1, agg)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	res := StreamResult{
+		Window: t1 - t0, NodesStreamed: nodes,
+		SamplesSent: st.Samples, BatchesSent: st.Batches, PerNode: st.PerNode,
 	}
 
 	for n := 0; n < nodes; n++ {
@@ -356,54 +334,27 @@ func (s *System) JobEnergyFromTelemetry(jobID int, sampleRate float64) (telemetr
 		return 0, 0, err
 	}
 	defer func() { _ = broker.Close() }()
-	agg, sub, err := telemetry.Subscribe(broker.Addr(), "job-ea")
+	agg, ingest, sub, err := telemetry.SubscribeParallel(broker.Addr(), "job-ea", 0)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer ingest.Close()
 	defer func() { _ = sub.Close() }()
 
-	spec := monitors.Spec{
-		Class: monitors.EnergyGateway, RawRate: sampleRate * 16, OutputRate: sampleRate,
-		Averaged: true, Bits: 12, NoiseLSB: 0.5, ClockOffsetS: 5e-6, FullScale: 20000,
+	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
+		SampleRate: sampleRate, ClientPrefix: "jgw", SeedBase: 2000,
+	}, s.StreamWorkers)
+	if err != nil {
+		return 0, 0, err
 	}
-	wantSamples := 0
+	defer func() { _ = fl.Close() }()
+
+	streams := make([]fleet.NodeStream, 0, len(nodes))
 	for _, n := range nodes {
-		client, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: fmt.Sprintf("jgw%02d", n)})
-		if err != nil {
-			return 0, 0, err
-		}
-		mon, err := monitors.New(spec, int64(2000+n))
-		if err != nil {
-			_ = client.Close()
-			return 0, 0, err
-		}
-		clock, err := ptp.NewClock(0, 0, 0, int64(n))
-		if err != nil {
-			_ = client.Close()
-			return 0, 0, err
-		}
-		gw, err := gateway.New(n, mon, clock, gateway.ClientPublisher{C: client}, 512)
-		if err != nil {
-			_ = client.Close()
-			return 0, 0, err
-		}
-		if _, err := gw.PublishWindow(s.signals[n], rec.StartAt, rec.EndAt); err != nil {
-			_ = client.Close()
-			return 0, 0, err
-		}
-		wantSamples += gw.SampleCount()
-		_ = client.Close()
+		streams = append(streams, fleet.NodeStream{Node: n, Signal: s.signals[n]})
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		got := 0
-		for _, n := range nodes {
-			got += agg.Samples(n)
-		}
-		if got >= wantSamples {
-			break
-		}
-		time.Sleep(time.Millisecond)
+	if _, err := fl.Stream(context.Background(), streams, rec.StartAt, rec.EndAt, agg); err != nil {
+		return 0, 0, err
 	}
 	tj, err := agg.JobEnergy(telemetry.JobInterval{
 		JobID: jobID, Nodes: nodes, T0: rec.StartAt, T1: rec.EndAt,

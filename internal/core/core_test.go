@@ -235,3 +235,103 @@ func TestJobEnergyFromTelemetry(t *testing.T) {
 		t.Error("unknown job should error")
 	}
 }
+
+func TestAssignNodesTieBreak(t *testing.T) {
+	// Job 2 starts exactly when job 1 ends on a cluster that only has
+	// enough nodes if the completion is processed before the start.
+	jobs := []workload.Job{
+		{ID: 1, Nodes: 2},
+		{ID: 2, Nodes: 2},
+	}
+	res := &sched.Result{
+		Starts: map[int]float64{1: 0, 2: 10},
+		Ends:   map[int]float64{1: 10, 2: 20},
+	}
+	out, err := assignNodes(jobs, res, 2)
+	if err != nil {
+		t.Fatalf("equal-timestamp handover failed: %v", err)
+	}
+	if len(out[1]) != 2 || len(out[2]) != 2 {
+		t.Errorf("assignments = %v", out)
+	}
+}
+
+func TestAssignNodesErrors(t *testing.T) {
+	jobs := []workload.Job{{ID: 1, Nodes: 1}}
+	if _, err := assignNodes(jobs, &sched.Result{
+		Starts: map[int]float64{}, Ends: map[int]float64{},
+	}, 4); err == nil {
+		t.Error("job missing from schedule should error")
+	}
+	// Overlapping jobs that exceed capacity cannot be replayed.
+	jobs = []workload.Job{{ID: 1, Nodes: 2}, {ID: 2, Nodes: 2}}
+	res := &sched.Result{
+		Starts: map[int]float64{1: 0, 2: 5},
+		Ends:   map[int]float64{1: 10, 2: 15},
+	}
+	if _, err := assignNodes(jobs, res, 2); err == nil {
+		t.Error("capacity overflow should error")
+	}
+}
+
+func TestStreamWindowErrorPaths(t *testing.T) {
+	fresh, err := NewSystem(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.StreamWindow(0, 1, 50, 1); err == nil {
+		t.Error("no prior run should error")
+	}
+	s := newSystem(t)
+	if _, err := s.RunScheduled(genJobs(t, 20, 2), sched.Config{Policy: sched.EASY}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StreamWindow(5, 5, 50, 1); err == nil {
+		t.Error("empty window should error")
+	}
+	if _, err := s.StreamWindow(6, 5, 50, 1); err == nil {
+		t.Error("inverted window should error")
+	}
+	if _, err := s.StreamWindow(0, 1, 0, 1); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	if _, err := s.StreamWindow(0, 1, -50, 1); err == nil {
+		t.Error("negative sample rate should error")
+	}
+}
+
+func TestStreamWindowConcurrencyInvariant(t *testing.T) {
+	// The concurrent fleet must publish exactly what the sequential
+	// replay publishes, with the same telemetry accuracy: per-node
+	// monitor seeds are fixed by node ID, not by worker order.
+	s := newSystem(t)
+	if _, err := s.RunScheduled(genJobs(t, 40, 9), sched.Config{Policy: sched.EASY}); err != nil {
+		t.Fatal(err)
+	}
+	s.StreamWorkers = 1
+	seq, err := s.StreamWindow(0, 50, 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StreamWorkers = 6
+	conc, err := s.StreamWindow(0, 50, 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.SamplesSent != conc.SamplesSent || seq.BatchesSent != conc.BatchesSent {
+		t.Errorf("sequential %d/%d != concurrent %d/%d samples/batches",
+			seq.SamplesSent, seq.BatchesSent, conc.SamplesSent, conc.BatchesSent)
+	}
+	if math.Abs(seq.MaxEnergyErrPct-conc.MaxEnergyErrPct) > 1e-9 {
+		t.Errorf("energy error drifted: seq %v%%, conc %v%%",
+			seq.MaxEnergyErrPct, conc.MaxEnergyErrPct)
+	}
+	if len(conc.PerNode) != 6 {
+		t.Errorf("PerNode = %d entries, want 6", len(conc.PerNode))
+	}
+	for _, ns := range conc.PerNode {
+		if !ns.Delivered {
+			t.Errorf("node %d not confirmed delivered", ns.Node)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package fleet orchestrates the gateway side of the D.A.V.I.D.E.
+// telemetry plane at cluster scale: it assembles one energy gateway per
+// node — sampling monitor, PTP-disciplined clock and a persistent MQTT
+// client — from a single GatewaySpec, and replays windows of node power
+// signals through a real broker concurrently, over a bounded worker pool.
+//
+// The package exists so that experiment drivers (internal/core, cmd/,
+// examples/) never hand-build the per-node monitor/clock/client/gateway
+// chain: they describe the fleet once and stream as many windows as they
+// like. Gateways and their MQTT connections are dialed lazily on first use
+// and reused across Stream calls, which is what a real deployment does —
+// the BeagleBone on each node keeps one long-lived broker session.
+//
+// Delivery completion is event-driven: after publishing, each worker waits
+// on telemetry.Aggregator.WaitSamples for exactly the number of samples
+// its gateway put on the wire, so StreamStats.Wall measures the pipeline
+// (encode, TCP, broker fan-out, decode, ingest), not a poll interval.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"davide/internal/gateway"
+	"davide/internal/monitors"
+	"davide/internal/mqtt"
+	"davide/internal/ptp"
+	"davide/internal/sensor"
+	"davide/internal/telemetry"
+)
+
+// DefaultWaitTimeout bounds each node's delivery wait when the Stream
+// context carries no deadline of its own. The clock starts after the
+// node's publish completes, so the bound never shrinks with window size
+// or fleet size.
+const DefaultWaitTimeout = 10 * time.Second
+
+// GatewaySpec describes how to build every gateway in a fleet. Zero fields
+// other than SampleRate take the pilot's energy-gateway defaults (§III-A1:
+// 12-bit ADC chain, 16× hardware averaging, PTP-bounded clock offset).
+// Because zero means "unset", the spec cannot model an ideal noiseless or
+// perfectly-synchronised gateway: NoiseLSB and ClockOffsetS are coerced to
+// the pilot's non-zero values — build monitors directly for such studies.
+type GatewaySpec struct {
+	// SampleRate is the published output rate in samples per second of
+	// virtual time. Required.
+	SampleRate float64
+	// Oversample is the raw-to-output rate ratio (default 16).
+	Oversample float64
+	// Bits is the ADC resolution (default 12).
+	Bits int
+	// NoiseLSB is the ADC noise in LSBs (default 0.5).
+	NoiseLSB float64
+	// ClockOffsetS is the residual PTP clock offset (default 5e-6).
+	ClockOffsetS float64
+	// FullScale is the ADC full-scale power in watts (default 20000).
+	FullScale float64
+	// BatchSamples is the number of samples per MQTT batch (default 512).
+	BatchSamples int
+	// ClientPrefix prefixes the per-node MQTT client IDs (default "fleet").
+	ClientPrefix string
+	// SeedBase offsets the per-node monitor noise seeds (default 1000).
+	SeedBase int64
+}
+
+// withDefaults fills unset fields with the pilot gateway configuration.
+func (sp GatewaySpec) withDefaults() GatewaySpec {
+	if sp.Oversample == 0 {
+		sp.Oversample = 16
+	}
+	if sp.Bits == 0 {
+		sp.Bits = 12
+	}
+	if sp.NoiseLSB == 0 {
+		sp.NoiseLSB = 0.5
+	}
+	if sp.ClockOffsetS == 0 {
+		sp.ClockOffsetS = 5e-6
+	}
+	if sp.FullScale == 0 {
+		sp.FullScale = 20000
+	}
+	if sp.BatchSamples == 0 {
+		sp.BatchSamples = 512
+	}
+	if sp.ClientPrefix == "" {
+		sp.ClientPrefix = "fleet"
+	}
+	if sp.SeedBase == 0 {
+		sp.SeedBase = 1000
+	}
+	return sp
+}
+
+// Validate reports whether the spec can build gateways.
+func (sp GatewaySpec) Validate() error {
+	if sp.SampleRate <= 0 {
+		return errors.New("fleet: sample rate must be positive")
+	}
+	return nil
+}
+
+// monitorSpec derives the sampling-chain spec for one gateway.
+func (sp GatewaySpec) monitorSpec() monitors.Spec {
+	return monitors.Spec{
+		Class:        monitors.EnergyGateway,
+		RawRate:      sp.SampleRate * sp.Oversample,
+		OutputRate:   sp.SampleRate,
+		Averaged:     true,
+		Bits:         sp.Bits,
+		NoiseLSB:     sp.NoiseLSB,
+		ClockOffsetS: sp.ClockOffsetS,
+		FullScale:    sp.FullScale,
+	}
+}
+
+// member is one assembled node gateway with its persistent broker session.
+type member struct {
+	client *mqtt.Client
+	gw     *gateway.Gateway
+}
+
+// Fleet owns N node gateways attached to one broker and streams signal
+// windows through them concurrently.
+type Fleet struct {
+	brokerAddr string
+	spec       GatewaySpec
+	workers    int
+
+	// streamMu serialises Stream calls: gateways keep per-window counters
+	// and an MQTT session each, so one window streams at a time (the pool
+	// inside Stream is where the concurrency lives).
+	streamMu sync.Mutex
+
+	mu      sync.Mutex
+	members map[int]*member
+	closed  bool
+}
+
+// New creates a fleet publishing to the broker at brokerAddr. workers
+// bounds the number of gateways streaming concurrently; workers <= 0 uses
+// one worker per CPU. Gateways are dialed lazily on first use.
+func New(brokerAddr string, spec GatewaySpec, workers int) (*Fleet, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if brokerAddr == "" {
+		return nil, errors.New("fleet: broker address required")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Fleet{
+		brokerAddr: brokerAddr,
+		spec:       spec,
+		workers:    workers,
+		members:    make(map[int]*member),
+	}, nil
+}
+
+// Workers returns the concurrency bound of the streaming pool.
+func (f *Fleet) Workers() int { return f.workers }
+
+// Size returns the number of gateways assembled so far.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Close disconnects every gateway's broker session.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var first error
+	for _, m := range f.members {
+		if err := m.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// member returns the node's gateway, assembling and dialing it on first
+// use. Assembly happens outside the fleet lock so workers dial their
+// nodes' connections in parallel.
+func (f *Fleet) member(node int) (*member, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, errors.New("fleet: closed")
+	}
+	if m, ok := f.members[node]; ok {
+		f.mu.Unlock()
+		return m, nil
+	}
+	f.mu.Unlock()
+
+	client, err := mqtt.Dial(f.brokerAddr, mqtt.ClientOptions{
+		ClientID: fmt.Sprintf("%s%02d", f.spec.ClientPrefix, node),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
+	}
+	mon, err := monitors.New(f.spec.monitorSpec(), f.spec.SeedBase+int64(node))
+	if err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
+	}
+	clock, err := ptp.NewClock(0, 0, 0, int64(node))
+	if err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
+	}
+	gw, err := gateway.New(node, mon, clock, gateway.ClientPublisher{C: client}, f.spec.BatchSamples)
+	if err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		_ = client.Close()
+		return nil, errors.New("fleet: closed")
+	}
+	if existing, ok := f.members[node]; ok {
+		_ = client.Close()
+		return existing, nil
+	}
+	m := &member{client: client, gw: gw}
+	f.members[node] = m
+	return m, nil
+}
+
+// NodeStream pairs a node ID with the power signal its gateway samples.
+type NodeStream struct {
+	Node   int
+	Signal sensor.Signal
+}
+
+// NodeStats reports one node's share of a Stream call.
+type NodeStats struct {
+	Node      int
+	Samples   int           // power samples published in this window
+	Batches   int           // power batches published in this window
+	EnergyJ   float64       // gateway-side energy estimate for the window
+	Bytes     int64         // MQTT payload bytes sent in this window
+	Wall      time.Duration // publish + delivery wait for this node
+	Delivered bool          // aggregator confirmed every sample arrived
+}
+
+// StreamStats aggregates one Stream call across the fleet.
+type StreamStats struct {
+	Nodes   int
+	Samples int
+	Batches int
+	Bytes   int64
+	// Wall is the wall-clock time of the whole fan-out: publish through
+	// confirmed delivery of the slowest node.
+	Wall    time.Duration
+	PerNode []NodeStats
+}
+
+// Stream replays [t0, t1) of every node signal through the fleet's
+// gateways over the shared broker, at most Workers nodes in flight at
+// once. If agg is non-nil, each worker blocks until the aggregator has
+// ingested exactly the samples its gateway published (event-driven, no
+// polling); a node whose delivery wait times out is reported with
+// Delivered=false rather than failing the stream, matching lossy QoS-0
+// semantics. Cancelling ctx aborts the fan-out with an error; a ctx
+// *deadline* only bounds the delivery waits. Publish errors fail the
+// stream. Concurrent Stream calls on one Fleet serialise; the concurrency
+// lives in the per-call worker pool.
+func (f *Fleet) Stream(ctx context.Context, nodes []NodeStream, t0, t1 float64, agg *telemetry.Aggregator) (StreamStats, error) {
+	if len(nodes) == 0 {
+		return StreamStats{}, errors.New("fleet: no nodes to stream")
+	}
+	if t1 <= t0 {
+		return StreamStats{}, errors.New("fleet: empty window")
+	}
+	seen := make(map[int]struct{}, len(nodes))
+	for _, ns := range nodes {
+		if ns.Signal == nil {
+			return StreamStats{}, fmt.Errorf("fleet: node %d has no signal", ns.Node)
+		}
+		if _, dup := seen[ns.Node]; dup {
+			// One gateway per node: two workers must never drive the same
+			// member (its counters, clock and client are single-flight).
+			return StreamStats{}, fmt.Errorf("fleet: node %d listed twice", ns.Node)
+		}
+		seen[ns.Node] = struct{}{}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f.streamMu.Lock()
+	defer f.streamMu.Unlock()
+
+	start := time.Now()
+	perNode := make([]NodeStats, len(nodes))
+	errs := make([]error, len(nodes))
+	tasks := make(chan int, len(nodes))
+	for i := range nodes {
+		tasks <- i
+	}
+	close(tasks)
+	var wg sync.WaitGroup
+	workers := f.workers
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if errors.Is(ctx.Err(), context.Canceled) {
+					errs[i] = ctx.Err()
+					continue
+				}
+				perNode[i], errs[i] = f.streamOne(ctx, nodes[i], t0, t1, agg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return StreamStats{}, err
+	}
+	sort.Slice(perNode, func(i, j int) bool { return perNode[i].Node < perNode[j].Node })
+	stats := StreamStats{Nodes: len(nodes), Wall: time.Since(start), PerNode: perNode}
+	for _, ns := range perNode {
+		stats.Samples += ns.Samples
+		stats.Batches += ns.Batches
+		stats.Bytes += ns.Bytes
+	}
+	return stats, nil
+}
+
+// streamOne publishes one node's window and waits for its delivery.
+func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, agg *telemetry.Aggregator) (NodeStats, error) {
+	m, err := f.member(ns.Node)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	begin := time.Now()
+	before := m.gw.Stats()
+	bytesBefore := m.client.Stats.PublishBytes.Load()
+	baseline := 0
+	if agg != nil {
+		baseline = agg.Samples(ns.Node)
+	}
+	energy, err := m.gw.PublishWindow(ns.Signal, t0, t1)
+	if err != nil {
+		return NodeStats{}, fmt.Errorf("fleet: node %d: %w", ns.Node, err)
+	}
+	after := m.gw.Stats()
+	st := NodeStats{
+		Node:    ns.Node,
+		Samples: after.Samples - before.Samples,
+		Batches: after.Batches - before.Batches,
+		EnergyJ: energy,
+		Bytes:   m.client.Stats.PublishBytes.Load() - bytesBefore,
+	}
+	if agg != nil {
+		// Wait for the aggregator's pre-publish count plus exactly the
+		// samples this window put on the wire: an exact, gateway-reported
+		// target (no rate*window off-by-one arithmetic) that also holds
+		// when a fresh aggregator attaches mid-way through the fleet's
+		// life. The wait deadline starts after the publish, per node.
+		// Caveat: if a *previous* window on this node timed out with
+		// samples still in flight, those stragglers count toward this
+		// target and Delivered can report true with this window's tail
+		// still pending — once a node times out, treat later windows on
+		// the same aggregator as best-effort too.
+		waitCtx := ctx
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			waitCtx, cancel = context.WithTimeout(ctx, DefaultWaitTimeout)
+			defer cancel()
+		}
+		err := agg.WaitSamples(waitCtx, ns.Node, baseline+st.Samples)
+		if errors.Is(err, context.Canceled) {
+			// Caller abort, not a lossy-delivery timeout: propagate.
+			return st, fmt.Errorf("fleet: node %d: %w", ns.Node, err)
+		}
+		st.Delivered = err == nil
+	}
+	st.Wall = time.Since(begin)
+	return st, nil
+}

@@ -122,6 +122,14 @@ type Gateway struct {
 
 	published int
 	samples   int
+	energyJ   float64
+}
+
+// Stats summarises a gateway's cumulative publishing activity.
+type Stats struct {
+	Batches int     // power batches published
+	Samples int     // power samples published
+	EnergyJ float64 // sum of the per-window energy estimates
 }
 
 // New creates a gateway.
@@ -146,6 +154,11 @@ func (g *Gateway) Published() int { return g.published }
 
 // SampleCount returns the number of samples published.
 func (g *Gateway) SampleCount() int { return g.samples }
+
+// Stats returns the gateway's cumulative publishing statistics.
+func (g *Gateway) Stats() Stats {
+	return Stats{Batches: g.published, Samples: g.samples, EnergyJ: g.energyJ}
+}
 
 // PublishWindow samples the signal over global time [t0, t1), stamps the
 // samples with the gateway clock, publishes the power batches at QoS 0
@@ -207,6 +220,7 @@ func (g *Gateway) PublishWindow(sig sensor.Signal, t0, t1 float64) (float64, err
 	if err := g.Pub.Publish(EnergyTopic(g.NodeID), payload, 1, true); err != nil {
 		return 0, err
 	}
+	g.energyJ += energy
 	return energy, nil
 }
 

@@ -278,3 +278,32 @@ func TestOverheadModel(t *testing.T) {
 		t.Errorf("saturated slowdown = %v", s)
 	}
 }
+
+func TestStatsAccumulateAcrossWindows(t *testing.T) {
+	pub := &memPublisher{}
+	g := newGateway(t, pub)
+	sig := sensor.Const(500)
+	e1, err := g.PublishWindow(sig, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Stats()
+	if first.Samples != g.SampleCount() || first.Batches != g.Published() {
+		t.Errorf("Stats %+v disagree with SampleCount/Published %d/%d",
+			first, g.SampleCount(), g.Published())
+	}
+	if math.Abs(first.EnergyJ-e1) > 1e-12 {
+		t.Errorf("EnergyJ = %v, want %v", first.EnergyJ, e1)
+	}
+	e2, err := g.PublishWindow(sig, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := g.Stats()
+	if second.Samples <= first.Samples || second.Batches <= first.Batches {
+		t.Errorf("stats did not accumulate: %+v -> %+v", first, second)
+	}
+	if math.Abs(second.EnergyJ-(e1+e2)) > 1e-12 {
+		t.Errorf("cumulative EnergyJ = %v, want %v", second.EnergyJ, e1+e2)
+	}
+}

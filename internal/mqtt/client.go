@@ -31,6 +31,14 @@ type ClientOptions struct {
 	OnMessage    MessageHandler
 }
 
+// ClientStats counts client-side traffic; all fields are updated
+// atomically, so a Client may be shared and inspected concurrently.
+type ClientStats struct {
+	Publishes    atomic.Int64 // PUBLISH packets sent
+	PublishBytes atomic.Int64 // payload bytes sent in PUBLISH packets
+	Received     atomic.Int64 // PUBLISH packets received
+}
+
 // Client is an MQTT 3.1.1 client: the role the energy gateways (publishers)
 // and telemetry agents (subscribers) play.
 type Client struct {
@@ -41,6 +49,7 @@ type Client struct {
 	closed   atomic.Bool
 	done     chan struct{}
 	closeErr atomic.Value // error
+	Stats    ClientStats
 
 	ackMu   sync.Mutex
 	pending map[uint16]chan struct{} // QoS-1 publish awaiting PUBACK
@@ -169,6 +178,8 @@ func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) er
 	if err != nil {
 		return err
 	}
+	c.Stats.Publishes.Add(1)
+	c.Stats.PublishBytes.Add(int64(len(payload)))
 	if qos == 0 {
 		return nil
 	}
@@ -298,6 +309,7 @@ func (c *Client) readLoop() {
 					return
 				}
 			}
+			c.Stats.Received.Add(1)
 			if c.opts.OnMessage != nil {
 				c.opts.OnMessage(Message{Topic: p.Topic, Payload: p.Payload, QoS: p.QoS, Retained: p.Retain})
 			}

@@ -9,8 +9,11 @@
 package telemetry
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -59,6 +62,15 @@ type Aggregator struct {
 	series   map[int]*NodeSeries
 	energies map[int][]gateway.EnergySummary
 	dropped  int
+	waiters  []*sampleWaiter
+}
+
+// sampleWaiter is one blocked WaitSamples call: its channel is closed as
+// soon as the node's sample count reaches the target.
+type sampleWaiter struct {
+	node   int
+	target int
+	ch     chan struct{}
 }
 
 // NewAggregator creates an empty aggregator.
@@ -118,6 +130,64 @@ func (a *Aggregator) AddBatch(b gateway.Batch) {
 		s.Powers = append(s.Powers, p)
 	}
 	s.Batches++
+	a.notifyLocked(b.Node, len(s.Times))
+}
+
+// notifyLocked releases every waiter whose target the node just reached.
+// Callers must hold a.mu for writing.
+func (a *Aggregator) notifyLocked(node, count int) {
+	kept := a.waiters[:0]
+	for _, w := range a.waiters {
+		if w.node == node && count >= w.target {
+			close(w.ch)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	for i := len(kept); i < len(a.waiters); i++ {
+		a.waiters[i] = nil
+	}
+	a.waiters = kept
+}
+
+// WaitSamples blocks until the aggregator holds at least n samples for the
+// node or ctx is done. It is the event-driven replacement for polling
+// Samples in a sleep loop: the MQTT reader goroutine wakes the waiter the
+// moment the delivering batch is ingested, so wall-clock measurements see
+// the pipeline latency, not a poll interval.
+func (a *Aggregator) WaitSamples(ctx context.Context, node, n int) error {
+	a.mu.Lock()
+	have := 0
+	if s := a.series[node]; s != nil {
+		have = len(s.Times)
+	}
+	if have >= n {
+		a.mu.Unlock()
+		return nil
+	}
+	w := &sampleWaiter{node: node, target: n, ch: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, other := range a.waiters {
+			if other == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		select {
+		case <-w.ch: // delivery won the race against cancellation
+			return nil
+		default:
+		}
+		return ctx.Err()
+	}
 }
 
 // Dropped returns the number of undecodable or unroutable messages.
@@ -240,25 +310,117 @@ func (a *Aggregator) CorrelatePhases(node int, boundaries []float64) ([]float64,
 	return out, nil
 }
 
-// Subscribe attaches the aggregator to a broker by creating an MQTT client
-// subscribed to the whole telemetry tree. The caller owns the returned
-// client and must Close it.
-func Subscribe(brokerAddr, clientID string) (*Aggregator, *mqtt.Client, error) {
-	a := NewAggregator()
+// Ingest fans message decoding out to a pool of worker goroutines, so one
+// subscriber connection can keep every core busy parsing gateway batches
+// instead of serialising the whole fleet's stream on the client's reader
+// goroutine. Messages are sharded by topic, which preserves the per-node
+// arrival order the series reconstruction relies on.
+type Ingest struct {
+	shards []chan mqtt.Message
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewIngest starts a decode pool feeding the aggregator. workers <= 0 uses
+// one worker per CPU; depth <= 0 uses 1024 messages of buffer per shard.
+func NewIngest(a *Aggregator, workers, depth int) *Ingest {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if depth <= 0 {
+		depth = 1024
+	}
+	in := &Ingest{
+		shards: make([]chan mqtt.Message, workers),
+		quit:   make(chan struct{}),
+	}
+	for i := range in.shards {
+		ch := make(chan mqtt.Message, depth)
+		in.shards[i] = ch
+		in.wg.Add(1)
+		go func() {
+			defer in.wg.Done()
+			for {
+				select {
+				case m := <-ch:
+					a.consume(m)
+				case <-in.quit:
+					return
+				}
+			}
+		}()
+	}
+	return in
+}
+
+// Handler returns the mqtt.MessageHandler that feeds the pool. A full
+// shard applies backpressure to the subscriber connection, which pushes
+// the overload back to the broker's per-session queue (where QoS-0
+// messages drop, as mosquitto does) instead of growing memory here.
+func (in *Ingest) Handler() mqtt.MessageHandler {
+	return func(m mqtt.Message) {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(m.Topic))
+		select {
+		case in.shards[h.Sum32()%uint32(len(in.shards))] <- m:
+		case <-in.quit:
+		}
+	}
+}
+
+// Close stops the pool. Messages still queued in the shards are discarded,
+// so callers should confirm delivery (WaitSamples) before closing.
+func (in *Ingest) Close() {
+	in.once.Do(func() { close(in.quit) })
+	in.wg.Wait()
+}
+
+// subscribe dials a client with the given handler and subscribes it to the
+// whole telemetry tree.
+func subscribe(brokerAddr, clientID string, h mqtt.MessageHandler) (*mqtt.Client, error) {
 	c, err := mqtt.Dial(brokerAddr, mqtt.ClientOptions{
 		ClientID:     clientID,
 		CleanSession: true,
-		OnMessage:    a.Handler(),
+		OnMessage:    h,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := c.Subscribe(
 		mqtt.Subscription{Filter: gateway.TopicPrefix + "/+/power", QoS: 0},
 		mqtt.Subscription{Filter: gateway.TopicPrefix + "/+/energy", QoS: 1},
 	); err != nil {
 		_ = c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Subscribe attaches the aggregator to a broker by creating an MQTT client
+// subscribed to the whole telemetry tree. Decoding runs inline on the
+// client's reader goroutine. The caller owns the returned client and must
+// Close it.
+func Subscribe(brokerAddr, clientID string) (*Aggregator, *mqtt.Client, error) {
+	a := NewAggregator()
+	c, err := subscribe(brokerAddr, clientID, a.Handler())
+	if err != nil {
 		return nil, nil, err
 	}
 	return a, c, nil
+}
+
+// SubscribeParallel attaches the aggregator through a sharded decode pool
+// of the given width (0 = one worker per CPU), so batch parsing scales
+// with cores instead of serialising on the subscriber's reader goroutine.
+// Close the client first, then the ingest pool.
+func SubscribeParallel(brokerAddr, clientID string, workers int) (*Aggregator, *Ingest, *mqtt.Client, error) {
+	a := NewAggregator()
+	in := NewIngest(a, workers, 0)
+	c, err := subscribe(brokerAddr, clientID, in.Handler())
+	if err != nil {
+		in.Close()
+		return nil, nil, nil, err
+	}
+	return a, in, c, nil
 }

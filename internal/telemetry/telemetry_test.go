@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -224,4 +225,136 @@ func TestMultipleAgents(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("agents got %d and %d samples, want 3 each", agg1.Samples(1), agg2.Samples(1))
+}
+
+func TestWaitSamplesImmediate(t *testing.T) {
+	a := NewAggregator()
+	a.AddBatch(mkBatch(1, 0, 1, 10, 20, 30))
+	ctx := context.Background()
+	if err := a.WaitSamples(ctx, 1, 3); err != nil {
+		t.Errorf("satisfied wait should return nil, got %v", err)
+	}
+	if err := a.WaitSamples(ctx, 1, 0); err != nil {
+		t.Errorf("zero-target wait should return nil, got %v", err)
+	}
+	if err := a.WaitSamples(ctx, 99, 0); err != nil {
+		t.Errorf("zero-target wait on unseen node should return nil, got %v", err)
+	}
+}
+
+func TestWaitSamplesWakesOnDelivery(t *testing.T) {
+	a := NewAggregator()
+	a.AddBatch(mkBatch(7, 0, 1, 1, 2))
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- a.WaitSamples(ctx, 7, 5)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.AddBatch(mkBatch(7, 2, 1, 3))    // 3 samples: not enough yet
+	a.AddBatch(mkBatch(8, 0, 1, 9, 9)) // other node: must not wake node 7
+	a.AddBatch(mkBatch(7, 3, 1, 4, 5)) // 5 samples: wakes the waiter
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("WaitSamples = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestWaitSamplesContextExpiry(t *testing.T) {
+	a := NewAggregator()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.WaitSamples(ctx, 1, 10); err == nil {
+		t.Error("expired context should return an error")
+	}
+	// The cancelled waiter must have been deregistered.
+	a.mu.Lock()
+	n := len(a.waiters)
+	a.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d waiters left registered after cancellation", n)
+	}
+}
+
+func TestIngestParallelDecodePreservesPerNodeOrder(t *testing.T) {
+	a := NewAggregator()
+	in := NewIngest(a, 4, 8)
+	defer in.Close()
+	h := in.Handler()
+	// 40 batches across 4 nodes, in publish order per node. The sharded
+	// pool must keep each node's series monotonically timed even though
+	// different nodes decode on different workers.
+	for i := 0; i < 10; i++ {
+		for node := 0; node < 4; node++ {
+			b := mkBatch(node, float64(i*2), 1, 100, 200)
+			payload, err := b.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h(mqtt.Message{Topic: gateway.PowerTopic(node), Payload: payload})
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for node := 0; node < 4; node++ {
+		if err := a.WaitSamples(ctx, node, 20); err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for node := 0; node < 4; node++ {
+		times := a.series[node].Times
+		for i := 1; i < len(times); i++ {
+			if times[i] <= times[i-1] {
+				t.Fatalf("node %d series out of order at %d: %v", node, i, times[i-2:i+1])
+			}
+		}
+	}
+}
+
+func TestSubscribeParallelEndToEnd(t *testing.T) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = broker.Close() }()
+	a, in, sub, err := SubscribeParallel(broker.Addr(), "par-agg", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	defer func() { _ = sub.Close() }()
+
+	pub, err := mqtt.Dial(broker.Addr(), mqtt.ClientOptions{ClientID: "par-pub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	b := mkBatch(2, 0, 0.5, 100, 100, 100, 100)
+	payload, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(gateway.PowerTopic(2), payload, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.WaitSamples(ctx, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	e, err := a.NodeEnergy(2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-200) > 1e-9 {
+		t.Errorf("energy = %v, want 200", e)
+	}
+	in.Close() // idempotent
 }
