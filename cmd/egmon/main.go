@@ -4,9 +4,15 @@
 // aggregator agent that prints per-node mean power and energy — the
 // D.A.V.I.D.E. monitoring pipeline end to end on one machine.
 //
+// The aggregator persists the stream into the compressed tsdb store, so
+// a replay can be interrogated after the fact: -node selects a node to
+// query, -t0/-t1 bound the window (defaults: the streamed window) and
+// -res picks the resolution (0 = raw samples, else a rollup width in
+// seconds).
+//
 // Usage:
 //
-//	egmon [-nodes N] [-window SEC] [-rate S/s]
+//	egmon [-nodes N] [-window SEC] [-rate S/s] [-node K -t0 T -t1 T -res SEC]
 package main
 
 import (
@@ -30,9 +36,13 @@ func main() {
 	nodes := flag.Int("nodes", 6, "number of simulated nodes")
 	window := flag.Float64("window", 30, "seconds of virtual time to stream")
 	rate := flag.Float64("rate", 100, "delivered samples per second per node")
+	qNode := flag.Int("node", -1, "node to interrogate after the replay (-1 = none)")
+	qT0 := flag.Float64("t0", -1, "query window start (default: stream start)")
+	qT1 := flag.Float64("t1", -1, "query window end (default: stream end)")
+	qRes := flag.Float64("res", 1, "query resolution in seconds (0 = raw samples)")
 	flag.Parse()
 	if *nodes <= 0 || *window <= 0 || *rate <= 0 {
-		log.Fatal("all flags must be positive")
+		log.Fatal("-nodes, -window and -rate must be positive")
 	}
 
 	broker, err := mqtt.NewBroker("127.0.0.1:0")
@@ -124,4 +134,38 @@ func main() {
 	fmt.Printf("\nbroker: %d publishes in, %d out, %d dropped, %d B received\n",
 		broker.Stats.PublishesIn.Load(), broker.Stats.PublishesOut.Load(),
 		broker.Stats.Dropped.Load(), broker.Stats.BytesIn.Load())
+
+	st := agg.Store().Stats()
+	fmt.Printf("store:  %d samples in %d chunks, %.2f B/sample compressed (flat slices: 16 B/sample)\n",
+		st.Samples, st.Chunks, st.BytesPerSample)
+
+	if *qNode >= 0 {
+		t0, t1 := 30.0, 30+*window
+		if *qT0 >= 0 {
+			t0 = *qT0
+		}
+		if *qT1 >= 0 {
+			t1 = *qT1
+		}
+		pts, err := agg.Store().Fetch(*qNode, t0, t1, *qRes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nnode%02d [%g, %g] at %g s resolution (%d rows)\n",
+			*qNode, t0, t1, *qRes, len(pts))
+		if *qRes == 0 {
+			// Raw samples carry no bucket span or energy — print them as
+			// (time, watts) pairs.
+			fmt.Printf("%-12s %12s\n", "time", "power")
+			for _, p := range pts {
+				fmt.Printf("%12.4f %9.1f W\n", p.T0, p.MeanW)
+			}
+		} else {
+			fmt.Printf("%-22s %12s %12s %12s\n", "bucket", "mean power", "max power", "energy")
+			for _, p := range pts {
+				fmt.Printf("[%8.2f, %8.2f) %9.1f W %9.1f W %10.1f J\n",
+					p.T0, p.T1, p.MeanW, p.MaxW, p.EnergyJ)
+			}
+		}
+	}
 }

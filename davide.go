@@ -34,6 +34,7 @@ import (
 	"davide/internal/sched"
 	"davide/internal/sensor"
 	"davide/internal/telemetry"
+	"davide/internal/tsdb"
 	"davide/internal/workload"
 )
 
@@ -181,6 +182,35 @@ func SubscribeTelemetry(brokerAddr, clientID string) (*Aggregator, *mqtt.Client,
 
 // TelemetryIngest is a sharded parallel decode pool for an aggregator.
 type TelemetryIngest = telemetry.Ingest
+
+// Telemetry store: the compressed, multi-resolution back end behind the
+// aggregator (see internal/tsdb) — Gorilla-compressed chunks with
+// precomputed energy partial sums, 1 s/60 s rollups, raw retention.
+type (
+	// TelemetryStore is the sharded time-series store.
+	TelemetryStore = tsdb.DB
+	// StoreOptions tunes chunk size, rollup resolutions and retention.
+	StoreOptions = tsdb.Options
+	// StorePoint is one raw sample or downsampled bucket from Fetch.
+	StorePoint = tsdb.Point
+	// StoreStats summarises a store's footprint (bytes/sample, chunks).
+	StoreStats = tsdb.Stats
+)
+
+// NewTelemetryStore creates a standalone telemetry store.
+func NewTelemetryStore(opts StoreOptions) *TelemetryStore { return tsdb.New(opts) }
+
+// SubscribeTelemetryOn attaches an aggregator that writes through to the
+// caller's store, via a parallel decode pool (workers = 0 means one per
+// CPU). Close the client first, then the ingest pool.
+func SubscribeTelemetryOn(db *TelemetryStore, brokerAddr, clientID string, workers int) (*Aggregator, *TelemetryIngest, *mqtt.Client, error) {
+	a := telemetry.NewAggregatorOn(db)
+	in, c, err := a.AttachParallel(brokerAddr, clientID, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, in, c, nil
+}
 
 // SubscribeTelemetryParallel attaches a new aggregator through a parallel
 // decode pool (workers = 0 means one per CPU), so batch parsing scales

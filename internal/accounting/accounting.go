@@ -47,6 +47,51 @@ func (r Record) NodeSeconds() float64 { return r.Duration() * float64(r.Nodes) }
 // MeanPowerW returns the job's mean total power.
 func (r Record) MeanPowerW() float64 { return r.EnergyJ / r.Duration() }
 
+// EnergySource answers per-node energy-integral queries — satisfied by
+// the telemetry store (tsdb.DB), which is where the paper's EA agent gets
+// its measured energy from.
+type EnergySource interface {
+	Energy(node int, t0, t1 float64) (float64, error)
+}
+
+// RecordFromSource builds one job's ledger entry by integrating every
+// participating node's measured power over the job's interval: the
+// telemetry-backed counterpart of the analytic records RunScheduled
+// writes.
+func RecordFromSource(src EnergySource, jobID, user int, app string, nodes []int, t0, t1 float64) (Record, error) {
+	if src == nil {
+		return Record{}, errors.New("accounting: nil energy source")
+	}
+	if len(nodes) == 0 {
+		return Record{}, errors.New("accounting: record needs nodes")
+	}
+	total := 0.0
+	for _, n := range nodes {
+		e, err := src.Energy(n, t0, t1)
+		if err != nil {
+			return Record{}, fmt.Errorf("accounting: job %d node %d: %w", jobID, n, err)
+		}
+		total += e
+	}
+	r := Record{
+		JobID: jobID, User: user, App: app, Nodes: len(nodes),
+		StartAt: t0, EndAt: t1, EnergyJ: total,
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// AddFromSource builds a record from the energy source and appends it.
+func (l *Ledger) AddFromSource(src EnergySource, jobID, user int, app string, nodes []int, t0, t1 float64) (Record, error) {
+	r, err := RecordFromSource(src, jobID, user, app, nodes, t0, t1)
+	if err != nil {
+		return Record{}, err
+	}
+	return r, l.Add(r)
+}
+
 // Ledger is the energy-accounting database. Safe for concurrent use.
 type Ledger struct {
 	mu      sync.RWMutex

@@ -1,6 +1,7 @@
 package accounting
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -181,5 +182,56 @@ func TestConcurrentLedger(t *testing.T) {
 	}
 	if len(l.PerUser()) != 8 {
 		t.Errorf("users = %d", len(l.PerUser()))
+	}
+}
+
+// fakeSource is a constant-power EnergySource for RecordFromSource tests.
+type fakeSource struct {
+	watts map[int]float64
+}
+
+func (f fakeSource) Energy(node int, t0, t1 float64) (float64, error) {
+	w, ok := f.watts[node]
+	if !ok {
+		return 0, fmt.Errorf("fake: no node %d", node)
+	}
+	return w * (t1 - t0), nil
+}
+
+func TestRecordFromSource(t *testing.T) {
+	src := fakeSource{watts: map[int]float64{0: 300, 1: 500}}
+	r, err := RecordFromSource(src, 7, 42, "bqcd", []int{0, 1}, 10, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnergyJ != 800*100 || r.Nodes != 2 || r.JobID != 7 || r.User != 42 {
+		t.Errorf("record = %+v", r)
+	}
+	if r.MeanPowerW() != 800 {
+		t.Errorf("mean power = %v, want 800", r.MeanPowerW())
+	}
+	if _, err := RecordFromSource(src, 1, 0, "x", []int{9}, 0, 1); err == nil {
+		t.Error("unknown node should propagate the source error")
+	}
+	if _, err := RecordFromSource(src, 1, 0, "x", nil, 0, 1); err == nil {
+		t.Error("no nodes should error")
+	}
+	if _, err := RecordFromSource(nil, 1, 0, "x", []int{0}, 0, 1); err == nil {
+		t.Error("nil source should error")
+	}
+	if _, err := RecordFromSource(src, 1, 0, "x", []int{0}, 5, 5); err == nil {
+		t.Error("empty interval should fail validation")
+	}
+
+	l := NewLedger()
+	if _, err := l.AddFromSource(src, 7, 42, "bqcd", []int{0, 1}, 10, 110); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Job(7)
+	if err != nil || got.EnergyJ != 80000 {
+		t.Errorf("ledger job = %+v, %v", got, err)
+	}
+	if _, err := l.AddFromSource(src, 7, 42, "bqcd", []int{0}, 0, 1); err == nil {
+		t.Error("duplicate job via AddFromSource should error")
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"davide/internal/sched"
 	"davide/internal/sensor"
 	"davide/internal/telemetry"
+	"davide/internal/tsdb"
 	"davide/internal/workload"
 )
 
@@ -49,8 +50,16 @@ type System struct {
 	// sequential one-node-at-a-time replay.
 	StreamWorkers int
 
+	// StoreOptions tunes the telemetry store each replay writes into
+	// (chunk size, rollup resolutions, raw retention). Zero value =
+	// tsdb defaults.
+	StoreOptions tsdb.Options
+
 	// Node power signals from the last RunScheduled, one per node.
 	signals []*sensor.Piecewise
+	// The telemetry store filled by the most recent replay
+	// (StreamWindow or JobEnergyFromTelemetry).
+	store *tsdb.DB
 	// Assignments from the last RunScheduled: job ID -> node IDs.
 	assignments map[int][]int
 	lastResult  *sched.Result
@@ -221,6 +230,13 @@ func (s *System) NodeSignal(n int) (*sensor.Piecewise, error) {
 	return s.signals[n], nil
 }
 
+// Store returns the compressed telemetry store filled by the most recent
+// replay (StreamWindow or JobEnergyFromTelemetry), for post-hoc
+// interrogation — range queries, downsampled fetches, footprint stats —
+// the role the ExaMon back end plays in the paper's monitoring plane.
+// Nil before the first replay.
+func (s *System) Store() *tsdb.DB { return s.store }
+
 // StreamResult summarises one real-MQTT telemetry replay.
 type StreamResult struct {
 	Window          float64 // seconds of virtual time streamed
@@ -264,7 +280,9 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	}
 	defer func() { _ = broker.Close() }()
 
-	agg, ingest, sub, err := telemetry.SubscribeParallel(broker.Addr(), "core-aggregator", 0)
+	db := tsdb.New(s.StoreOptions)
+	agg := telemetry.NewAggregatorOn(db)
+	ingest, sub, err := agg.AttachParallel(broker.Addr(), "core-aggregator", 0)
 	if err != nil {
 		return StreamResult{}, err
 	}
@@ -287,6 +305,7 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	if err != nil {
 		return StreamResult{}, err
 	}
+	s.store = db
 	res := StreamResult{
 		Window: t1 - t0, NodesStreamed: nodes,
 		SamplesSent: st.Samples, BatchesSent: st.Batches, PerNode: st.PerNode,
@@ -334,7 +353,9 @@ func (s *System) JobEnergyFromTelemetry(jobID int, sampleRate float64) (telemetr
 		return 0, 0, err
 	}
 	defer func() { _ = broker.Close() }()
-	agg, ingest, sub, err := telemetry.SubscribeParallel(broker.Addr(), "job-ea", 0)
+	db := tsdb.New(s.StoreOptions)
+	agg := telemetry.NewAggregatorOn(db)
+	ingest, sub, err := agg.AttachParallel(broker.Addr(), "job-ea", 0)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -356,11 +377,13 @@ func (s *System) JobEnergyFromTelemetry(jobID int, sampleRate float64) (telemetr
 	if _, err := fl.Stream(context.Background(), streams, rec.StartAt, rec.EndAt, agg); err != nil {
 		return 0, 0, err
 	}
-	tj, err := agg.JobEnergy(telemetry.JobInterval{
-		JobID: jobID, Nodes: nodes, T0: rec.StartAt, T1: rec.EndAt,
-	})
+	s.store = db
+	// Build the telemetry-derived ledger entry straight from the store's
+	// query engine and compare its energy against the analytic record.
+	tRec, err := accounting.RecordFromSource(db, rec.JobID, rec.User, rec.App,
+		nodes, rec.StartAt, rec.EndAt)
 	if err != nil {
 		return 0, 0, err
 	}
-	return tj, rec.EnergyJ, nil
+	return tRec.EnergyJ, rec.EnergyJ, nil
 }

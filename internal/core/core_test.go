@@ -195,6 +195,27 @@ func TestStreamWindowEndToEnd(t *testing.T) {
 	if res.WallClock <= 0 {
 		t.Error("wall clock not measured")
 	}
+	// The replay's samples live in the exposed compressed store and stay
+	// queryable after the fact.
+	db := s.Store()
+	if db == nil {
+		t.Fatal("Store() nil after StreamWindow")
+	}
+	st := db.Stats()
+	if st.Nodes != 8 || st.Samples < 8*4990 {
+		t.Errorf("store stats = %+v", st)
+	}
+	if st.BytesPerSample >= 16 {
+		t.Errorf("store not compressing: %.1f B/sample", st.BytesPerSample)
+	}
+	e, err := db.Energy(0, 0, 100)
+	if err != nil || e <= 0 {
+		t.Errorf("post-hoc store energy = %v, %v", e, err)
+	}
+	pts, err := db.Fetch(0, 0, 100, 1)
+	if err != nil || len(pts) == 0 {
+		t.Errorf("post-hoc downsampled fetch = %d points, %v", len(pts), err)
+	}
 	// Parameter validation.
 	if _, err := s.StreamWindow(10, 10, 50, 1); err == nil {
 		t.Error("empty window should error")

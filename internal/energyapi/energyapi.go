@@ -191,6 +191,48 @@ func (s *Session) Close() (Report, error) {
 	return r, nil
 }
 
+// PowerStore answers per-node energy-integral queries — the telemetry
+// store (tsdb.DB) satisfies it. It lets phase reports be reconstructed
+// after the fact from the monitoring plane instead of from the node
+// model, the §IV loop of correlating marked phases with measured power.
+type PowerStore interface {
+	Energy(node int, t0, t1 float64) (float64, error)
+}
+
+// PhasesFromStore rebuilds a phase report from stored telemetry: names[i]
+// labels the phase between boundaries[i] and boundaries[i+1]. Boundaries
+// must increase; len(names) == len(boundaries)-1.
+func PhasesFromStore(store PowerStore, node int, names []string, boundaries []float64) ([]Phase, error) {
+	if store == nil {
+		return nil, errors.New("energyapi: nil store")
+	}
+	if len(boundaries) < 2 {
+		return nil, errors.New("energyapi: need at least two boundaries")
+	}
+	if len(names) != len(boundaries)-1 {
+		return nil, fmt.Errorf("energyapi: %d names for %d phases", len(names), len(boundaries)-1)
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			return nil, errors.New("energyapi: boundaries must increase")
+		}
+	}
+	out := make([]Phase, 0, len(names))
+	for i, name := range names {
+		t0, t1 := boundaries[i], boundaries[i+1]
+		e, err := store.Energy(node, t0, t1)
+		if err != nil {
+			return nil, fmt.Errorf("energyapi: phase %q: %w", name, err)
+		}
+		ph := Phase{Name: name, T0: t0, T1: t1, EnergyJ: e}
+		if d := ph.Duration(); d > 0 {
+			ph.MeanW = e / d
+		}
+		out = append(out, ph)
+	}
+	return out, nil
+}
+
 // TradeoffPoint is one (configuration, TTS, ETS) sample of the §IV design
 // space.
 type TradeoffPoint struct {

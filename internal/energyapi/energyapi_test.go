@@ -1,6 +1,7 @@
 package energyapi
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -260,5 +261,56 @@ func TestParetoFrontTies(t *testing.T) {
 	}
 	if len(front) != 2 {
 		t.Errorf("tied front = %v", front)
+	}
+}
+
+// stubStore is a two-level PowerStore: 200 W before t=10, 600 W after.
+type stubStore struct{}
+
+func (stubStore) Energy(node int, t0, t1 float64) (float64, error) {
+	if node != 3 {
+		return 0, errors.New("stub: unknown node")
+	}
+	e := 0.0
+	if t0 < 10 {
+		hi := math.Min(t1, 10)
+		e += 200 * (hi - t0)
+	}
+	if t1 > 10 {
+		lo := math.Max(t0, 10)
+		e += 600 * (t1 - lo)
+	}
+	return e, nil
+}
+
+func TestPhasesFromStore(t *testing.T) {
+	phases, err := PhasesFromStore(stubStore{}, 3, []string{"setup", "solve"}, []float64{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases", len(phases))
+	}
+	if phases[0].Name != "setup" || math.Abs(phases[0].EnergyJ-2000) > 1e-9 || math.Abs(phases[0].MeanW-200) > 1e-9 {
+		t.Errorf("setup = %+v", phases[0])
+	}
+	if phases[1].Name != "solve" || math.Abs(phases[1].EnergyJ-6000) > 1e-9 || math.Abs(phases[1].MeanW-600) > 1e-9 {
+		t.Errorf("solve = %+v", phases[1])
+	}
+
+	if _, err := PhasesFromStore(nil, 3, []string{"a"}, []float64{0, 1}); err == nil {
+		t.Error("nil store should error")
+	}
+	if _, err := PhasesFromStore(stubStore{}, 3, []string{"a"}, []float64{0}); err == nil {
+		t.Error("single boundary should error")
+	}
+	if _, err := PhasesFromStore(stubStore{}, 3, []string{"a", "b"}, []float64{0, 1}); err == nil {
+		t.Error("name/phase count mismatch should error")
+	}
+	if _, err := PhasesFromStore(stubStore{}, 3, []string{"a"}, []float64{1, 1}); err == nil {
+		t.Error("non-increasing boundaries should error")
+	}
+	if _, err := PhasesFromStore(stubStore{}, 9, []string{"a"}, []float64{0, 1}); err == nil {
+		t.Error("store error should propagate")
 	}
 }

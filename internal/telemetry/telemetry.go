@@ -6,6 +6,12 @@
 // and a synchronized timestamp" — maps to the Aggregator (many can attach
 // to one broker) and to the windowed per-job integration that the
 // energy-accounting layer (EA in Fig. 4) consumes.
+//
+// Since the tsdb rework the Aggregator is a thin ingest shim: it decodes
+// batches, guards against out-of-order/duplicate redelivery, feeds a
+// tsdb.DB (the ExaMon-style back end of §III-A), and delegates every
+// energy/power query to the store's engine. A raw-slice fallback mode
+// (NewRawAggregator) remains for tools that want plain NodeSeries slices.
 package telemetry
 
 import (
@@ -13,34 +19,51 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 
 	"davide/internal/gateway"
 	"davide/internal/mqtt"
+	"davide/internal/tsdb"
 )
 
-// NodeSeries is the reconstructed power series of one node.
+// NodeSeries is the reconstructed power series of one node, kept as flat
+// slices — the fallback representation when no tsdb store is attached.
 type NodeSeries struct {
 	Node    int
-	Times   []float64 // sample timestamps (gateway clock)
+	Times   []float64 // sample timestamps (gateway clock), sorted
 	Powers  []float64 // watts
 	Batches int
 }
 
-// energyBetween integrates the series over [t0, t1] by rectangle rule.
+// energyBetween integrates the series over [t0, t1] by the left-rectangle
+// rule: sample i spans to its successor (so non-uniform rates integrate
+// correctly) and the last sample spans the final observed gap. The query
+// window is located by binary search instead of scanning every sample.
 func (s *NodeSeries) energyBetween(t0, t1 float64) (float64, error) {
-	if len(s.Times) < 2 {
+	n := len(s.Times)
+	if n < 2 {
 		return 0, errors.New("telemetry: series too short")
 	}
 	if t1 < t0 {
 		return 0, errors.New("telemetry: t1 < t0")
 	}
-	dt := s.Times[1] - s.Times[0]
+	lastGap := s.Times[n-1] - s.Times[n-2]
+	// First rectangle that can overlap t0: the one whose sample time is
+	// the last at or before t0.
+	i := sort.SearchFloat64s(s.Times, t0)
+	if i > 0 {
+		i--
+	}
 	e := 0.0
-	for i, t := range s.Times {
-		lo, hi := t, t+dt
+	for ; i < n && s.Times[i] < t1; i++ {
+		lo := s.Times[i]
+		hi := lo + lastGap
+		if i+1 < n {
+			hi = s.Times[i+1]
+		}
 		if lo < t0 {
 			lo = t0
 		}
@@ -54,12 +77,47 @@ func (s *NodeSeries) energyBetween(t0, t1 float64) (float64, error) {
 	return e, nil
 }
 
+// insert places one sample at its sorted position; an exact duplicate
+// timestamp overwrites in place. Returns true if the sample was appended
+// in order (the fast path).
+func (s *NodeSeries) insert(t, p float64) bool {
+	n := len(s.Times)
+	if n == 0 || t > s.Times[n-1] {
+		s.Times = append(s.Times, t)
+		s.Powers = append(s.Powers, p)
+		return true
+	}
+	i := sort.SearchFloat64s(s.Times, t)
+	if i < n && s.Times[i] == t {
+		s.Powers[i] = p
+		return false
+	}
+	s.Times = append(s.Times, 0)
+	s.Powers = append(s.Powers, 0)
+	copy(s.Times[i+1:], s.Times[i:])
+	copy(s.Powers[i+1:], s.Powers[i:])
+	s.Times[i] = t
+	s.Powers[i] = p
+	return false
+}
+
+// nodeMeta tracks per-node ingest accounting common to both modes.
+type nodeMeta struct {
+	ingested  int // samples ingested, ever (delivery counting)
+	batches   int
+	reordered int     // batches that arrived out of order or overlapping
+	lastT     float64 // newest sample timestamp ingested
+}
+
 // Aggregator subscribes to gateway topics and maintains per-node series.
 // It is safe for concurrent use (the MQTT reader goroutine feeds it while
-// experiment code queries it).
+// experiment code queries it). By default it writes through to a tsdb.DB
+// and answers queries from the store's compressed chunks and rollups.
 type Aggregator struct {
 	mu       sync.RWMutex
-	series   map[int]*NodeSeries
+	db       *tsdb.DB            // nil in raw fallback mode
+	series   map[int]*NodeSeries // raw fallback mode only
+	meta     map[int]*nodeMeta
 	energies map[int][]gateway.EnergySummary
 	dropped  int
 	waiters  []*sampleWaiter
@@ -73,13 +131,37 @@ type sampleWaiter struct {
 	ch     chan struct{}
 }
 
-// NewAggregator creates an empty aggregator.
+// NewAggregator creates an aggregator backed by its own tsdb store with
+// default options.
 func NewAggregator() *Aggregator {
+	return NewAggregatorOn(tsdb.New(tsdb.Options{}))
+}
+
+// NewAggregatorOn creates an aggregator writing through to the given
+// store (which may be shared with other readers).
+func NewAggregatorOn(db *tsdb.DB) *Aggregator {
+	a := newAggregatorCommon()
+	a.db = db
+	return a
+}
+
+// NewRawAggregator creates an aggregator in the flat-slice fallback mode:
+// no compression, no rollups, queries scan NodeSeries slices.
+func NewRawAggregator() *Aggregator {
+	a := newAggregatorCommon()
+	a.series = make(map[int]*NodeSeries)
+	return a
+}
+
+func newAggregatorCommon() *Aggregator {
 	return &Aggregator{
-		series:   make(map[int]*NodeSeries),
+		meta:     make(map[int]*nodeMeta),
 		energies: make(map[int][]gateway.EnergySummary),
 	}
 }
+
+// Store returns the tsdb store behind this aggregator (nil in raw mode).
+func (a *Aggregator) Store() *tsdb.DB { return a.db }
 
 // Handler returns the mqtt.MessageHandler that feeds this aggregator.
 func (a *Aggregator) Handler() mqtt.MessageHandler {
@@ -117,20 +199,41 @@ func (a *Aggregator) consume(m mqtt.Message) {
 }
 
 // AddBatch ingests one decoded power batch (also usable without MQTT).
+// Out-of-order and duplicate-timestamp redelivery (lossy QoS-0 semantics)
+// is tolerated: samples are placed at their sorted position and exact
+// duplicates overwrite, so energy integrals cannot be corrupted by the
+// transport.
 func (a *Aggregator) AddBatch(b gateway.Batch) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	s := a.series[b.Node]
-	if s == nil {
-		s = &NodeSeries{Node: b.Node}
-		a.series[b.Node] = s
+	m := a.meta[b.Node]
+	if m == nil {
+		m = &nodeMeta{}
+		a.meta[b.Node] = m
 	}
-	for i, p := range b.Samples {
-		s.Times = append(s.Times, b.T0+float64(i)*b.Dt)
-		s.Powers = append(s.Powers, p)
+	if m.batches > 0 && b.T0 <= m.lastT {
+		m.reordered++
 	}
-	s.Batches++
-	a.notifyLocked(b.Node, len(s.Times))
+	if a.db != nil {
+		a.db.AppendBatch(b.Node, b.T0, b.Dt, b.Samples)
+	} else {
+		s := a.series[b.Node]
+		if s == nil {
+			s = &NodeSeries{Node: b.Node}
+			a.series[b.Node] = s
+		}
+		for i, p := range b.Samples {
+			s.insert(b.T0+float64(i)*b.Dt, p)
+		}
+		s.Batches++
+	}
+	last := b.T0 + float64(len(b.Samples)-1)*b.Dt
+	if last > m.lastT {
+		m.lastT = last
+	}
+	m.batches++
+	m.ingested += len(b.Samples)
+	a.notifyLocked(b.Node, m.ingested)
 }
 
 // notifyLocked releases every waiter whose target the node just reached.
@@ -150,16 +253,16 @@ func (a *Aggregator) notifyLocked(node, count int) {
 	a.waiters = kept
 }
 
-// WaitSamples blocks until the aggregator holds at least n samples for the
-// node or ctx is done. It is the event-driven replacement for polling
-// Samples in a sleep loop: the MQTT reader goroutine wakes the waiter the
-// moment the delivering batch is ingested, so wall-clock measurements see
-// the pipeline latency, not a poll interval.
+// WaitSamples blocks until the aggregator has ingested at least n samples
+// for the node or ctx is done. It is the event-driven replacement for
+// polling Samples in a sleep loop: the MQTT reader goroutine wakes the
+// waiter the moment the delivering batch is ingested, so wall-clock
+// measurements see the pipeline latency, not a poll interval.
 func (a *Aggregator) WaitSamples(ctx context.Context, node, n int) error {
 	a.mu.Lock()
 	have := 0
-	if s := a.series[node]; s != nil {
-		have = len(s.Times)
+	if m := a.meta[node]; m != nil {
+		have = m.ingested
 	}
 	if have >= n {
 		a.mu.Unlock()
@@ -197,32 +300,82 @@ func (a *Aggregator) Dropped() int {
 	return a.dropped
 }
 
+// Reordered returns how many batches arrived out of order (or overlapping
+// an earlier batch) across all nodes.
+func (a *Aggregator) Reordered() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	n := 0
+	for _, m := range a.meta {
+		n += m.reordered
+	}
+	return n
+}
+
 // Nodes returns the node IDs seen so far, sorted.
 func (a *Aggregator) Nodes() []int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	out := make([]int, 0, len(a.series))
-	for id := range a.series {
+	out := make([]int, 0, len(a.meta))
+	for id := range a.meta {
 		out = append(out, id)
 	}
 	sort.Ints(out)
 	return out
 }
 
-// Samples returns the number of samples held for a node.
+// Samples returns the number of samples ingested for a node. The count is
+// monotonic (duplicates and later retention do not decrease it), which is
+// what delivery accounting — fleet.Stream's WaitSamples handshake — needs.
 func (a *Aggregator) Samples(node int) int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	if s := a.series[node]; s != nil {
-		return len(s.Times)
+	if m := a.meta[node]; m != nil {
+		return m.ingested
 	}
 	return 0
+}
+
+// Series returns a copy of the node's flat series: the fallback slices in
+// raw mode, or a materialisation decoded from the store.
+func (a *Aggregator) Series(node int) (*NodeSeries, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.db == nil {
+		s := a.series[node]
+		if s == nil {
+			return nil, fmt.Errorf("telemetry: no data for node %d", node)
+		}
+		return &NodeSeries{
+			Node:    node,
+			Times:   append([]float64(nil), s.Times...),
+			Powers:  append([]float64(nil), s.Powers...),
+			Batches: s.Batches,
+		}, nil
+	}
+	m := a.meta[node]
+	if m == nil {
+		return nil, fmt.Errorf("telemetry: no data for node %d", node)
+	}
+	out := &NodeSeries{Node: node, Batches: m.batches}
+	err := a.db.Range(node, math.Inf(-1), math.Inf(1), func(t, w float64) bool {
+		out.Times = append(out.Times, t)
+		out.Powers = append(out.Powers, w)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // NodeEnergy integrates a node's power series over [t0, t1].
 func (a *Aggregator) NodeEnergy(node int, t0, t1 float64) (float64, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	if a.db != nil {
+		return a.db.Energy(node, t0, t1)
+	}
 	s := a.series[node]
 	if s == nil {
 		return 0, fmt.Errorf("telemetry: no data for node %d", node)
@@ -410,17 +563,28 @@ func Subscribe(brokerAddr, clientID string) (*Aggregator, *mqtt.Client, error) {
 	return a, c, nil
 }
 
-// SubscribeParallel attaches the aggregator through a sharded decode pool
-// of the given width (0 = one worker per CPU), so batch parsing scales
-// with cores instead of serialising on the subscriber's reader goroutine.
-// Close the client first, then the ingest pool.
+// SubscribeParallel attaches a fresh aggregator through a sharded decode
+// pool of the given width (0 = one worker per CPU), so batch parsing
+// scales with cores instead of serialising on the subscriber's reader
+// goroutine. Close the client first, then the ingest pool.
 func SubscribeParallel(brokerAddr, clientID string, workers int) (*Aggregator, *Ingest, *mqtt.Client, error) {
 	a := NewAggregator()
+	in, c, err := a.AttachParallel(brokerAddr, clientID, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, in, c, nil
+}
+
+// AttachParallel subscribes this aggregator to a broker through a sharded
+// decode pool — the hook callers use to aggregate into a store they own
+// (NewAggregatorOn). Close the client first, then the ingest pool.
+func (a *Aggregator) AttachParallel(brokerAddr, clientID string, workers int) (*Ingest, *mqtt.Client, error) {
 	in := NewIngest(a, workers, 0)
 	c, err := subscribe(brokerAddr, clientID, in.Handler())
 	if err != nil {
 		in.Close()
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return a, in, c, nil
+	return in, c, nil
 }

@@ -1,0 +1,83 @@
+package tsdb
+
+import "errors"
+
+// errStream reports a truncated or corrupt compressed chunk.
+var errStream = errors.New("tsdb: truncated bit stream")
+
+// bitWriter appends bits MSB-first into a byte slice.
+type bitWriter struct {
+	b     []byte
+	avail uint // unused bits in the last byte of b
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.avail == 0 {
+		w.b = append(w.b, 0)
+		w.avail = 8
+	}
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << (w.avail - 1)
+	}
+	w.avail--
+}
+
+// writeBits writes the low n bits of v, MSB-first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.avail == 0 {
+			w.b = append(w.b, 0)
+			w.avail = 8
+		}
+		take := n
+		if take > w.avail {
+			take = w.avail
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.b[len(w.b)-1] |= byte(chunk << (w.avail - take))
+		w.avail -= take
+		n -= take
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b   []byte
+	pos int  // byte index
+	off uint // bits already consumed in b[pos]
+}
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.pos >= len(r.b) {
+		return 0, errStream
+	}
+	bit := uint64(r.b[r.pos]>>(7-r.off)) & 1
+	r.off++
+	if r.off == 8 {
+		r.off = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.b) {
+			return 0, errStream
+		}
+		take := 8 - r.off
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.b[r.pos]>>(8-r.off-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.off += take
+		if r.off == 8 {
+			r.off = 0
+			r.pos++
+		}
+		n -= take
+	}
+	return v, nil
+}

@@ -1,0 +1,365 @@
+// Package tsdb is the telemetry back end of the monitoring plane: the
+// role the paper's ExaMon-style Cassandra/KairosDB store plays in §III-A,
+// scaled down to an embeddable engine. It keeps each node's power stream
+// as immutable Gorilla-compressed chunks (delta-of-delta timestamps,
+// XOR-compressed watts) with per-chunk partial energy sums, maintains
+// multi-resolution rollups (mean/max/energy per bucket) on ingest, and
+// applies a retention policy that drops raw chunks past a horizon while
+// keeping the rollups, so month-scale replays stay queryable at a bounded
+// memory footprint.
+//
+// Query cost: Energy/MeanPower locate the window by binary search over
+// the chunk index and combine precomputed partial sums, decoding only the
+// chunks the window boundaries cut — O(log chunks + boundary samples)
+// instead of the O(samples) scan of a flat slice. Queries reaching behind
+// the raw retention horizon are served from the finest surviving rollup,
+// accurate to one bucket width per window boundary.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the query API.
+var (
+	ErrUnknownNode = errors.New("tsdb: no data for node")
+	ErrShortSeries = errors.New("tsdb: series too short")
+	ErrBadWindow   = errors.New("tsdb: t1 < t0")
+	ErrBadRes      = errors.New("tsdb: resolution not maintained")
+)
+
+// Options tunes a DB. The zero value is ready to use.
+type Options struct {
+	// ChunkSize is the number of raw samples per sealed chunk (and the
+	// reordering tolerance of the ingest path). Default 256.
+	ChunkSize int
+	// Resolutions are the rollup bucket widths in seconds, ascending.
+	// Default [1, 60].
+	Resolutions []float64
+	// RetainRaw drops sealed raw chunks older than this many seconds
+	// behind each node's newest sample. 0 keeps raw data forever.
+	RetainRaw float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 256
+	}
+	if len(o.Resolutions) == 0 {
+		o.Resolutions = []float64{1, 60}
+	} else {
+		o.Resolutions = append([]float64(nil), o.Resolutions...)
+		sort.Float64s(o.Resolutions)
+	}
+	return o
+}
+
+// DefaultResolutions returns the rollup widths a zero-Options DB keeps.
+func DefaultResolutions() []float64 { return []float64{1, 60} }
+
+const shardCount = 16
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[int]*series
+}
+
+// DB is a sharded, append-optimised time-series store for per-node power
+// streams. Safe for concurrent use.
+type DB struct {
+	opts   Options
+	shards [shardCount]shard
+}
+
+// New creates a store.
+func New(opts Options) *DB {
+	db := &DB{opts: opts.withDefaults()}
+	for i := range db.shards {
+		db.shards[i].series = make(map[int]*series)
+	}
+	return db
+}
+
+func (db *DB) shard(node int) *shard {
+	if node < 0 {
+		node = -node
+	}
+	return &db.shards[node%shardCount]
+}
+
+// Append ingests one sample for a node. Out-of-order samples are placed
+// as long as they land inside the open head window (ChunkSize newest
+// samples); duplicates overwrite; anything older than the sealed horizon
+// is counted and dropped.
+func (db *DB) Append(node int, t, w float64) {
+	sh := db.shard(node)
+	sh.mu.Lock()
+	s := sh.series[node]
+	if s == nil {
+		s = newSeries(node, db.opts.Resolutions)
+		sh.series[node] = s
+	}
+	s.append(toTick(t), w, db.opts.ChunkSize, db.opts.RetainRaw)
+	sh.mu.Unlock()
+}
+
+// AppendBatch ingests a uniformly spaced batch starting at t0.
+func (db *DB) AppendBatch(node int, t0, dt float64, samples []float64) {
+	if len(samples) == 0 {
+		return
+	}
+	sh := db.shard(node)
+	sh.mu.Lock()
+	s := sh.series[node]
+	if s == nil {
+		s = newSeries(node, db.opts.Resolutions)
+		sh.series[node] = s
+	}
+	for i, w := range samples {
+		s.append(toTick(t0+float64(i)*dt), w, db.opts.ChunkSize, db.opts.RetainRaw)
+	}
+	sh.mu.Unlock()
+}
+
+func (db *DB) get(node int) (*series, *shard, error) {
+	sh := db.shard(node)
+	sh.mu.RLock()
+	s := sh.series[node]
+	if s == nil {
+		sh.mu.RUnlock()
+		return nil, nil, fmt.Errorf("%w %d", ErrUnknownNode, node)
+	}
+	return s, sh, nil
+}
+
+// Energy integrates the node's power over [t0, t1] in joules, by the same
+// left-rectangle rule the flat-slice aggregator used: each sample spans
+// to its successor, the newest sample spans the last observed gap. Raw
+// chunks answer exactly; ranges behind the retention horizon fall back to
+// the finest rollup.
+func (db *DB) Energy(node int, t0, t1 float64) (float64, error) {
+	s, sh, err := db.get(node)
+	if err != nil {
+		return 0, err
+	}
+	defer sh.mu.RUnlock()
+	if t1 < t0 {
+		return 0, ErrBadWindow
+	}
+	if s.total < 2 {
+		return 0, fmt.Errorf("%w (node %d)", ErrShortSeries, node)
+	}
+	e := 0.0
+	if rs := s.rawStart(); s.droppedRaw && t0 < rs && len(s.rolls) > 0 {
+		e += s.rolls[0].energy(t0, math.Min(t1, rs))
+		t0 = math.Min(t1, rs)
+	}
+	return e + s.integrate(t0, t1), nil
+}
+
+// MeanPower returns the mean power over [t0, t1].
+func (db *DB) MeanPower(node int, t0, t1 float64) (float64, error) {
+	e, err := db.Energy(node, t0, t1)
+	if err != nil {
+		return 0, err
+	}
+	if t1 <= t0 {
+		return 0, errors.New("tsdb: empty window")
+	}
+	return e / (t1 - t0), nil
+}
+
+// MaxPower returns the maximum power observed in [t0, t1].
+func (db *DB) MaxPower(node int, t0, t1 float64) (float64, error) {
+	s, sh, err := db.get(node)
+	if err != nil {
+		return 0, err
+	}
+	defer sh.mu.RUnlock()
+	if t1 < t0 {
+		return 0, ErrBadWindow
+	}
+	if s.total < 1 {
+		return 0, fmt.Errorf("%w (node %d)", ErrShortSeries, node)
+	}
+	m := 0.0
+	if rs := s.rawStart(); s.droppedRaw && t0 < rs && len(s.rolls) > 0 {
+		m = s.rolls[0].maxPower(t0, math.Min(t1, rs))
+	}
+	if raw := s.maxPower(t0, t1); raw > m {
+		m = raw
+	}
+	return m, nil
+}
+
+// Range streams the retained raw samples with timestamps in [t0, t1] in
+// time order; fn returning false stops the iteration.
+func (db *DB) Range(node int, t0, t1 float64, fn func(t, w float64) bool) error {
+	s, sh, err := db.get(node)
+	if err != nil {
+		return err
+	}
+	defer sh.mu.RUnlock()
+	if t1 < t0 {
+		return ErrBadWindow
+	}
+	s.scan(t0, t1, fn)
+	return nil
+}
+
+// Point is one downsampled bucket (or one raw sample, with T0 == T1).
+type Point struct {
+	T0, T1  float64 // bucket bounds, seconds
+	MeanW   float64
+	MaxW    float64
+	EnergyJ float64
+}
+
+// Fetch returns the series over [t0, t1] at the given resolution: res = 0
+// streams raw samples, otherwise res must be one of the maintained rollup
+// widths.
+func (db *DB) Fetch(node int, t0, t1, res float64) ([]Point, error) {
+	if res == 0 {
+		var out []Point
+		err := db.Range(node, t0, t1, func(t, w float64) bool {
+			out = append(out, Point{T0: t, T1: t, MeanW: w, MaxW: w})
+			return true
+		})
+		return out, err
+	}
+	s, sh, err := db.get(node)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.mu.RUnlock()
+	if t1 < t0 {
+		return nil, ErrBadWindow
+	}
+	for _, r := range s.rolls {
+		if r.width == res {
+			return r.points(t0, t1), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %g s (have %v)", ErrBadRes, res, db.opts.Resolutions)
+}
+
+// EnergyAt integrates over [t0, t1] at a fixed resolution: res = 0 uses
+// raw chunks (exact), otherwise the matching rollup (boundary buckets
+// pro-rata — accurate to res×maxPower per boundary). Mainly for
+// raw-vs-rollup agreement checks and for interrogating what a retention
+// policy would preserve.
+func (db *DB) EnergyAt(node int, t0, t1, res float64) (float64, error) {
+	if res == 0 {
+		return db.Energy(node, t0, t1)
+	}
+	s, sh, err := db.get(node)
+	if err != nil {
+		return 0, err
+	}
+	defer sh.mu.RUnlock()
+	if t1 < t0 {
+		return 0, ErrBadWindow
+	}
+	for _, r := range s.rolls {
+		if r.width == res {
+			return r.energy(t0, t1), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %g s (have %v)", ErrBadRes, res, db.opts.Resolutions)
+}
+
+// DropRawBefore applies the retention policy across all nodes: sealed raw
+// chunks wholly before t are dropped, rollups are kept. Returns the
+// number of chunks dropped.
+func (db *DB) DropRawBefore(t float64) int {
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.series {
+			n += s.dropRawBefore(t)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Nodes returns the node IDs present, sorted.
+func (db *DB) Nodes() []int {
+	var out []int
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for id := range sh.series {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Samples returns the retained raw sample count for a node (ingested
+// minus retention-dropped; duplicates count once).
+func (db *DB) Samples(node int) int {
+	sh := db.shard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s := sh.series[node]; s != nil {
+		return s.retained()
+	}
+	return 0
+}
+
+// Stats summarises the store's footprint.
+type Stats struct {
+	Nodes             int
+	Samples           int   // retained raw samples
+	Chunks            int   // sealed chunks
+	CompressedBytes   int64 // sealed chunk payloads
+	HeadBytes         int64 // open head windows (16 B/sample)
+	RollupBytes       int64 // rollup buckets
+	OutOfOrderDropped int   // samples older than the sealed horizon
+	Duplicates        int   // duplicate timestamps overwritten
+	// BytesPerSample is raw storage (compressed + head) per retained
+	// sample — the number to compare against the 16 B/sample of flat
+	// []float64 time/power slices.
+	BytesPerSample float64
+}
+
+// Stats aggregates across all shards.
+func (db *DB) Stats() Stats {
+	var st Stats
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			st.Nodes++
+			st.Samples += s.retained()
+			st.Chunks += len(s.chunks)
+			for _, c := range s.chunks {
+				st.CompressedBytes += int64(len(c.data))
+			}
+			st.HeadBytes += int64(len(s.headT)) * 16
+			for _, r := range s.rolls {
+				st.RollupBytes += r.bytes()
+			}
+			st.OutOfOrderDropped += s.oo
+			st.Duplicates += s.dups
+		}
+		sh.mu.RUnlock()
+	}
+	if st.Samples > 0 {
+		st.BytesPerSample = float64(st.CompressedBytes+st.HeadBytes) / float64(st.Samples)
+	}
+	return st
+}
+
+// Resolutions returns the rollup widths this store maintains.
+func (db *DB) Resolutions() []float64 {
+	return append([]float64(nil), db.opts.Resolutions...)
+}

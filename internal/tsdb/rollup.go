@@ -1,0 +1,176 @@
+package tsdb
+
+import "math"
+
+// A rollup is one downsampled resolution of a series: a dense run of
+// fixed-width buckets, each carrying the exact rectangle-rule energy, the
+// covered signal seconds and the max power seen. Rollups are maintained
+// on ingest — a sample's rectangle is added the moment its right neighbour
+// (and therefore its width) is known — so they survive raw-chunk
+// retention and serve coarse queries without touching compressed chunks.
+type rollup struct {
+	width   float64 // bucket width, seconds
+	start   int64   // bucket index of buckets[0]
+	buckets []bucket
+}
+
+type bucket struct {
+	energyJ float64
+	cover   float64 // seconds of signal covered inside the bucket
+	maxW    float64
+}
+
+func newRollup(width float64) *rollup { return &rollup{width: width} }
+
+// idx maps a time to its bucket index.
+func (r *rollup) idx(t float64) int64 { return int64(math.Floor(t / r.width)) }
+
+// bucketAt grows the dense run as needed and returns the bucket for index i.
+func (r *rollup) bucketAt(i int64) *bucket {
+	if len(r.buckets) == 0 {
+		r.start = i
+		r.buckets = append(r.buckets, bucket{})
+		return &r.buckets[0]
+	}
+	if i < r.start {
+		grown := make([]bucket, int(r.start-i)+len(r.buckets))
+		copy(grown[r.start-i:], r.buckets)
+		r.buckets = grown
+		r.start = i
+	}
+	if need := int(i-r.start) + 1; need > len(r.buckets) {
+		if need <= cap(r.buckets) {
+			r.buckets = r.buckets[:need]
+		} else {
+			grown := make([]bucket, need)
+			copy(grown, r.buckets)
+			r.buckets = grown
+		}
+	}
+	return &r.buckets[i-r.start]
+}
+
+// maxRectBuckets bounds how many dense buckets one rectangle may touch.
+// A sample gap spanning more buckets than this is a clock glitch or a
+// corrupt batch, not a signal: materialising it would allocate without
+// bound while holding the shard lock, so the rectangle is skipped (the
+// raw chunks still hold the samples; only rollup-resolution answers over
+// the pathological gap lose it).
+const maxRectBuckets = 100_000
+
+// addRect spreads one power rectangle [t0, t1) at p watts across the
+// bucket run. cover=false applies an energy-only correction (used when an
+// out-of-order insert re-attributes an already-covered span to a new
+// power level), leaving covered seconds untouched.
+func (r *rollup) addRect(t0, t1, p float64, cover bool) {
+	if t1 <= t0 {
+		return
+	}
+	if (t1-t0)/r.width > maxRectBuckets {
+		return
+	}
+	if n := len(r.buckets); n > 0 {
+		// Refuse to grow the dense run by more than maxRectBuckets in one
+		// step: a rectangle landing that far from the existing run is a
+		// clock glitch, and materialising the gap would allocate without
+		// bound.
+		lo, hi := r.start, r.start+int64(n)
+		if i := r.idx(t0); i < lo {
+			lo = i
+		}
+		if i := r.idx(t1-1e-12) + 1; i > hi {
+			hi = i
+		}
+		if hi-lo-int64(n) > maxRectBuckets {
+			return
+		}
+	}
+	for i := r.idx(t0); ; i++ {
+		lo := math.Max(t0, float64(i)*r.width)
+		hi := math.Min(t1, float64(i+1)*r.width)
+		if hi <= lo {
+			break
+		}
+		b := r.bucketAt(i)
+		b.energyJ += p * (hi - lo)
+		if cover {
+			b.cover += hi - lo
+			if p > b.maxW {
+				b.maxW = p
+			}
+		} else if p > 0 && b.maxW < p {
+			// A correction can only raise the max (the old level stays a
+			// lower bound on what was observed there).
+			b.maxW = p
+		}
+		if hi >= t1 {
+			break
+		}
+	}
+}
+
+// energy integrates the rollup over [t0, t1]. Boundary buckets contribute
+// pro-rata by overlap fraction, so the result deviates from the raw
+// integral by at most width*maxPower per boundary.
+func (r *rollup) energy(t0, t1 float64) float64 {
+	if t1 <= t0 || len(r.buckets) == 0 {
+		return 0
+	}
+	e := 0.0
+	first, last := r.idx(t0), r.idx(t1-1e-12)
+	for i := first; i <= last; i++ {
+		if i < r.start || i >= r.start+int64(len(r.buckets)) {
+			continue
+		}
+		b := r.buckets[i-r.start]
+		if b.energyJ == 0 {
+			continue
+		}
+		lo := math.Max(t0, float64(i)*r.width)
+		hi := math.Min(t1, float64(i+1)*r.width)
+		e += b.energyJ * (hi - lo) / r.width
+	}
+	return e
+}
+
+// maxPower returns the max bucket power over buckets overlapping [t0, t1].
+func (r *rollup) maxPower(t0, t1 float64) float64 {
+	m := 0.0
+	if t1 <= t0 || len(r.buckets) == 0 {
+		return m
+	}
+	for i := r.idx(t0); i <= r.idx(t1-1e-12); i++ {
+		if i < r.start || i >= r.start+int64(len(r.buckets)) {
+			continue
+		}
+		if b := r.buckets[i-r.start]; b.maxW > m {
+			m = b.maxW
+		}
+	}
+	return m
+}
+
+// points emits one Point per non-empty bucket overlapping [t0, t1].
+func (r *rollup) points(t0, t1 float64) []Point {
+	var out []Point
+	if t1 <= t0 || len(r.buckets) == 0 {
+		return out
+	}
+	for i := r.idx(t0); i <= r.idx(t1-1e-12); i++ {
+		if i < r.start || i >= r.start+int64(len(r.buckets)) {
+			continue
+		}
+		b := r.buckets[i-r.start]
+		if b.cover <= 0 {
+			continue
+		}
+		out = append(out, Point{
+			T0: float64(i) * r.width, T1: float64(i+1) * r.width,
+			MeanW: b.energyJ / b.cover, MaxW: b.maxW, EnergyJ: b.energyJ,
+		})
+	}
+	return out
+}
+
+// bytes estimates the rollup's memory footprint.
+func (r *rollup) bytes() int64 { return int64(len(r.buckets)) * 24 }

@@ -1,0 +1,407 @@
+package tsdb
+
+import (
+	"sort"
+)
+
+// chunkMeta is the in-memory index entry of one sealed, immutable chunk.
+// energyJ is the precomputed rectangle-rule partial sum over
+// [tFirst, tLast) — the gap from tLast to the next chunk's first sample
+// is lastW*(gap) and is accounted by the series-level prefix sums — so a
+// window query only decodes the (at most two) chunks its boundaries cut.
+type chunkMeta struct {
+	data    []byte
+	count   int
+	tFirst  int64
+	tLast   int64
+	lastW   float64 // power of the chunk's last sample (spans the gap)
+	energyJ float64 // left-rectangle energy over [tFirst, tLast)
+	maxW    float64
+}
+
+// series is one node's store: sealed compressed chunks plus an
+// uncompressed head window that absorbs appends and bounded reordering.
+type series struct {
+	node   int
+	chunks []chunkMeta
+	// cumE[k] = energy of chunks[0..k-1] including inter-chunk gaps; only
+	// differences are meaningful, so retention can re-slice it.
+	cumE  []float64
+	headT []int64
+	headW []float64
+
+	pendT   int64   // latest timestamp seen (the pending sample)
+	pendW   float64 // its power
+	lastGap float64 // seconds between the two latest timestamps
+
+	rolls      []*rollup
+	droppedRaw bool // retention has dropped sealed chunks
+	total      int  // samples accepted, ever (incl. later-dropped raw)
+	oo         int  // too-old samples dropped (older than the sealed horizon)
+	dups       int  // duplicate timestamps overwritten
+}
+
+func newSeries(node int, widths []float64) *series {
+	s := &series{node: node}
+	for _, w := range widths {
+		s.rolls = append(s.rolls, newRollup(w))
+	}
+	return s
+}
+
+// sealedEnd is the newest sealed timestamp (appends at or before it are
+// too old to place), or minInt64 when nothing is sealed.
+func (s *series) sealedEnd() int64 {
+	if len(s.chunks) == 0 {
+		return -1 << 62
+	}
+	return s.chunks[len(s.chunks)-1].tLast
+}
+
+// append ingests one sample. chunkSize bounds the head; retainRaw > 0
+// drops sealed chunks older than that horizon behind the newest sample.
+func (s *series) append(tick int64, w float64, chunkSize int, retainRaw float64) {
+	ts := toSec(tick)
+	n := len(s.headT)
+	switch {
+	case s.total == 0:
+		s.headT = append(s.headT, tick)
+		s.headW = append(s.headW, w)
+		s.pendT, s.pendW = tick, w
+	case tick > s.pendT:
+		// Fast path: in-order append. The pending sample's width is now
+		// known, so its rectangle enters the rollups.
+		prevT := toSec(s.pendT)
+		for _, r := range s.rolls {
+			r.addRect(prevT, ts, s.pendW, true)
+		}
+		s.lastGap = ts - prevT
+		s.headT = append(s.headT, tick)
+		s.headW = append(s.headW, w)
+		s.pendT, s.pendW = tick, w
+	case tick == s.pendT:
+		// Duplicate of the newest sample: overwrite in place (unless it
+		// was just sealed into an immutable chunk).
+		s.dups++
+		if n > 0 {
+			s.headW[n-1] = w
+			s.pendW = w
+		}
+		return
+	case tick <= s.sealedEnd():
+		// Behind the sealed horizon: immutable chunks cannot take it.
+		s.oo++
+		return
+	default:
+		// Out-of-order within the head window (or in the gap between the
+		// last sealed chunk and the head): sorted insert.
+		i := sort.Search(n, func(k int) bool { return s.headT[k] >= tick })
+		if i < n && s.headT[i] == tick {
+			s.dups++
+			old := s.headW[i]
+			s.headW[i] = w
+			// Re-attribute the sample's already-covered span.
+			end := s.pendT
+			if i+1 < n {
+				end = s.headT[i+1]
+			}
+			if s.headT[i] != s.pendT {
+				for _, r := range s.rolls {
+					r.addRect(ts, toSec(end), w-old, false)
+				}
+			}
+			return
+		}
+		// Power level previously covering [tick, next): the left
+		// neighbour in the head, or the last sealed sample.
+		var prevW float64
+		covered := true
+		if i > 0 {
+			prevW = s.headW[i-1]
+		} else if len(s.chunks) > 0 {
+			prevW = s.chunks[len(s.chunks)-1].lastW
+		} else {
+			covered = false // inserting before the first-ever sample
+		}
+		next := toSec(s.headT[i])
+		for _, r := range s.rolls {
+			if covered {
+				r.addRect(ts, next, w-prevW, false)
+			} else {
+				r.addRect(ts, next, w, true)
+			}
+		}
+		s.headT = append(s.headT, 0)
+		s.headW = append(s.headW, 0)
+		copy(s.headT[i+1:], s.headT[i:])
+		copy(s.headW[i+1:], s.headW[i:])
+		s.headT[i] = tick
+		s.headW[i] = w
+	}
+	s.total++
+	if len(s.headT) >= chunkSize {
+		s.seal()
+		if retainRaw > 0 {
+			s.dropRawBefore(toSec(s.pendT) - retainRaw)
+		}
+	}
+}
+
+// seal compresses the whole head into one immutable chunk.
+func (s *series) seal() {
+	n := len(s.headT)
+	if n == 0 {
+		return
+	}
+	e, maxW := 0.0, s.headW[0]
+	for i := 0; i < n-1; i++ {
+		e += s.headW[i] * (toSec(s.headT[i+1]) - toSec(s.headT[i]))
+		if s.headW[i+1] > maxW {
+			maxW = s.headW[i+1]
+		}
+	}
+	meta := chunkMeta{
+		data: encodeChunk(s.headT, s.headW), count: n,
+		tFirst: s.headT[0], tLast: s.headT[n-1],
+		lastW: s.headW[n-1], energyJ: e, maxW: maxW,
+	}
+	if k := len(s.chunks); k > 0 {
+		prev := s.chunks[k-1]
+		gap := prev.energyJ + prev.lastW*(toSec(meta.tFirst)-toSec(prev.tLast))
+		s.cumE = append(s.cumE, s.cumE[k-1]+gap)
+	} else {
+		s.cumE = append(s.cumE, 0)
+	}
+	s.chunks = append(s.chunks, meta)
+	s.headT = s.headT[:0]
+	s.headW = s.headW[:0]
+}
+
+// dropRawBefore drops sealed chunks whose whole span (including the gap
+// to the next chunk) ends at or before t. Rollups are untouched, so the
+// dropped range remains queryable at rollup resolution.
+func (s *series) dropRawBefore(t float64) int {
+	d := 0
+	for d < len(s.chunks)-1 && toSec(s.chunks[d+1].tFirst) <= t {
+		d++
+	}
+	// The last chunk may go too if the head has moved past t.
+	if d == len(s.chunks)-1 && len(s.headT) > 0 && toSec(s.headT[0]) <= t {
+		d++
+	}
+	if d == 0 {
+		return 0
+	}
+	s.droppedRaw = true
+	s.chunks = s.chunks[d:]
+	if d < len(s.cumE) {
+		s.cumE = s.cumE[d:]
+	} else {
+		s.cumE = s.cumE[:0]
+	}
+	return d
+}
+
+// rawStart is the earliest retained raw timestamp in seconds, or +inf.
+func (s *series) rawStart() float64 {
+	if len(s.chunks) > 0 {
+		return toSec(s.chunks[0].tFirst)
+	}
+	if len(s.headT) > 0 {
+		return toSec(s.headT[0])
+	}
+	return 1e300
+}
+
+// retained counts raw samples currently held.
+func (s *series) retained() int {
+	n := len(s.headT)
+	for _, c := range s.chunks {
+		n += c.count
+	}
+	return n
+}
+
+// end returns the exclusive end of the series: the pending sample covers
+// one trailing rectangle as wide as the last observed gap.
+func (s *series) end() float64 { return toSec(s.pendT) + s.lastGap }
+
+// chunkSpanEnd is the exclusive end of chunk k's coverage: the next
+// chunk's first sample, the head's first sample, or the series end.
+func (s *series) chunkSpanEnd(k int) float64 {
+	if k+1 < len(s.chunks) {
+		return toSec(s.chunks[k+1].tFirst)
+	}
+	if len(s.headT) > 0 {
+		return toSec(s.headT[0])
+	}
+	return s.end()
+}
+
+// integrate computes the exact rectangle-rule energy over [t0, t1] from
+// retained raw data: O(log chunks) to locate the window, prefix sums for
+// interior chunks, and decoding only for the chunks the boundaries cut.
+func (s *series) integrate(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	e := 0.0
+	nc := len(s.chunks)
+	// First chunk whose span can overlap the window.
+	lo := sort.Search(nc, func(k int) bool { return s.chunkSpanEnd(k) > t0 })
+	k := lo
+	for k < nc && toSec(s.chunks[k].tFirst) < t1 {
+		c := &s.chunks[k]
+		spanEnd := s.chunkSpanEnd(k)
+		if toSec(c.tFirst) >= t0 && spanEnd <= t1 {
+			// Whole chunks inside the window: prefer the prefix sums.
+			j := k
+			for j+1 < nc && s.chunkSpanEnd(j+1) <= t1 {
+				j++
+			}
+			if j > k {
+				e += s.cumE[j] - s.cumE[k]
+				k = j
+				c = &s.chunks[k]
+				spanEnd = s.chunkSpanEnd(k)
+			}
+			e += c.energyJ + c.lastW*(spanEnd-toSec(c.tLast))
+			k++
+			continue
+		}
+		// Boundary chunk: decode and clip sample rectangles.
+		var prevT float64
+		var prevW float64
+		first := true
+		_ = decodeChunk(c.data, c.count, func(tick int64, w float64) bool {
+			ts := toSec(tick)
+			if !first {
+				e += clipRect(prevT, ts, prevW, t0, t1)
+			}
+			prevT, prevW, first = ts, w, false
+			return prevT < t1
+		})
+		if prevT < t1 {
+			e += clipRect(toSec(c.tLast), spanEnd, c.lastW, t0, t1)
+		}
+		k++
+	}
+	// Head samples: rectangle i spans to its successor; the pending
+	// sample spans the last observed gap.
+	n := len(s.headT)
+	if n > 0 && s.end() > t0 && toSec(s.headT[0]) < t1 {
+		i := sort.Search(n, func(k int) bool { return toSec(s.headT[k]) > t0 })
+		if i > 0 {
+			i--
+		}
+		for ; i < n; i++ {
+			ts := toSec(s.headT[i])
+			if ts >= t1 {
+				break
+			}
+			end := s.end()
+			if i+1 < n {
+				end = toSec(s.headT[i+1])
+			}
+			e += clipRect(ts, end, s.headW[i], t0, t1)
+		}
+	}
+	return e
+}
+
+// clipRect is the overlap energy of one rectangle with the window.
+func clipRect(lo, hi, p, t0, t1 float64) float64 {
+	if lo < t0 {
+		lo = t0
+	}
+	if hi > t1 {
+		hi = t1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return p * (hi - lo)
+}
+
+// maxPower scans chunk maxima (decoding only boundary chunks) and the head.
+func (s *series) maxPower(t0, t1 float64) float64 {
+	m := 0.0
+	nc := len(s.chunks)
+	lo := sort.Search(nc, func(k int) bool { return s.chunkSpanEnd(k) > t0 })
+	for k := lo; k < nc && toSec(s.chunks[k].tFirst) < t1; k++ {
+		c := &s.chunks[k]
+		if toSec(c.tFirst) >= t0 && s.chunkSpanEnd(k) <= t1 {
+			if c.maxW > m {
+				m = c.maxW
+			}
+			continue
+		}
+		spanEnd := s.chunkSpanEnd(k)
+		var prevT, prevW float64
+		first := true
+		_ = decodeChunk(c.data, c.count, func(tick int64, w float64) bool {
+			ts := toSec(tick)
+			if !first && clipRect(prevT, ts, 1, t0, t1) > 0 && prevW > m {
+				m = prevW
+			}
+			prevT, prevW, first = ts, w, false
+			return prevT < t1
+		})
+		if clipRect(prevT, spanEnd, 1, t0, t1) > 0 && prevW > m {
+			m = prevW
+		}
+	}
+	for i, tk := range s.headT {
+		ts := toSec(tk)
+		end := s.end()
+		if i+1 < len(s.headT) {
+			end = toSec(s.headT[i+1])
+		}
+		if clipRect(ts, end, 1, t0, t1) > 0 && s.headW[i] > m {
+			m = s.headW[i]
+		}
+	}
+	return m
+}
+
+// scan streams retained raw samples with t in [t0, t1] in time order.
+func (s *series) scan(t0, t1 float64, fn func(t, w float64) bool) {
+	stop := false
+	for k := range s.chunks {
+		c := &s.chunks[k]
+		if toSec(c.tLast) < t0 {
+			continue
+		}
+		if toSec(c.tFirst) > t1 || stop {
+			break
+		}
+		_ = decodeChunk(c.data, c.count, func(tick int64, w float64) bool {
+			ts := toSec(tick)
+			if ts > t1 {
+				stop = true
+				return false
+			}
+			if ts >= t0 {
+				if !fn(ts, w) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if stop {
+		return
+	}
+	for i, tk := range s.headT {
+		ts := toSec(tk)
+		if ts > t1 {
+			return
+		}
+		if ts >= t0 {
+			if !fn(ts, s.headW[i]) {
+				return
+			}
+		}
+	}
+}

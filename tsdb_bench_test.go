@@ -1,0 +1,189 @@
+package davide
+
+// BenchmarkE16* extend the DESIGN.md experiment series with the telemetry
+// store claims: (a) ingest throughput at fleet scale, (b) bytes/sample of
+// Gorilla-compressed chunks at least 5x below the 16 B/sample of flat
+// time/power float64 slices, and (c) energy-query latency that is
+// sub-linear in the window length (chunk partial sums + rollups) where
+// the flat-slice scan is linear, with raw and rollup integrals agreeing
+// within the documented resolution bound.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"davide/internal/tsdb"
+)
+
+// benchSignal mimics a gateway stream: piecewise-constant job power with
+// ADC-style 12-bit quantisation, 20 samples/s.
+type benchSignal struct {
+	rng   *rand.Rand
+	level float64
+	left  int // samples until the next level change
+}
+
+func newBenchSignal(seed int64) *benchSignal {
+	rng := rand.New(rand.NewSource(seed))
+	return &benchSignal{rng: rng, level: 360, left: 1 + rng.Intn(1200)}
+}
+
+func (s *benchSignal) next() float64 {
+	if s.left == 0 {
+		s.level = 360 + float64(s.rng.Intn(10))*200
+		s.left = 1 + s.rng.Intn(1200)
+	}
+	s.left--
+	const fs, codes = 5000.0, 4096.0
+	return math.Round(s.level/fs*codes) / codes * fs
+}
+
+// ingestWindow streams windowSec seconds of nodes gateways at 20 S/s in
+// 512-sample batches, returning the total sample count.
+func ingestWindow(db *tsdb.DB, nodes int, windowSec float64) int {
+	const rate, batch = 20.0, 512
+	total := 0
+	perNode := int(windowSec * rate)
+	for n := 0; n < nodes; n++ {
+		sig := newBenchSignal(int64(1000 + n))
+		buf := make([]float64, 0, batch)
+		t0 := 0.0
+		for i := 0; i < perNode; i++ {
+			buf = append(buf, sig.next())
+			if len(buf) == batch || i == perNode-1 {
+				db.AppendBatch(n, t0, 1/rate, buf)
+				t0 += float64(len(buf)) / rate
+				total += len(buf)
+				buf = buf[:0]
+			}
+		}
+	}
+	return total
+}
+
+func BenchmarkE16TSDBIngest(b *testing.B) {
+	const windowSec = 1800.0 // 30 min at 20 S/s
+	for _, nodes := range []int{8, 16, 45} {
+		b.Run(fmt.Sprintf("%02dnodes", nodes), func(b *testing.B) {
+			var st tsdb.Stats
+			var total int
+			for i := 0; i < b.N; i++ {
+				db := tsdb.New(tsdb.Options{})
+				total = ingestWindow(db, nodes, windowSec)
+				st = db.Stats()
+			}
+			if st.Samples != total {
+				b.Fatalf("retained %d of %d samples", st.Samples, total)
+			}
+			bps := st.BytesPerSample
+			if bps > 16.0/5 {
+				b.Fatalf("bytes/sample = %.3f, need <= %.3f for the 5x claim", bps, 16.0/5)
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+			b.ReportMetric(bps, "B/sample")
+			b.ReportMetric(16.0/bps, "compression-x")
+		})
+	}
+}
+
+func BenchmarkE16TSDBQuery(b *testing.B) {
+	const windowSec = 14400.0 // 4 h of one node at 20 S/s
+	db := tsdb.New(tsdb.Options{})
+	ingestWindow(db, 1, windowSec)
+	// Flat-slice baseline: today's representation, linear scan.
+	var ts, ws []float64
+	if err := db.Range(0, 0, windowSec, func(t, w float64) bool {
+		ts = append(ts, t)
+		ws = append(ws, w)
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	flatEnergy := func(t0, t1 float64) float64 {
+		e := 0.0
+		n := len(ts)
+		for i := 0; i < n; i++ {
+			hi := ts[i] + 0.05
+			if i+1 < n {
+				hi = ts[i+1]
+			}
+			lo := ts[i]
+			if lo < t0 {
+				lo = t0
+			}
+			if hi > t1 {
+				hi = t1
+			}
+			if hi > lo {
+				e += ws[i] * (hi - lo)
+			}
+		}
+		return e
+	}
+
+	maxW, err := db.MaxPower(0, 0, windowSec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, win := range []float64{60, 600, 3600, 14000} {
+		t0 := (windowSec - win) / 2
+		t1 := t0 + win
+		// Cross-check once per window: raw == flat, rollup within bound.
+		raw, err := db.Energy(0, t0, t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if flat := flatEnergy(t0, t1); math.Abs(raw-flat) > 1e-6*flat {
+			b.Fatalf("win %g: raw %v deviates from flat %v", win, raw, flat)
+		}
+		rolled, err := db.EnergyAt(0, t0, t1, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.Abs(raw-rolled) > 2*60*maxW {
+			b.Fatalf("win %g: rollup %v deviates from raw %v beyond bound", win, rolled, raw)
+		}
+
+		b.Run(fmt.Sprintf("flat-%5.0fs", win), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = flatEnergy(t0, t1)
+			}
+		})
+		b.Run(fmt.Sprintf("raw-%5.0fs", win), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Energy(0, t0, t1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rollup-%5.0fs", win), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.EnergyAt(0, t0, t1, 60); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE16TSDBRetention measures the steady-state footprint win: a
+// long replay with a 10-minute raw horizon keeps a bounded store while
+// rollup queries still cover the whole history.
+func BenchmarkE16TSDBRetention(b *testing.B) {
+	var st tsdb.Stats
+	for i := 0; i < b.N; i++ {
+		db := tsdb.New(tsdb.Options{RetainRaw: 600})
+		ingestWindow(db, 8, 7200)
+		if _, err := db.EnergyAt(0, 0, 7200, 60); err != nil {
+			b.Fatal(err)
+		}
+		st = db.Stats()
+	}
+	if st.Samples > 8*600*20*2 {
+		b.Fatalf("retention kept %d raw samples for a 600 s horizon", st.Samples)
+	}
+	b.ReportMetric(float64(st.Samples), "raw-samples")
+	b.ReportMetric(float64(st.RollupBytes), "rollup-B")
+}
