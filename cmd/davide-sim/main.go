@@ -35,6 +35,7 @@ func main() {
 	streamNodes := flag.Int("stream-nodes", 0, "limit the telemetry replay to the first k nodes (0 = all)")
 	streamRate := flag.Float64("stream-rate", 50, "telemetry replay sample rate (S/s of virtual time)")
 	workers := flag.Int("stream-workers", 0, "concurrent gateways in the replay fleet (0 = one per CPU, 1 = sequential)")
+	codec := flag.String("stream-codec", "binary", "batch wire codec for the replay: binary or json")
 	flag.Parse()
 
 	var pol sched.Policy
@@ -103,6 +104,7 @@ func main() {
 
 	if *stream > 0 {
 		sys.StreamWorkers = *workers
+		sys.StreamCodec = davide.WireCodec(*codec)
 		sres, err := sys.StreamWindow(0, *stream, *streamRate, *streamNodes)
 		if err != nil {
 			log.Fatal(err)
@@ -111,6 +113,10 @@ func main() {
 		fmt.Printf("  window               %.0f virtual s at %.0f S/s\n", sres.Window, *streamRate)
 		fmt.Printf("  samples / batches    %d / %d\n", sres.SamplesSent, sres.BatchesSent)
 		fmt.Printf("  broker publishes     %d (dropped %d)\n", sres.BrokerPublishes, sres.BrokerDropped)
+		fmt.Printf("  wire codec           %s (%.2f B/sample, %d fan-out encode hits)\n",
+			*codec, sres.WireBytesPerSample, sres.BrokerFanoutEncodedOnce)
+		fmt.Printf("  pooled buffer reuse  broker %d / clients %d\n",
+			sres.BrokerBufReuses, sres.ClientBufReuses)
 		fmt.Printf("  wall clock           %s\n", sres.WallClock)
 		fmt.Printf("  max energy error     %.4f %%\n", sres.MaxEnergyErrPct)
 	}

@@ -171,6 +171,18 @@ func NewFleet(brokerAddr string, spec GatewaySpec, workers int) (*Fleet, error) 
 	return fleet.New(brokerAddr, spec, workers)
 }
 
+// WireCodec selects the batch wire format gateways publish: the
+// compressed binary frame (default) or the original JSON text. Decoders
+// sniff the format per payload, so mixed-codec fleets interoperate on
+// one broker.
+type WireCodec = gateway.Codec
+
+// Batch wire codecs.
+const (
+	CodecBinary = gateway.CodecBinary
+	CodecJSON   = gateway.CodecJSON
+)
+
 // ConstSignal returns a constant power signal, the simplest input for a
 // standalone fleet replay (System.NodeSignal supplies scheduled traces).
 func ConstSignal(watts float64) Signal { return sensor.Const(watts) }

@@ -27,6 +27,7 @@ import (
 	"davide/internal/accounting"
 	"davide/internal/cluster"
 	"davide/internal/fleet"
+	"davide/internal/gateway"
 	"davide/internal/mqtt"
 	"davide/internal/predictor"
 	"davide/internal/sched"
@@ -49,6 +50,11 @@ type System struct {
 	// telemetry replays; 0 means one worker per CPU, 1 reproduces the
 	// sequential one-node-at-a-time replay.
 	StreamWorkers int
+
+	// StreamCodec selects the batch wire format telemetry replays publish
+	// (gateway.CodecBinary by default, gateway.CodecJSON for the original
+	// text format).
+	StreamCodec gateway.Codec
 
 	// StoreOptions tunes the telemetry store each replay writes into
 	// (chunk size, rollup resolutions, raw retention). Zero value =
@@ -245,7 +251,18 @@ type StreamResult struct {
 	BatchesSent     int
 	BrokerPublishes int64
 	BrokerDropped   int64
-	WallClock       time.Duration
+	// BrokerFanoutEncodedOnce counts deliveries that shared an earlier
+	// subscriber's PUBLISH encoding (encode-once fan-out hits).
+	BrokerFanoutEncodedOnce int64
+	// BrokerBufReuses / ClientBufReuses count pooled packet-buffer
+	// reuses on the broker's read path and the gateways' publish path.
+	BrokerBufReuses int64
+	ClientBufReuses int64
+	// WireBytesPerSample is the mean encoded batch payload size per power
+	// sample — the figure the wire codec controls (~20 B/sample as JSON,
+	// a fraction of that in the binary format).
+	WireBytesPerSample float64
+	WallClock          time.Duration
 	// MaxEnergyErrPct is the worst per-node deviation between the
 	// telemetry-derived energy and the analytic truth.
 	MaxEnergyErrPct float64
@@ -291,6 +308,7 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 
 	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
 		SampleRate: sampleRate, ClientPrefix: "gw", SeedBase: 1000,
+		Codec: s.StreamCodec,
 	}, s.StreamWorkers)
 	if err != nil {
 		return StreamResult{}, err
@@ -309,6 +327,8 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	res := StreamResult{
 		Window: t1 - t0, NodesStreamed: nodes,
 		SamplesSent: st.Samples, BatchesSent: st.Batches, PerNode: st.PerNode,
+		WireBytesPerSample: st.WireBytesPerSample(),
+		ClientBufReuses:    st.ClientBufReuses,
 	}
 
 	for n := 0; n < nodes; n++ {
@@ -329,6 +349,8 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	}
 	res.BrokerPublishes = broker.Stats.PublishesOut.Load()
 	res.BrokerDropped = broker.Stats.Dropped.Load()
+	res.BrokerFanoutEncodedOnce = broker.Stats.FanoutEncodedOnce.Load()
+	res.BrokerBufReuses = broker.Stats.BufReuses.Load()
 	res.WallClock = time.Since(start)
 	return res, nil
 }
@@ -364,6 +386,7 @@ func (s *System) JobEnergyFromTelemetry(jobID int, sampleRate float64) (telemetr
 
 	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
 		SampleRate: sampleRate, ClientPrefix: "jgw", SeedBase: 2000,
+		Codec: s.StreamCodec,
 	}, s.StreamWorkers)
 	if err != nil {
 		return 0, 0, err

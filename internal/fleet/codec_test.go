@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"davide/internal/gateway"
+	"davide/internal/mqtt"
+	"davide/internal/sensor"
+	"davide/internal/telemetry"
+)
+
+func TestSpecRejectsUnknownCodec(t *testing.T) {
+	if _, err := New("127.0.0.1:1", GatewaySpec{SampleRate: 10, Codec: "morse"}, 0); err == nil {
+		t.Error("unknown codec should error")
+	}
+}
+
+// TestMixedCodecFleetsShareOneBroker runs a JSON fleet and a binary fleet
+// against the same broker and one aggregator: the sniffing decoder must
+// ingest both streams, deliver every node, and recover the same energies,
+// while the binary nodes use a fraction of the JSON wire bytes.
+func TestMixedCodecFleetsShareOneBroker(t *testing.T) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = broker.Close() }()
+	agg, sub, err := telemetry.Subscribe(broker.Addr(), "mixed-agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Close() }()
+
+	newFleet := func(prefix string, codec gateway.Codec) *Fleet {
+		fl, err := New(broker.Addr(), GatewaySpec{
+			SampleRate: 100, ClientPrefix: prefix, Codec: codec,
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = fl.Close() })
+		return fl
+	}
+	flJSON := newFleet("jn", gateway.CodecJSON)
+	flBin := newFleet("bn", gateway.CodecBinary)
+
+	sig := sensor.Const(800)
+	jsonNodes := []NodeStream{{Node: 0, Signal: sig}, {Node: 1, Signal: sig}}
+	binNodes := []NodeStream{{Node: 2, Signal: sig}, {Node: 3, Signal: sig}}
+
+	stJSON, err := flJSON.Stream(context.Background(), jsonNodes, 0, 10, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBin, err := flBin.Stream(context.Background(), binNodes, 0, 10, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []StreamStats{stJSON, stBin} {
+		for _, ns := range st.PerNode {
+			if !ns.Delivered {
+				t.Errorf("node %d not delivered", ns.Node)
+			}
+		}
+	}
+	for n := 0; n < 4; n++ {
+		got, err := agg.NodeEnergy(n, 0, 10)
+		if err != nil {
+			t.Fatalf("node %d: %v", n, err)
+		}
+		if math.Abs(got-8000)/8000 > 0.01 {
+			t.Errorf("node %d energy = %v, want ~8000 J", n, got)
+		}
+	}
+	jB, bB := stJSON.WireBytesPerSample(), stBin.WireBytesPerSample()
+	if bB <= 0 || jB <= 0 {
+		t.Fatalf("wire bytes/sample not reported: json %v, binary %v", jB, bB)
+	}
+	if jB < 4*bB {
+		t.Errorf("binary codec %.2f B/sample, JSON %.2f: want >= 4x compression", bB, jB)
+	}
+}

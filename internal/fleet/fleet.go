@@ -66,6 +66,9 @@ type GatewaySpec struct {
 	ClientPrefix string
 	// SeedBase offsets the per-node monitor noise seeds (default 1000).
 	SeedBase int64
+	// Codec selects the batch wire format every gateway publishes:
+	// gateway.CodecBinary (the default) or gateway.CodecJSON.
+	Codec gateway.Codec
 }
 
 // withDefaults fills unset fields with the pilot gateway configuration.
@@ -101,6 +104,9 @@ func (sp GatewaySpec) withDefaults() GatewaySpec {
 func (sp GatewaySpec) Validate() error {
 	if sp.SampleRate <= 0 {
 		return errors.New("fleet: sample rate must be positive")
+	}
+	if err := sp.Codec.Validate(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
 	}
 	return nil
 }
@@ -227,6 +233,7 @@ func (f *Fleet) member(node int) (*member, error) {
 		_ = client.Close()
 		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
 	}
+	gw.Codec = f.spec.Codec
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -256,8 +263,19 @@ type NodeStats struct {
 	Batches   int           // power batches published in this window
 	EnergyJ   float64       // gateway-side energy estimate for the window
 	Bytes     int64         // MQTT payload bytes sent in this window
+	WireBytes int64         // encoded power-batch bytes (the codec's share of Bytes)
+	BufReuses int64         // client pooled-buffer reuses in this window
 	Wall      time.Duration // publish + delivery wait for this node
 	Delivered bool          // aggregator confirmed every sample arrived
+}
+
+// WireBytesPerSample is the node's mean encoded payload size per power
+// sample in this window — the wire-compression figure.
+func (ns NodeStats) WireBytesPerSample() float64 {
+	if ns.Samples == 0 {
+		return 0
+	}
+	return float64(ns.WireBytes) / float64(ns.Samples)
 }
 
 // StreamStats aggregates one Stream call across the fleet.
@@ -266,10 +284,25 @@ type StreamStats struct {
 	Samples int
 	Batches int
 	Bytes   int64
+	// WireBytes is the fleet-wide encoded power-batch payload total; with
+	// Samples it yields the wire bytes/sample the codec achieves.
+	WireBytes int64
+	// ClientBufReuses sums the member clients' pooled-buffer reuse
+	// counters over this window (encode buffers on the publish path).
+	ClientBufReuses int64
 	// Wall is the wall-clock time of the whole fan-out: publish through
 	// confirmed delivery of the slowest node.
 	Wall    time.Duration
 	PerNode []NodeStats
+}
+
+// WireBytesPerSample is the fleet-wide mean encoded payload size per
+// power sample in this window.
+func (st StreamStats) WireBytesPerSample() float64 {
+	if st.Samples == 0 {
+		return 0
+	}
+	return float64(st.WireBytes) / float64(st.Samples)
 }
 
 // Stream replays [t0, t1) of every node signal through the fleet's
@@ -344,6 +377,8 @@ func (f *Fleet) Stream(ctx context.Context, nodes []NodeStream, t0, t1 float64, 
 		stats.Samples += ns.Samples
 		stats.Batches += ns.Batches
 		stats.Bytes += ns.Bytes
+		stats.WireBytes += ns.WireBytes
+		stats.ClientBufReuses += ns.BufReuses
 	}
 	return stats, nil
 }
@@ -357,6 +392,7 @@ func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, ag
 	begin := time.Now()
 	before := m.gw.Stats()
 	bytesBefore := m.client.Stats.PublishBytes.Load()
+	reusesBefore := m.client.Stats.BufReuses.Load()
 	baseline := 0
 	if agg != nil {
 		baseline = agg.Samples(ns.Node)
@@ -367,11 +403,13 @@ func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, ag
 	}
 	after := m.gw.Stats()
 	st := NodeStats{
-		Node:    ns.Node,
-		Samples: after.Samples - before.Samples,
-		Batches: after.Batches - before.Batches,
-		EnergyJ: energy,
-		Bytes:   m.client.Stats.PublishBytes.Load() - bytesBefore,
+		Node:      ns.Node,
+		Samples:   after.Samples - before.Samples,
+		Batches:   after.Batches - before.Batches,
+		EnergyJ:   energy,
+		Bytes:     m.client.Stats.PublishBytes.Load() - bytesBefore,
+		WireBytes: after.WireBytes - before.WireBytes,
+		BufReuses: m.client.Stats.BufReuses.Load() - reusesBefore,
 	}
 	if agg != nil {
 		// Wait for the aggregator's pre-publish count plus exactly the

@@ -1,0 +1,246 @@
+package gateway
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"davide/internal/wire"
+)
+
+func TestCodecValidate(t *testing.T) {
+	for _, c := range []Codec{"", CodecBinary, CodecJSON} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%q) = %v", c, err)
+		}
+	}
+	if err := Codec("protobuf").Validate(); err == nil {
+		t.Error("unknown codec should error")
+	}
+	if _, err := (Batch{Node: 1, Dt: 1, Samples: []float64{1}}).EncodeWith("nope"); err == nil {
+		t.Error("encode with unknown codec should error")
+	}
+}
+
+func TestBinaryRoundTripSniffed(t *testing.T) {
+	b := Batch{Node: 7, T0: 12.345, Dt: 0.02, Samples: []float64{360, 360, 1890.25, 1890.25, 420}}
+	bin, err := b.EncodeWith(CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin[0] != binMagic || bin[1] != binVersion {
+		t.Fatalf("frame header = %x", bin[:2])
+	}
+	jsn, err := b.EncodeWith(CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsn[0] != '{' {
+		t.Fatalf("JSON payload starts with %q", jsn[0])
+	}
+	for name, payload := range map[string][]byte{"binary": bin, "json": jsn} {
+		got, err := DecodeBatch(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Node != b.Node || len(got.Samples) != len(b.Samples) {
+			t.Fatalf("%s: round trip = %+v", name, got)
+		}
+		for i, s := range b.Samples {
+			if got.Samples[i] != s {
+				t.Errorf("%s: sample %d = %v, want %v (watts must be exact)", name, i, got.Samples[i], s)
+			}
+		}
+		if math.Abs(got.T0-b.T0) > 1.0/wire.TickHz {
+			t.Errorf("%s: T0 = %v, want %v", name, got.T0, b.T0)
+		}
+	}
+	if len(bin) >= len(jsn) {
+		t.Errorf("binary frame (%d B) not smaller than JSON (%d B)", len(bin), len(jsn))
+	}
+}
+
+func TestBinarySingleSample(t *testing.T) {
+	b := Batch{Node: 0, T0: -2.5, Dt: 3e-4, Samples: []float64{777.5}}
+	payload, err := b.EncodeWith(CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples[0] != 777.5 || math.Abs(got.T0-b.T0) > 1e-7 || math.Abs(got.Dt-b.Dt) > 1e-7 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+// Property: random non-uniform batches round-trip through the binary
+// codec with exact watts and timestamps within the tick quantisation of
+// the JSON-decoded truth (one tick at each reconstruction boundary).
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const tick = 1.0 / wire.TickHz
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(700)
+		b := Batch{
+			Node: rng.Intn(1 << 16),
+			// Deliberately off-grid T0 and Dt: negative times, sub-tick
+			// fractions, rates from 2 S/s to 1 MS/s.
+			T0:      (rng.Float64() - 0.25) * 1e4,
+			Dt:      math.Pow(10, -6+rng.Float64()*5.7) * (1 + rng.Float64()),
+			Samples: make([]float64, n),
+		}
+		level := 360 + rng.Float64()*1500
+		for i := range b.Samples {
+			if rng.Intn(50) == 0 {
+				level = 360 + rng.Float64()*1500 // job edge
+			}
+			b.Samples[i] = level + float64(rng.Intn(8))*0.146484375 // ADC codes
+		}
+		bin, err := b.EncodeWith(CodecBinary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsn, err := b.EncodeWith(CodecJSON)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := DecodeBatch(bin)
+		if err != nil {
+			t.Fatalf("trial %d: binary decode: %v", trial, err)
+		}
+		fromJSON, err := DecodeBatch(jsn)
+		if err != nil {
+			t.Fatalf("trial %d: json decode: %v", trial, err)
+		}
+		if fromBin.Node != fromJSON.Node || len(fromBin.Samples) != len(fromJSON.Samples) {
+			t.Fatalf("trial %d: shape mismatch: %+v vs %+v", trial, fromBin, fromJSON)
+		}
+		for i := range fromJSON.Samples {
+			if fromBin.Samples[i] != fromJSON.Samples[i] {
+				t.Fatalf("trial %d: sample %d: binary %v != json %v",
+					trial, i, fromBin.Samples[i], fromJSON.Samples[i])
+			}
+			tj := fromJSON.T0 + float64(i)*fromJSON.Dt
+			tb := fromBin.T0 + float64(i)*fromBin.Dt
+			// Encode quantises each stamp to the grid (±half a tick) and
+			// decode linearises through the two endpoint ticks (±half a
+			// tick each): 2 ticks bounds the reconstruction.
+			if math.Abs(tb-tj) > 2*tick {
+				t.Fatalf("trial %d: timestamp %d off by %v s (> 2 ticks): bin %v json %v",
+					trial, i, tb-tj, tb, tj)
+			}
+		}
+	}
+}
+
+func TestDecodeBatchIntoReusesScratch(t *testing.T) {
+	b := Batch{Node: 3, T0: 1, Dt: 0.02, Samples: []float64{500, 500, 510}}
+	payload, err := b.EncodeWith(CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]float64, 0, 64)
+	got, err := DecodeBatchInto(payload, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.Samples[0] != &scratch[:1][0] {
+		t.Error("decode did not reuse the scratch backing array")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeBatchInto(payload, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state binary decode = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeBinaryCorrupt(t *testing.T) {
+	good, err := Batch{Node: 2, T0: 5, Dt: 0.01, Samples: []float64{100, 110, 120, 130}}.EncodeWith(CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"magic only":      {binMagic},
+		"bad version":     {binMagic, 0x7F, 0x01},
+		"header only":     good[:4],
+		"truncated body":  good[:len(good)-2],
+		"zero dt":         {binMagic, binVersion, 0x01, 0x01, 0x00, 0x00},
+		"huge count":      {binMagic, binVersion, 0x01, 0xFF, 0xFF, 0xFF, 0x7F, 0x01, 0x00},
+		"not json either": []byte("not a batch"),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeBatch(payload); err == nil {
+			t.Errorf("%s: decode should error", name)
+		}
+	}
+	// Flipping any single byte must never panic; it may or may not error.
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x55
+		_, _ = DecodeBatch(mut)
+	}
+}
+
+// FuzzDecodeBatch drives the sniffing decoder with arbitrary payloads:
+// it must never panic, never return a batch that fails validation, and
+// must round-trip anything it does accept.
+func FuzzDecodeBatch(f *testing.F) {
+	seed := []Batch{
+		{Node: 0, T0: 0, Dt: 0.02, Samples: []float64{360}},
+		{Node: 44, T0: 123.456, Dt: 2e-5, Samples: []float64{360, 360, 1890, 1890, 420.5}},
+	}
+	for _, b := range seed {
+		bin, _ := b.EncodeWith(CodecBinary)
+		jsn, _ := b.EncodeWith(CodecJSON)
+		f.Add(bin)
+		f.Add(jsn)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{binMagic})
+	f.Add([]byte{binMagic, binVersion})
+	f.Add([]byte(`{"node":1,"t0":0,"dt":0.5,"p":[1,2]}`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			return
+		}
+		if verr := b.Validate(); verr != nil {
+			t.Fatalf("accepted invalid batch %+v: %v", b, verr)
+		}
+		// Whatever decoded must re-encode and decode to the same samples.
+		re, err := b.EncodeWith(CodecBinary)
+		if err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		b2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(b2.Samples) != len(b.Samples) || b2.Node != b.Node {
+			t.Fatalf("re-round-trip mismatch: %+v vs %+v", b2, b)
+		}
+		for i := range b.Samples {
+			if b2.Samples[i] != b.Samples[i] && !(math.IsNaN(b2.Samples[i]) && math.IsNaN(b.Samples[i])) {
+				t.Fatalf("sample %d: %v != %v", i, b2.Samples[i], b.Samples[i])
+			}
+		}
+	})
+}
+
+func TestSniffJSONWhitespace(t *testing.T) {
+	// JSON with leading whitespace still decodes (first byte is not magic).
+	payload := []byte("  {\"node\":1,\"t0\":0,\"dt\":0.5,\"p\":[1,2]}")
+	b, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Node != 1 || len(b.Samples) != 2 {
+		t.Errorf("decoded %+v", b)
+	}
+}

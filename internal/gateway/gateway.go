@@ -53,24 +53,14 @@ func (b Batch) Validate() error {
 	return nil
 }
 
-// Encode serialises the batch to its MQTT payload.
+// Encode serialises the batch to its JSON MQTT payload (the original
+// self-describing wire format; see codec.go for the binary codec and the
+// sniffing DecodeBatch that accepts both).
 func (b Batch) Encode() ([]byte, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	return json.Marshal(b)
-}
-
-// DecodeBatch parses an MQTT payload back into a batch.
-func DecodeBatch(payload []byte) (Batch, error) {
-	var b Batch
-	if err := json.Unmarshal(payload, &b); err != nil {
-		return Batch{}, fmt.Errorf("gateway: decode: %w", err)
-	}
-	if err := b.Validate(); err != nil {
-		return Batch{}, err
-	}
-	return b, nil
 }
 
 // EnergySummary is the retained per-window energy record.
@@ -96,6 +86,11 @@ func DecodeEnergySummary(payload []byte) (EnergySummary, error) {
 
 // Publisher abstracts the MQTT client so gateways can be tested without a
 // broker and wired to the real client in production.
+//
+// Ownership: payload is only valid for the duration of the call — the
+// gateway reuses its encode buffer across batches, and the MQTT client
+// copies the payload into the outgoing packet before returning.
+// Implementations that retain the payload must copy it.
 type Publisher interface {
 	Publish(topic string, payload []byte, qos byte, retain bool) error
 }
@@ -119,17 +114,36 @@ type Gateway struct {
 	Pub Publisher
 	// BatchSamples is the number of samples per published batch.
 	BatchSamples int
+	// Codec selects the batch wire format ("" = binary).
+	Codec Codec
 
 	published int
 	samples   int
 	energyJ   float64
+	wireBytes int64
+
+	// Reused across batches so steady-state publishing is allocation-free
+	// (see the Publisher ownership contract).
+	encBuf    []byte
+	sampleBuf []float64
 }
 
 // Stats summarises a gateway's cumulative publishing activity.
 type Stats struct {
-	Batches int     // power batches published
-	Samples int     // power samples published
-	EnergyJ float64 // sum of the per-window energy estimates
+	Batches   int     // power batches published
+	Samples   int     // power samples published
+	EnergyJ   float64 // sum of the per-window energy estimates
+	WireBytes int64   // encoded power-batch payload bytes put on the wire
+}
+
+// WireBytesPerSample is the mean encoded payload size per power sample —
+// the wire-compression figure the batch codec controls (~20 bytes/sample
+// as JSON text, a fraction of that in the binary format).
+func (s Stats) WireBytesPerSample() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.WireBytes) / float64(s.Samples)
 }
 
 // New creates a gateway.
@@ -157,7 +171,7 @@ func (g *Gateway) SampleCount() int { return g.samples }
 
 // Stats returns the gateway's cumulative publishing statistics.
 func (g *Gateway) Stats() Stats {
-	return Stats{Batches: g.published, Samples: g.samples, EnergyJ: g.energyJ}
+	return Stats{Batches: g.published, Samples: g.samples, EnergyJ: g.energyJ, WireBytes: g.wireBytes}
 }
 
 // PublishWindow samples the signal over global time [t0, t1), stamps the
@@ -184,24 +198,31 @@ func (g *Gateway) PublishWindow(sig sensor.Signal, t0, t1 float64) (float64, err
 	}
 	clockShift := stamp0 - samples[0].T
 
+	if err := g.Codec.Validate(); err != nil {
+		return 0, err
+	}
+	topic := PowerTopic(g.NodeID)
 	for start := 0; start < len(samples); start += g.BatchSamples {
 		end := start + g.BatchSamples
 		if end > len(samples) {
 			end = len(samples)
 		}
-		b := Batch{Node: g.NodeID, T0: samples[start].T + clockShift, Dt: dt}
+		b := Batch{Node: g.NodeID, T0: samples[start].T + clockShift, Dt: dt, Samples: g.sampleBuf[:0]}
 		for _, s := range samples[start:end] {
 			b.Samples = append(b.Samples, s.P)
 		}
-		payload, err := b.Encode()
+		g.sampleBuf = b.Samples
+		payload, err := b.AppendEncode(g.encBuf[:0], g.Codec)
 		if err != nil {
 			return 0, err
 		}
-		if err := g.Pub.Publish(PowerTopic(g.NodeID), payload, 0, false); err != nil {
+		g.encBuf = payload
+		if err := g.Pub.Publish(topic, payload, 0, false); err != nil {
 			return 0, err
 		}
 		g.published++
 		g.samples += end - start
+		g.wireBytes += int64(len(payload))
 	}
 
 	energy, err := sensor.EnergyFromSamples(samples, t0, t1)

@@ -31,12 +31,14 @@ func (m *memPublisher) Publish(topic string, payload []byte, qos byte, retain bo
 	if m.failAfter > 0 && m.count >= m.failAfter {
 		return errPub
 	}
+	// Per the Publisher contract, payload is only valid during the call:
+	// a retaining publisher must copy.
 	m.msgs = append(m.msgs, struct {
 		topic   string
 		payload []byte
 		qos     byte
 		retain  bool
-	}{topic, payload, qos, retain})
+	}{topic, append([]byte(nil), payload...), qos, retain})
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package mqtt
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"log"
@@ -19,6 +20,14 @@ type BrokerStats struct {
 	BytesIn       atomic.Int64
 	BytesOut      atomic.Int64
 	Dropped       atomic.Int64 // messages dropped on slow subscribers
+	// FanoutEncodedOnce counts deliveries that shared a PUBLISH encoding
+	// produced for an earlier subscriber of the same message (the
+	// encode-once fan-out hit rate: out of N matching subscribers, up to
+	// N-1 deliveries reuse the first encoding).
+	FanoutEncodedOnce atomic.Int64
+	// BufReuses counts packet read-buffer requests served from an
+	// already-grown pooled buffer instead of a fresh allocation.
+	BufReuses atomic.Int64
 }
 
 // Broker is an MQTT 3.1.1 broker: the role mosquitto plays on the
@@ -37,6 +46,8 @@ type Broker struct {
 	// behaviour) rather than stalling the whole broker.
 	QueueDepth int
 	logf       func(format string, args ...any)
+	// bufs pools per-packet read buffers across all session readers.
+	bufs bufPool
 }
 
 // NewBroker listens on addr (e.g. "127.0.0.1:0") and starts serving.
@@ -52,6 +63,7 @@ func NewBroker(addr string) (*Broker, error) {
 		QueueDepth: 1024,
 		logf:       func(string, ...any) {},
 	}
+	b.bufs.reuses = &b.Stats.BufReuses
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -126,11 +138,13 @@ func (b *Broker) serve(conn net.Conn) {
 	if err != nil || hdr.Type != CONNECT {
 		return
 	}
-	body := make([]byte, hdr.Length)
-	if _, err := io.ReadFull(conn, body); err != nil {
+	pb := b.bufs.Get(hdr.Length)
+	if _, err := io.ReadFull(conn, pb.b); err != nil {
+		b.bufs.Put(pb)
 		return
 	}
-	cp, err := decodeConnect(body)
+	cp, err := decodeConnect(pb.b)
+	b.bufs.Put(pb)
 	if err != nil {
 		_ = encodeConnack(conn, false, ConnRefusedProtocol)
 		return
@@ -177,22 +191,44 @@ func (b *Broker) serve(conn net.Conn) {
 	b.logf("mqtt: client %q connected from %v", s.id, conn.RemoteAddr())
 
 	// Writer goroutine: serialises all outbound traffic for this client.
+	// Writes go through a bufio.Writer that is flushed only once the
+	// outbound queue drains, so a burst of small packets (fan-out to a
+	// fast subscriber, PUBACK trains) coalesces into few syscalls.
 	go func() {
+		bw := bufio.NewWriterSize(s.conn, 16<<10)
 		for {
 			select {
 			case pkt := <-s.out:
-				if _, err := s.conn.Write(pkt); err != nil {
+				batched := int64(0)
+				for pkt != nil {
+					if _, err := bw.Write(pkt); err != nil {
+						s.close()
+						return
+					}
+					batched += int64(len(pkt))
+					select {
+					case pkt = <-s.out:
+					default:
+						pkt = nil
+					}
+				}
+				if err := bw.Flush(); err != nil {
 					s.close()
 					return
 				}
-				b.Stats.BytesOut.Add(int64(len(pkt)))
+				// Counted only once the batch reached the socket, so the
+				// stat never includes bytes lost in an unflushed buffer.
+				b.Stats.BytesOut.Add(batched)
 			case <-s.done:
 				return
 			}
 		}
 	}()
 
-	// Reader loop.
+	// Reader loop. Packet bodies come from the broker-wide buffer pool;
+	// every packet is fully handled (or copied, for retained messages)
+	// before its buffer is recycled, which is what lets decodePublish
+	// borrow the payload instead of copying it.
 	for {
 		if s.keepAlive > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.keepAlive))
@@ -203,79 +239,97 @@ func (b *Broker) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		body := make([]byte, hdr.Length)
+		pb := b.bufs.Get(hdr.Length)
+		body := pb.b
 		if _, err := io.ReadFull(conn, body); err != nil {
+			b.bufs.Put(pb)
 			return
 		}
 		b.Stats.BytesIn.Add(int64(2 + hdr.Length))
-		switch hdr.Type {
-		case PUBLISH:
-			p, err := decodePublish(hdr.Flags, body)
-			if err != nil {
-				return
-			}
-			b.Stats.PublishesIn.Add(1)
-			if p.QoS == 1 {
-				if err := b.send(s, encodedPuback(p.PacketID)); err != nil {
-					return
-				}
-			}
-			b.route(p)
-		case SUBSCRIBE:
-			sp, err := decodeSubscribe(body)
-			if err != nil {
-				return
-			}
-			codes := make([]byte, len(sp.Subs))
-			s.subsMu.Lock()
-			for i, sub := range sp.Subs {
-				s.subs[sub.Filter] = sub.QoS
-				codes[i] = sub.QoS
-			}
-			s.subsMu.Unlock()
-			if err := b.send(s, encodedSuback(sp.PacketID, codes)); err != nil {
-				return
-			}
-			b.deliverRetained(s, sp.Subs)
-		case UNSUBSCRIBE:
-			up, err := decodeUnsubscribe(body)
-			if err != nil {
-				return
-			}
-			s.subsMu.Lock()
-			for _, f := range up.Filters {
-				delete(s.subs, f)
-			}
-			s.subsMu.Unlock()
-			if err := b.send(s, encodedUnsuback(up.PacketID)); err != nil {
-				return
-			}
-		case PUBACK:
-			// QoS-1 delivery confirmation from a subscriber; our broker
-			// delivers at-most-once per connection, so nothing to retry.
-		case PINGREQ:
-			if err := b.send(s, encodedEmpty(PINGRESP)); err != nil {
-				return
-			}
-		case DISCONNECT:
+		ok := b.handle(s, hdr, body)
+		b.bufs.Put(pb)
+		if !ok {
 			return
-		default:
-			return // protocol violation
 		}
 	}
 }
 
+// handle processes one inbound packet; body is only valid for the call.
+// It reports whether the session should keep reading.
+func (b *Broker) handle(s *session, hdr FixedHeader, body []byte) bool {
+	switch hdr.Type {
+	case PUBLISH:
+		p, err := decodePublish(hdr.Flags, body)
+		if err != nil {
+			return false
+		}
+		b.Stats.PublishesIn.Add(1)
+		if p.QoS == 1 {
+			if err := b.send(s, encodedPuback(p.PacketID)); err != nil {
+				return false
+			}
+		}
+		b.route(p)
+	case SUBSCRIBE:
+		sp, err := decodeSubscribe(body)
+		if err != nil {
+			return false
+		}
+		codes := make([]byte, len(sp.Subs))
+		s.subsMu.Lock()
+		for i, sub := range sp.Subs {
+			s.subs[sub.Filter] = sub.QoS
+			codes[i] = sub.QoS
+		}
+		s.subsMu.Unlock()
+		if err := b.send(s, encodedSuback(sp.PacketID, codes)); err != nil {
+			return false
+		}
+		b.deliverRetained(s, sp.Subs)
+	case UNSUBSCRIBE:
+		up, err := decodeUnsubscribe(body)
+		if err != nil {
+			return false
+		}
+		s.subsMu.Lock()
+		for _, f := range up.Filters {
+			delete(s.subs, f)
+		}
+		s.subsMu.Unlock()
+		if err := b.send(s, encodedUnsuback(up.PacketID)); err != nil {
+			return false
+		}
+	case PUBACK:
+		// QoS-1 delivery confirmation from a subscriber; our broker
+		// delivers at-most-once per connection, so nothing to retry.
+	case PINGREQ:
+		if err := b.send(s, encodedEmpty(PINGRESP)); err != nil {
+			return false
+		}
+	case DISCONNECT:
+		return false
+	default:
+		return false // protocol violation
+	}
+	return true
+}
+
 // route fans a publish out to every matching subscriber and stores retained
-// messages.
+// messages. The outbound packet is encoded at most once per effective QoS
+// (the at-most-once delivery id is the constant 1, so every same-QoS
+// subscriber can share one immutable byte slice) instead of once per
+// subscriber; session writers only ever read the slice.
 func (b *Broker) route(p *PublishPacket) {
 	if p.Retain {
 		b.mu.Lock()
 		if len(p.Payload) == 0 {
 			delete(b.retained, p.Topic)
 		} else {
-			cp := *p
+			// The payload borrows from a pooled read buffer: the retained
+			// store outlives the read cycle, so it keeps a deep copy.
+			cp := p.Clone()
 			cp.Dup = false
-			b.retained[p.Topic] = &cp
+			b.retained[p.Topic] = cp
 		}
 		b.mu.Unlock()
 	}
@@ -301,16 +355,25 @@ func (b *Broker) route(p *PublishPacket) {
 	}
 	b.mu.RUnlock()
 
+	var enc [2][]byte // one shared encoding per effective QoS
 	for i, s := range targets {
-		out := *p
-		out.Retain = false
-		out.QoS = min(p.QoS, qos[i])
-		if out.QoS > 0 {
-			out.PacketID = 1 // per-connection at-most-once delivery id
-		}
-		pkt, err := encodedPublish(&out)
-		if err != nil {
-			continue
+		q := min(p.QoS, qos[i])
+		pkt := enc[q]
+		if pkt == nil {
+			out := *p
+			out.Retain = false
+			out.QoS = q
+			if q > 0 {
+				out.PacketID = 1 // per-connection at-most-once delivery id
+			}
+			var err error
+			pkt, err = appendPublish(nil, &out)
+			if err != nil {
+				continue
+			}
+			enc[q] = pkt
+		} else {
+			b.Stats.FanoutEncodedOnce.Add(1)
 		}
 		select {
 		case s.out <- pkt:
@@ -343,7 +406,7 @@ func (b *Broker) deliverRetained(s *session, subs []Subscription) {
 		if out.QoS > 0 {
 			out.PacketID = 1
 		}
-		pkt, err := encodedPublish(&out)
+		pkt, err := appendPublish(nil, &out)
 		if err != nil {
 			continue
 		}
@@ -373,45 +436,25 @@ func (b *Broker) RetainedCount() int {
 	return len(b.retained)
 }
 
-// Pre-encoded packet helpers (encode into a byte slice).
-
-type sliceWriter struct{ buf []byte }
-
-func (w *sliceWriter) Write(p []byte) (int, error) {
-	w.buf = append(w.buf, p...)
-	return len(p), nil
-}
+// Pre-encoded control-packet helpers: direct byte assembly, no
+// intermediate writer.
 
 func encodedPuback(id uint16) []byte {
-	var w sliceWriter
-	_ = encodePuback(&w, id)
-	return w.buf
+	return []byte{byte(PUBACK) << 4, 2, byte(id >> 8), byte(id)}
 }
 
 func encodedSuback(id uint16, codes []byte) []byte {
-	var w sliceWriter
-	_ = encodeSuback(&w, id, codes)
-	return w.buf
+	body := append([]byte{byte(id >> 8), byte(id)}, codes...)
+	pkt, _ := appendPacket(nil, SUBACK, 0, body)
+	return pkt
 }
 
 func encodedUnsuback(id uint16) []byte {
-	var w sliceWriter
-	_ = encodeUnsuback(&w, id)
-	return w.buf
+	return []byte{byte(UNSUBACK) << 4, 2, byte(id >> 8), byte(id)}
 }
 
 func encodedEmpty(t PacketType) []byte {
-	var w sliceWriter
-	_ = encodeEmpty(&w, t)
-	return w.buf
-}
-
-func encodedPublish(p *PublishPacket) ([]byte, error) {
-	var w sliceWriter
-	if err := p.encode(&w); err != nil {
-		return nil, err
-	}
-	return w.buf, nil
+	return []byte{byte(t) << 4, 0}
 }
 
 func min(a, b byte) byte {

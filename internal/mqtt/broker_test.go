@@ -44,7 +44,7 @@ func waitFor(t *testing.T, cond func() bool, msg string) {
 func TestPublishSubscribeQoS0(t *testing.T) {
 	b := newTestBroker(t)
 	var got atomic.Value
-	sub := dialTest(t, b.Addr(), "sub", func(m Message) { got.Store(m) })
+	sub := dialTest(t, b.Addr(), "sub", func(m Message) { got.Store(m.Clone()) })
 	if err := sub.Subscribe(Subscription{Filter: "davide/+/power", QoS: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestRetainedMessageDelivery(t *testing.T) {
 	waitFor(t, func() bool { return b.RetainedCount() == 1 }, "retained store")
 	// A late subscriber still receives the retained value.
 	var got atomic.Value
-	sub := dialTest(t, b.Addr(), "late", func(m Message) { got.Store(m) })
+	sub := dialTest(t, b.Addr(), "late", func(m Message) { got.Store(m.Clone()) })
 	if err := sub.Subscribe(Subscription{Filter: "davide/#", QoS: 1}); err != nil {
 		t.Fatal(err)
 	}

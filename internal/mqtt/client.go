@@ -11,11 +11,21 @@ import (
 )
 
 // Message is a received application message handed to the client callback.
+//
+// Ownership: Payload borrows from a pooled read buffer and is only valid
+// for the duration of the handler call. A handler that hands the message
+// to another goroutine or retains it must copy the payload (Clone).
 type Message struct {
 	Topic    string
 	Payload  []byte
 	QoS      byte
 	Retained bool
+}
+
+// Clone returns a message that owns its payload.
+func (m Message) Clone() Message {
+	m.Payload = append([]byte(nil), m.Payload...)
+	return m
 }
 
 // MessageHandler receives inbound messages. It runs on the client's reader
@@ -37,6 +47,10 @@ type ClientStats struct {
 	Publishes    atomic.Int64 // PUBLISH packets sent
 	PublishBytes atomic.Int64 // payload bytes sent in PUBLISH packets
 	Received     atomic.Int64 // PUBLISH packets received
+	// BufReuses counts pooled packet-buffer reuses: inbound bodies served
+	// from the read pool plus outbound packets assembled in the retained
+	// encode buffer without growing it.
+	BufReuses atomic.Int64
 }
 
 // Client is an MQTT 3.1.1 client: the role the energy gateways (publishers)
@@ -45,6 +59,8 @@ type Client struct {
 	opts     ClientOptions
 	conn     net.Conn
 	writeMu  sync.Mutex
+	wbuf     []byte // outbound packet assembly buffer, guarded by writeMu
+	bufs     bufPool
 	nextID   atomic.Uint32
 	closed   atomic.Bool
 	done     chan struct{}
@@ -76,6 +92,7 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 		pending: make(map[uint16]chan struct{}),
 		subWait: make(map[uint16]chan []byte),
 	}
+	c.bufs.reuses = &c.Stats.BufReuses
 	cp := &ConnectPacket{
 		ClientID:     opts.ClientID,
 		CleanSession: opts.CleanSession,
@@ -172,8 +189,18 @@ func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) er
 			c.ackMu.Unlock()
 		}()
 	}
+	// Assemble the packet in the client's retained encode buffer (one
+	// copy of the payload, one syscall, no steady-state allocation).
 	c.writeMu.Lock()
-	err := p.encode(c.conn)
+	prevCap := cap(c.wbuf)
+	buf, err := appendPublish(c.wbuf[:0], p)
+	if err == nil {
+		c.wbuf = buf
+		if prevCap > 0 && cap(buf) == prevCap {
+			c.Stats.BufReuses.Add(1)
+		}
+		_, err = c.conn.Write(buf)
+	}
 	c.writeMu.Unlock()
 	if err != nil {
 		return err
@@ -288,72 +315,88 @@ func (c *Client) readLoop() {
 			c.fail(err)
 			return
 		}
-		body := make([]byte, hdr.Length)
+		// Bodies come from the client's buffer pool; the packet (and a
+		// PUBLISH payload handed to OnMessage) borrows from it until the
+		// switch completes, then the buffer recycles.
+		pb := c.bufs.Get(hdr.Length)
+		body := pb.b
 		if _, err := io.ReadFull(c.conn, body); err != nil {
+			c.bufs.Put(pb)
 			c.fail(err)
 			return
 		}
-		switch hdr.Type {
-		case PUBLISH:
-			p, err := decodePublish(hdr.Flags, body)
-			if err != nil {
-				c.fail(err)
-				return
-			}
-			if p.QoS == 1 {
-				c.writeMu.Lock()
-				err := encodePuback(c.conn, p.PacketID)
-				c.writeMu.Unlock()
-				if err != nil {
-					c.fail(err)
-					return
-				}
-			}
-			c.Stats.Received.Add(1)
-			if c.opts.OnMessage != nil {
-				c.opts.OnMessage(Message{Topic: p.Topic, Payload: p.Payload, QoS: p.QoS, Retained: p.Retain})
-			}
-		case PUBACK:
-			id, err := decodePacketID(body)
-			if err != nil {
-				c.fail(err)
-				return
-			}
-			c.ackMu.Lock()
-			if ch, ok := c.pending[id]; ok {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.ackMu.Unlock()
-		case SUBACK:
-			id, codes, err := decodeSuback(body)
-			if err != nil {
-				c.fail(err)
-				return
-			}
-			c.subMu.Lock()
-			if ch, ok := c.subWait[id]; ok {
-				ch <- codes
-			}
-			c.subMu.Unlock()
-		case UNSUBACK:
-			id, err := decodePacketID(body)
-			if err != nil {
-				c.fail(err)
-				return
-			}
-			c.subMu.Lock()
-			if ch, ok := c.subWait[id]; ok {
-				ch <- nil
-			}
-			c.subMu.Unlock()
-		case PINGRESP:
-			// keepalive satisfied
-		default:
-			c.fail(fmt.Errorf("%w: unexpected %v", ErrMalformed, hdr.Type))
+		if !c.dispatch(hdr, body) {
+			c.bufs.Put(pb)
 			return
 		}
+		c.bufs.Put(pb)
 	}
+}
+
+// dispatch handles one inbound packet; body is only valid for the call.
+// It reports whether the reader should continue.
+func (c *Client) dispatch(hdr FixedHeader, body []byte) bool {
+	switch hdr.Type {
+	case PUBLISH:
+		p, err := decodePublish(hdr.Flags, body)
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		if p.QoS == 1 {
+			c.writeMu.Lock()
+			err := encodePuback(c.conn, p.PacketID)
+			c.writeMu.Unlock()
+			if err != nil {
+				c.fail(err)
+				return false
+			}
+		}
+		c.Stats.Received.Add(1)
+		if c.opts.OnMessage != nil {
+			c.opts.OnMessage(Message{Topic: p.Topic, Payload: p.Payload, QoS: p.QoS, Retained: p.Retain})
+		}
+	case PUBACK:
+		id, err := decodePacketID(body)
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		c.ackMu.Lock()
+		if ch, ok := c.pending[id]; ok {
+			close(ch)
+			delete(c.pending, id)
+		}
+		c.ackMu.Unlock()
+	case SUBACK:
+		id, codes, err := decodeSuback(body)
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		c.subMu.Lock()
+		if ch, ok := c.subWait[id]; ok {
+			ch <- codes
+		}
+		c.subMu.Unlock()
+	case UNSUBACK:
+		id, err := decodePacketID(body)
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		c.subMu.Lock()
+		if ch, ok := c.subWait[id]; ok {
+			ch <- nil
+		}
+		c.subMu.Unlock()
+	case PINGRESP:
+		// keepalive satisfied
+	default:
+		c.fail(fmt.Errorf("%w: unexpected %v", ErrMalformed, hdr.Type))
+		return false
+	}
+	return true
 }
 
 func (c *Client) pingLoop() {

@@ -84,26 +84,29 @@ type FixedHeader struct {
 	Length int  // remaining length
 }
 
-// writeRemainingLength encodes the MQTT variable-length integer.
-func writeRemainingLength(w io.Writer, n int) error {
-	if n < 0 || n > 268_435_455 {
-		return errRemainingLength
-	}
-	var buf [4]byte
-	i := 0
+// appendRemainingLength appends the MQTT variable-length integer; n must
+// already be validated to [0, 268435455].
+func appendRemainingLength(dst []byte, n int) []byte {
 	for {
 		d := byte(n % 128)
 		n /= 128
 		if n > 0 {
 			d |= 0x80
 		}
-		buf[i] = d
-		i++
+		dst = append(dst, d)
 		if n == 0 {
-			break
+			return dst
 		}
 	}
-	_, err := w.Write(buf[:i])
+}
+
+// writeRemainingLength encodes the MQTT variable-length integer.
+func writeRemainingLength(w io.Writer, n int) error {
+	if n < 0 || n > 268_435_455 {
+		return errRemainingLength
+	}
+	var buf [4]byte
+	_, err := w.Write(appendRemainingLength(buf[:0], n))
 	return err
 }
 
@@ -261,6 +264,11 @@ func decodeConnack(body []byte) (sessionPresent bool, code ConnackCode, err erro
 }
 
 // PublishPacket is an application message.
+//
+// Ownership: a packet produced by decodePublish borrows Payload from the
+// read buffer the body was parsed out of (zero-copy); it is only valid
+// until that buffer is reused. Paths that retain the packet beyond the
+// read cycle — the broker's retained-message store — must Clone it.
 type PublishPacket struct {
 	Topic    string
 	Payload  []byte
@@ -270,12 +278,23 @@ type PublishPacket struct {
 	PacketID uint16 // present when QoS > 0
 }
 
-func (p *PublishPacket) encode(w io.Writer) error {
+// Clone deep-copies the packet so it owns its payload, detaching it from
+// a borrowed read buffer.
+func (p *PublishPacket) Clone() *PublishPacket {
+	cp := *p
+	cp.Payload = append([]byte(nil), p.Payload...)
+	return &cp
+}
+
+// appendPublish appends the full encoded packet (fixed header + body) to
+// dst. The body length is computed up front, so the payload is copied
+// exactly once, straight into dst.
+func appendPublish(dst []byte, p *PublishPacket) ([]byte, error) {
 	if err := ValidateTopicName(p.Topic); err != nil {
-		return err
+		return nil, err
 	}
 	if p.QoS > 1 {
-		return fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, p.QoS)
+		return nil, fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, p.QoS)
 	}
 	flags := p.QoS << 1
 	if p.Retain {
@@ -284,15 +303,33 @@ func (p *PublishPacket) encode(w io.Writer) error {
 	if p.Dup {
 		flags |= 0x08
 	}
-	var body []byte
-	body = appendString(body, p.Topic)
+	bodyLen := 2 + len(p.Topic) + len(p.Payload)
 	if p.QoS > 0 {
-		body = binary.BigEndian.AppendUint16(body, p.PacketID)
+		bodyLen += 2
 	}
-	body = append(body, p.Payload...)
-	return writePacket(w, PUBLISH, flags, body)
+	if bodyLen > MaxPacketSize {
+		return nil, ErrPacketTooLarge
+	}
+	dst = append(dst, byte(PUBLISH)<<4|flags)
+	dst = appendRemainingLength(dst, bodyLen)
+	dst = appendString(dst, p.Topic)
+	if p.QoS > 0 {
+		dst = binary.BigEndian.AppendUint16(dst, p.PacketID)
+	}
+	return append(dst, p.Payload...), nil
 }
 
+func (p *PublishPacket) encode(w io.Writer) error {
+	buf, err := appendPublish(nil, p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// decodePublish parses a PUBLISH body. The returned packet's Payload
+// borrows from body — see the PublishPacket ownership note.
 func decodePublish(flags byte, body []byte) (*PublishPacket, error) {
 	p := &PublishPacket{
 		Retain: flags&0x01 != 0,
@@ -317,7 +354,7 @@ func decodePublish(flags byte, body []byte) (*PublishPacket, error) {
 		p.PacketID = binary.BigEndian.Uint16(rest)
 		rest = rest[2:]
 	}
-	p.Payload = append([]byte(nil), rest...)
+	p.Payload = rest
 	return p, nil
 }
 
@@ -398,13 +435,6 @@ func decodeSubscribe(body []byte) (*SubscribePacket, error) {
 // SubackFailure is the per-filter failure code in a SUBACK.
 const SubackFailure byte = 0x80
 
-func encodeSuback(w io.Writer, id uint16, codes []byte) error {
-	var body []byte
-	body = binary.BigEndian.AppendUint16(body, id)
-	body = append(body, codes...)
-	return writePacket(w, SUBACK, 0, body)
-}
-
 func decodeSuback(body []byte) (id uint16, codes []byte, err error) {
 	if len(body) < 3 {
 		return 0, nil, ErrMalformed
@@ -453,38 +483,29 @@ func decodeUnsubscribe(body []byte) (*UnsubscribePacket, error) {
 	return p, nil
 }
 
-func encodeUnsuback(w io.Writer, id uint16) error {
-	var body [2]byte
-	binary.BigEndian.PutUint16(body[:], id)
-	return writePacket(w, UNSUBACK, 0, body[:])
-}
-
 // encodeEmpty writes a packet with no body (PINGREQ/PINGRESP/DISCONNECT).
 func encodeEmpty(w io.Writer, t PacketType) error {
 	return writePacket(w, t, 0, nil)
 }
 
+// appendPacket assembles fixed header + body into dst.
+func appendPacket(dst []byte, t PacketType, flags byte, body []byte) ([]byte, error) {
+	if len(body) > MaxPacketSize {
+		return nil, ErrPacketTooLarge
+	}
+	dst = append(dst, byte(t)<<4|flags)
+	dst = appendRemainingLength(dst, len(body))
+	return append(dst, body...), nil
+}
+
 // writePacket assembles fixed header + body and writes it in one call so
 // concurrent writers on the same connection cannot interleave.
 func writePacket(w io.Writer, t PacketType, flags byte, body []byte) error {
-	var hdr []byte
-	hdr = append(hdr, byte(t)<<4|flags)
-	n := len(body)
-	if n > MaxPacketSize {
-		return ErrPacketTooLarge
+	buf, err := appendPacket(nil, t, flags, body)
+	if err != nil {
+		return err
 	}
-	for {
-		d := byte(n % 128)
-		n /= 128
-		if n > 0 {
-			d |= 0x80
-		}
-		hdr = append(hdr, d)
-		if n == 0 {
-			break
-		}
-	}
-	_, err := w.Write(append(hdr, body...))
+	_, err = w.Write(buf)
 	return err
 }
 

@@ -221,13 +221,10 @@ func TestSubscribeErrors(t *testing.T) {
 }
 
 func TestSubackRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := encodeSuback(&buf, 5, []byte{0, 1, SubackFailure}); err != nil {
-		t.Fatal(err)
-	}
-	hdr, _ := ReadFixedHeader(&buf)
+	buf := bytes.NewBuffer(encodedSuback(5, []byte{0, 1, SubackFailure}))
+	hdr, _ := ReadFixedHeader(buf)
 	body := make([]byte, hdr.Length)
-	_, _ = io.ReadFull(&buf, body)
+	_, _ = io.ReadFull(buf, body)
 	id, codes, err := decodeSuback(body)
 	if err != nil || id != 5 || len(codes) != 3 || codes[2] != SubackFailure {
 		t.Errorf("suback = %v %v %v", id, codes, err)

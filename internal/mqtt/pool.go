@@ -1,0 +1,48 @@
+package mqtt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pbuf is a pooled packet buffer. The wrapper pointer itself is what
+// cycles through the sync.Pool, so Get/Put allocate nothing once warm.
+type pbuf struct {
+	b []byte
+}
+
+// bufPool hands out packet read/encode buffers and counts how often a
+// request was served from an already-grown buffer (the steady-state
+// path). reuses may be nil when nobody cares.
+type bufPool struct {
+	pool   sync.Pool
+	reuses *atomic.Int64
+}
+
+// minBufSize keeps tiny control packets from pinning tiny buffers: every
+// fresh allocation can hold a typical telemetry batch.
+const minBufSize = 4096
+
+// Get returns a buffer of length n. The contents are undefined.
+func (p *bufPool) Get(n int) *pbuf {
+	v, _ := p.pool.Get().(*pbuf)
+	if v == nil {
+		v = &pbuf{}
+	}
+	if cap(v.b) >= n {
+		if p.reuses != nil {
+			p.reuses.Add(1)
+		}
+	} else {
+		c := n
+		if c < minBufSize {
+			c = minBufSize
+		}
+		v.b = make([]byte, c)
+	}
+	v.b = v.b[:n]
+	return v
+}
+
+// Put recycles the buffer. The caller must not touch it afterwards.
+func (p *bufPool) Put(v *pbuf) { p.pool.Put(v) }

@@ -78,7 +78,7 @@ func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
 func TestLargePayloadRoundTrip(t *testing.T) {
 	b := newTestBroker(t)
 	got := make(chan Message, 1)
-	sub := dialTest(t, b.Addr(), "sub", func(m Message) { got <- m })
+	sub := dialTest(t, b.Addr(), "sub", func(m Message) { got <- m.Clone() })
 	if err := sub.Subscribe(Subscription{Filter: "big", QoS: 1}); err != nil {
 		t.Fatal(err)
 	}

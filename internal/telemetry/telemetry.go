@@ -18,7 +18,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
@@ -168,25 +167,34 @@ func (a *Aggregator) Handler() mqtt.MessageHandler {
 	return func(m mqtt.Message) { a.consume(m) }
 }
 
-// consume routes one MQTT message.
-func (a *Aggregator) consume(m mqtt.Message) {
+// consume routes one MQTT message. The payload may borrow from a pooled
+// read buffer: decoding happens synchronously within the call.
+func (a *Aggregator) consume(m mqtt.Message) { a.consumeWith(m, nil) }
+
+// consumeWith is consume with a reusable sample-decode scratch slice: it
+// returns the (possibly grown) scratch for the caller's next call, which
+// is what makes the Ingest workers' steady-state decode allocation-free
+// on binary batches. Nothing decoded into scratch is retained — AddBatch
+// copies samples into the store before returning.
+func (a *Aggregator) consumeWith(m mqtt.Message, scratch []float64) []float64 {
 	switch {
 	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/power", m.Topic):
-		b, err := gateway.DecodeBatch(m.Payload)
+		b, err := gateway.DecodeBatchInto(m.Payload, scratch)
 		if err != nil {
 			a.mu.Lock()
 			a.dropped++
 			a.mu.Unlock()
-			return
+			return scratch
 		}
 		a.AddBatch(b)
+		return b.Samples
 	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/energy", m.Topic):
 		e, err := gateway.DecodeEnergySummary(m.Payload)
 		if err != nil {
 			a.mu.Lock()
 			a.dropped++
 			a.mu.Unlock()
-			return
+			return scratch
 		}
 		a.mu.Lock()
 		a.energies[e.Node] = append(a.energies[e.Node], e)
@@ -196,13 +204,15 @@ func (a *Aggregator) consume(m mqtt.Message) {
 		a.dropped++
 		a.mu.Unlock()
 	}
+	return scratch
 }
 
 // AddBatch ingests one decoded power batch (also usable without MQTT).
 // Out-of-order and duplicate-timestamp redelivery (lossy QoS-0 semantics)
 // is tolerated: samples are placed at their sorted position and exact
 // duplicates overwrite, so energy integrals cannot be corrupted by the
-// transport.
+// transport. b.Samples is not retained — the caller may reuse it as
+// decode scratch after the call returns.
 func (a *Aggregator) AddBatch(b gateway.Batch) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -468,11 +478,27 @@ func (a *Aggregator) CorrelatePhases(node int, boundaries []float64) ([]float64,
 // instead of serialising the whole fleet's stream on the client's reader
 // goroutine. Messages are sharded by topic, which preserves the per-node
 // arrival order the series reconstruction relies on.
+//
+// Buffers are pooled end to end: the handler copies each borrowed MQTT
+// payload into a pooled buffer (the payload is only valid during the
+// handler call — see mqtt.Message), and every worker reuses one
+// sample-decode scratch slice, so steady-state ingest of binary batches
+// allocates nothing per message.
 type Ingest struct {
-	shards []chan mqtt.Message
+	shards []chan ingestMsg
+	bufs   sync.Pool // *[]byte payload carriers
 	quit   chan struct{}
 	wg     sync.WaitGroup
 	once   sync.Once
+}
+
+// ingestMsg is one queued message; payload points into a pooled buffer
+// owned by the receiving worker until it recycles it.
+type ingestMsg struct {
+	topic    string
+	payload  *[]byte
+	qos      byte
+	retained bool
 }
 
 // NewIngest starts a decode pool feeding the aggregator. workers <= 0 uses
@@ -485,19 +511,24 @@ func NewIngest(a *Aggregator, workers, depth int) *Ingest {
 		depth = 1024
 	}
 	in := &Ingest{
-		shards: make([]chan mqtt.Message, workers),
+		shards: make([]chan ingestMsg, workers),
 		quit:   make(chan struct{}),
 	}
 	for i := range in.shards {
-		ch := make(chan mqtt.Message, depth)
+		ch := make(chan ingestMsg, depth)
 		in.shards[i] = ch
 		in.wg.Add(1)
 		go func() {
 			defer in.wg.Done()
+			var scratch []float64
 			for {
 				select {
 				case m := <-ch:
-					a.consume(m)
+					scratch = a.consumeWith(mqtt.Message{
+						Topic: m.topic, Payload: *m.payload,
+						QoS: m.qos, Retained: m.retained,
+					}, scratch[:0])
+					in.bufs.Put(m.payload)
 				case <-in.quit:
 					return
 				}
@@ -513,13 +544,28 @@ func NewIngest(a *Aggregator, workers, depth int) *Ingest {
 // messages drop, as mosquitto does) instead of growing memory here.
 func (in *Ingest) Handler() mqtt.MessageHandler {
 	return func(m mqtt.Message) {
-		h := fnv.New32a()
-		_, _ = h.Write([]byte(m.Topic))
+		bp, _ := in.bufs.Get().(*[]byte)
+		if bp == nil {
+			bp = new([]byte)
+		}
+		*bp = append((*bp)[:0], m.Payload...)
+		msg := ingestMsg{topic: m.Topic, payload: bp, qos: m.QoS, retained: m.Retained}
 		select {
-		case in.shards[h.Sum32()%uint32(len(in.shards))] <- m:
+		case in.shards[shardOf(m.Topic, len(in.shards))] <- msg:
 		case <-in.quit:
+			in.bufs.Put(bp)
 		}
 	}
+}
+
+// shardOf is an inline (allocation-free) FNV-1a over the topic.
+func shardOf(topic string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // Close stops the pool. Messages still queued in the shards are discarded,

@@ -2,7 +2,8 @@ package tsdb
 
 import (
 	"math"
-	"math/bits"
+
+	"davide/internal/wire"
 )
 
 // The chunk codec is the Gorilla scheme (Pelkonen et al., VLDB 2015), the
@@ -11,116 +12,46 @@ import (
 // grid, values as XOR against the previous sample with leading/trailing
 // zero windows. Telemetry batches arrive on a uniform sample period, so
 // the delta-of-delta is almost always zero (one bit per timestamp) and a
-// piecewise-constant power trace XORs to zero (one bit per value).
+// piecewise-constant power trace XORs to zero (one bit per value). The
+// bit-stream primitives live in internal/wire, shared with the gateway's
+// on-the-wire batch codec.
 
-// tickHz is the timestamp grid: 100 ns ticks. Quantising float64 seconds
-// to this grid is the only loss in the store; at the monitors' output
-// rates (<= 1 MHz) distinct samples never collide.
-const tickHz = 1e7
+// tickHz is the timestamp grid: 100 ns ticks (wire.TickHz).
+const tickHz = wire.TickHz
 
 // toTick quantises a time in seconds to the tick grid.
-func toTick(t float64) int64 { return int64(math.Round(t * tickHz)) }
+func toTick(t float64) int64 { return wire.ToTick(t) }
 
 // toSec converts a tick back to seconds.
-func toSec(tick int64) float64 { return float64(tick) / tickHz }
-
-func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
-
-func writeUvarint(w *bitWriter, u uint64) {
-	for u >= 0x80 {
-		w.writeBits(u&0x7f|0x80, 8)
-		u >>= 7
-	}
-	w.writeBits(u, 8)
-}
-
-func readUvarint(r *bitReader) (uint64, error) {
-	var u uint64
-	var shift uint
-	for {
-		b, err := r.readBits(8)
-		if err != nil {
-			return 0, err
-		}
-		u |= (b & 0x7f) << shift
-		if b < 0x80 {
-			return u, nil
-		}
-		shift += 7
-	}
-}
+func toSec(tick int64) float64 { return wire.ToSec(tick) }
 
 // encodeChunk compresses parallel (tick, watt) arrays into one byte
 // stream. len(ticks) == len(watts) >= 1 and ticks strictly increase.
 func encodeChunk(ticks []int64, watts []float64) []byte {
-	w := &bitWriter{b: make([]byte, 0, len(ticks))}
-	writeUvarint(w, zigzag(ticks[0]))
-	w.writeBits(math.Float64bits(watts[0]), 64)
+	var w wire.BitWriter
+	w.Reset(make([]byte, 0, len(ticks)))
+	w.WriteUvarint(wire.Zigzag(ticks[0]))
+	w.WriteBits(math.Float64bits(watts[0]), 64)
 	if len(ticks) == 1 {
-		return w.b
+		return w.Bytes()
 	}
 	delta := ticks[1] - ticks[0]
-	writeUvarint(w, zigzag(delta))
+	w.WriteUvarint(wire.Zigzag(delta))
 	prevDelta := delta
 	prevBits := math.Float64bits(watts[0])
-	prevLead, prevSig := ^uint(0), uint(0)
-	writeXOR(w, math.Float64bits(watts[1]), prevBits, &prevLead, &prevSig)
+	var xs wire.XORState
+	w.WriteXOR(math.Float64bits(watts[1]), prevBits, &xs)
 	prevBits = math.Float64bits(watts[1])
 
 	for i := 2; i < len(ticks); i++ {
 		delta = ticks[i] - ticks[i-1]
-		dod := delta - prevDelta
+		w.WriteDoD(delta - prevDelta)
 		prevDelta = delta
-		switch {
-		case dod == 0:
-			w.writeBit(0)
-		case dod >= -8191 && dod <= 8192:
-			w.writeBits(0b10, 2)
-			w.writeBits(uint64(dod+8191), 14)
-		case dod >= -65535 && dod <= 65536:
-			w.writeBits(0b110, 3)
-			w.writeBits(uint64(dod+65535), 17)
-		case dod >= -524287 && dod <= 524288:
-			w.writeBits(0b1110, 4)
-			w.writeBits(uint64(dod+524287), 20)
-		default:
-			w.writeBits(0b1111, 4)
-			w.writeBits(uint64(dod), 64)
-		}
 		vb := math.Float64bits(watts[i])
-		writeXOR(w, vb, prevBits, &prevLead, &prevSig)
+		w.WriteXOR(vb, prevBits, &xs)
 		prevBits = vb
 	}
-	return w.b
-}
-
-// writeXOR emits one value against its predecessor. prevLead/prevSig carry
-// the reusable leading-zero / significant-bit window (^uint(0) = none yet).
-func writeXOR(w *bitWriter, cur, prev uint64, prevLead, prevSig *uint) {
-	xor := cur ^ prev
-	if xor == 0 {
-		w.writeBit(0)
-		return
-	}
-	w.writeBit(1)
-	lead := uint(bits.LeadingZeros64(xor))
-	if lead > 31 {
-		lead = 31
-	}
-	trail := uint(bits.TrailingZeros64(xor))
-	sig := 64 - lead - trail
-	if *prevLead != ^uint(0) && lead >= *prevLead && 64-*prevLead-*prevSig <= trail {
-		// Reuse the previous window.
-		w.writeBit(0)
-		w.writeBits(xor>>(64-*prevLead-*prevSig), *prevSig)
-		return
-	}
-	w.writeBit(1)
-	w.writeBits(uint64(lead), 5)
-	w.writeBits(uint64(sig-1), 6)
-	w.writeBits(xor>>trail, sig)
-	*prevLead, *prevSig = lead, sig
+	return w.Bytes()
 }
 
 // decodeChunk streams count samples out of data, stopping early if fn
@@ -129,27 +60,28 @@ func decodeChunk(data []byte, count int, fn func(tick int64, w float64) bool) er
 	if count <= 0 {
 		return nil
 	}
-	r := &bitReader{b: data}
-	u, err := readUvarint(r)
+	var r wire.BitReader
+	r.Reset(data)
+	u, err := r.ReadUvarint()
 	if err != nil {
 		return err
 	}
-	tick := unzigzag(u)
-	vb, err := r.readBits(64)
+	tick := wire.Unzigzag(u)
+	vb, err := r.ReadBits(64)
 	if err != nil {
 		return err
 	}
 	if !fn(tick, math.Float64frombits(vb)) || count == 1 {
 		return nil
 	}
-	u, err = readUvarint(r)
+	u, err = r.ReadUvarint()
 	if err != nil {
 		return err
 	}
-	delta := unzigzag(u)
+	delta := wire.Unzigzag(u)
 	tick += delta
-	lead, sig := ^uint(0), uint(0)
-	vb, err = readXOR(r, vb, &lead, &sig)
+	var xs wire.XORState
+	vb, err = r.ReadXOR(vb, &xs)
 	if err != nil {
 		return err
 	}
@@ -157,13 +89,13 @@ func decodeChunk(data []byte, count int, fn func(tick int64, w float64) bool) er
 		return nil
 	}
 	for i := 2; i < count; i++ {
-		dod, err := readDoD(r)
+		dod, err := r.ReadDoD()
 		if err != nil {
 			return err
 		}
 		delta += dod
 		tick += delta
-		vb, err = readXOR(r, vb, &lead, &sig)
+		vb, err = r.ReadXOR(vb, &xs)
 		if err != nil {
 			return err
 		}
@@ -172,67 +104,4 @@ func decodeChunk(data []byte, count int, fn func(tick int64, w float64) bool) er
 		}
 	}
 	return nil
-}
-
-func readDoD(r *bitReader) (int64, error) {
-	b, err := r.readBit()
-	if err != nil {
-		return 0, err
-	}
-	if b == 0 {
-		return 0, nil
-	}
-	for _, lvl := range []struct {
-		n    uint
-		bias int64
-	}{{14, 8191}, {17, 65535}, {20, 524287}} {
-		b, err = r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		if b == 0 {
-			v, err := r.readBits(lvl.n)
-			if err != nil {
-				return 0, err
-			}
-			return int64(v) - lvl.bias, nil
-		}
-	}
-	v, err := r.readBits(64)
-	if err != nil {
-		return 0, err
-	}
-	return int64(v), nil
-}
-
-func readXOR(r *bitReader, prev uint64, lead, sig *uint) (uint64, error) {
-	b, err := r.readBit()
-	if err != nil {
-		return 0, err
-	}
-	if b == 0 {
-		return prev, nil
-	}
-	b, err = r.readBit()
-	if err != nil {
-		return 0, err
-	}
-	if b == 1 {
-		l, err := r.readBits(5)
-		if err != nil {
-			return 0, err
-		}
-		s, err := r.readBits(6)
-		if err != nil {
-			return 0, err
-		}
-		*lead, *sig = uint(l), uint(s)+1
-	} else if *lead == ^uint(0) {
-		return 0, errStream
-	}
-	v, err := r.readBits(*sig)
-	if err != nil {
-		return 0, err
-	}
-	return prev ^ v<<(64-*lead-*sig), nil
 }

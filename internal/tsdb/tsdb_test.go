@@ -7,38 +7,6 @@ import (
 	"time"
 )
 
-func TestBitStreamRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	w := &bitWriter{}
-	type item struct {
-		v uint64
-		n uint
-	}
-	var items []item
-	for i := 0; i < 2000; i++ {
-		n := uint(rng.Intn(64) + 1)
-		v := rng.Uint64() & ((1<<n - 1) | (1 << (n - 1))) // keep in range
-		if n < 64 {
-			v &= 1<<n - 1
-		}
-		items = append(items, item{v, n})
-		w.writeBits(v, n)
-	}
-	r := &bitReader{b: w.b}
-	for i, it := range items {
-		got, err := r.readBits(it.n)
-		if err != nil {
-			t.Fatalf("item %d: %v", i, err)
-		}
-		if got != it.v {
-			t.Fatalf("item %d: got %x want %x (n=%d)", i, got, it.v, it.n)
-		}
-	}
-	if _, err := (&bitReader{}).readBits(1); err == nil {
-		t.Error("empty reader should error")
-	}
-}
-
 func TestChunkRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	cases := map[string]func(i int) (int64, float64){

@@ -1,0 +1,115 @@
+// Package wire holds the bit-level codec primitives shared by the
+// telemetry plane's two compressed formats: the tsdb chunk codec (data at
+// rest) and the gateway batch codec (data on the MQTT wire). Both speak
+// the same dialect — MSB-first bit streams, byte-aligned LEB128 varints,
+// Gorilla delta-of-delta timestamp buckets and XOR-compressed float64
+// values on a common 100 ns tick grid — so the primitives live here once
+// instead of being duplicated per layer.
+package wire
+
+import "errors"
+
+// ErrTruncated reports a truncated or corrupt compressed stream.
+var ErrTruncated = errors.New("wire: truncated bit stream")
+
+// BitWriter appends bits MSB-first into a byte slice. The zero value is
+// ready to use; Reset re-arms it over a caller-owned buffer so encoders
+// can reuse allocations across frames.
+type BitWriter struct {
+	b     []byte
+	avail uint // unused bits in the last byte of b
+}
+
+// Reset starts a fresh bit stream appending at len(buf) (buf may be nil,
+// or carry an already-written byte-aligned prefix such as a frame
+// header). Pass buf[:0] to reuse an allocation from a previous frame.
+func (w *BitWriter) Reset(buf []byte) {
+	w.b = buf
+	w.avail = 0
+}
+
+// Bytes returns the encoded stream. The slice aliases the writer's
+// buffer and is valid until the next Reset/Write call.
+func (w *BitWriter) Bytes() []byte { return w.b }
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(bit uint64) {
+	if w.avail == 0 {
+		w.b = append(w.b, 0)
+		w.avail = 8
+	}
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << (w.avail - 1)
+	}
+	w.avail--
+}
+
+// WriteBits writes the low n bits of v, MSB-first.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for n > 0 {
+		if w.avail == 0 {
+			w.b = append(w.b, 0)
+			w.avail = 8
+		}
+		take := n
+		if take > w.avail {
+			take = w.avail
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.b[len(w.b)-1] |= byte(chunk << (w.avail - take))
+		w.avail -= take
+		n -= take
+	}
+}
+
+// BitReader consumes bits MSB-first from a byte slice. The zero value
+// reads an empty stream; Reset re-arms it over a payload.
+type BitReader struct {
+	b   []byte
+	pos int  // byte index
+	off uint // bits already consumed in b[pos]
+}
+
+// Reset starts reading from the beginning of b.
+func (r *BitReader) Reset(b []byte) {
+	r.b = b
+	r.pos = 0
+	r.off = 0
+}
+
+// ReadBit consumes one bit.
+func (r *BitReader) ReadBit() (uint64, error) {
+	if r.pos >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	bit := uint64(r.b[r.pos]>>(7-r.off)) & 1
+	r.off++
+	if r.off == 8 {
+		r.off = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+// ReadBits consumes n bits, MSB-first.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.b) {
+			return 0, ErrTruncated
+		}
+		take := 8 - r.off
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.b[r.pos]>>(8-r.off-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.off += take
+		if r.off == 8 {
+			r.off = 0
+			r.pos++
+		}
+		n -= take
+	}
+	return v, nil
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"math"
+	"math/bits"
+)
+
+// TickHz is the shared telemetry timestamp grid: 100 ns ticks. Quantising
+// float64 seconds to this grid is the only loss in the compressed
+// telemetry formats; at the monitors' output rates (<= 1 MHz) distinct
+// samples never collide.
+const TickHz = 1e7
+
+// ToTick quantises a time in seconds to the tick grid.
+func ToTick(t float64) int64 { return int64(math.Round(t * TickHz)) }
+
+// ToSec converts a tick back to seconds.
+func ToSec(tick int64) float64 { return float64(tick) / TickHz }
+
+// Zigzag maps a signed value to an unsigned one with small magnitudes
+// staying small (varint-friendly).
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteUvarint emits a LEB128 varint as whole bytes in the bit stream.
+func (w *BitWriter) WriteUvarint(u uint64) {
+	for u >= 0x80 {
+		w.WriteBits(u&0x7f|0x80, 8)
+		u >>= 7
+	}
+	w.WriteBits(u, 8)
+}
+
+// ReadUvarint consumes a LEB128 varint.
+func (r *BitReader) ReadUvarint() (uint64, error) {
+	var u uint64
+	var shift uint
+	for {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 63 && b > 1 {
+			return 0, ErrTruncated // would overflow uint64
+		}
+		u |= (b & 0x7f) << shift
+		if b < 0x80 {
+			return u, nil
+		}
+		shift += 7
+	}
+}
+
+// The delta-of-delta buckets are the Gorilla scheme (Pelkonen et al.,
+// VLDB 2015): a zero dod costs one bit, small jitters a few more, and the
+// escape level carries 64 raw bits.
+
+// WriteDoD emits one timestamp delta-of-delta.
+func (w *BitWriter) WriteDoD(dod int64) {
+	switch {
+	case dod == 0:
+		w.WriteBit(0)
+	case dod >= -8191 && dod <= 8192:
+		w.WriteBits(0b10, 2)
+		w.WriteBits(uint64(dod+8191), 14)
+	case dod >= -65535 && dod <= 65536:
+		w.WriteBits(0b110, 3)
+		w.WriteBits(uint64(dod+65535), 17)
+	case dod >= -524287 && dod <= 524288:
+		w.WriteBits(0b1110, 4)
+		w.WriteBits(uint64(dod+524287), 20)
+	default:
+		w.WriteBits(0b1111, 4)
+		w.WriteBits(uint64(dod), 64)
+	}
+}
+
+// ReadDoD consumes one timestamp delta-of-delta.
+func (r *BitReader) ReadDoD() (int64, error) {
+	b, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return 0, nil
+	}
+	for _, lvl := range []struct {
+		n    uint
+		bias int64
+	}{{14, 8191}, {17, 65535}, {20, 524287}} {
+		b, err = r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			v, err := r.ReadBits(lvl.n)
+			if err != nil {
+				return 0, err
+			}
+			return int64(v) - lvl.bias, nil
+		}
+	}
+	v, err := r.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}
+
+// XORState carries the reusable leading-zero / significant-bit window of
+// a Gorilla XOR value stream. The zero value starts a fresh stream.
+type XORState struct {
+	lead, sig uint
+	seen      bool
+}
+
+// WriteXOR emits one float64 bit pattern against its predecessor.
+func (w *BitWriter) WriteXOR(cur, prev uint64, st *XORState) {
+	xor := cur ^ prev
+	if xor == 0 {
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	lead := uint(bits.LeadingZeros64(xor))
+	if lead > 31 {
+		lead = 31
+	}
+	trail := uint(bits.TrailingZeros64(xor))
+	sig := 64 - lead - trail
+	if st.seen && lead >= st.lead && 64-st.lead-st.sig <= trail {
+		// Reuse the previous window.
+		w.WriteBit(0)
+		w.WriteBits(xor>>(64-st.lead-st.sig), st.sig)
+		return
+	}
+	w.WriteBit(1)
+	w.WriteBits(uint64(lead), 5)
+	w.WriteBits(uint64(sig-1), 6)
+	w.WriteBits(xor>>trail, sig)
+	st.lead, st.sig, st.seen = lead, sig, true
+}
+
+// ReadXOR consumes one float64 bit pattern.
+func (r *BitReader) ReadXOR(prev uint64, st *XORState) (uint64, error) {
+	b, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return prev, nil
+	}
+	b, err = r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 1 {
+		l, err := r.ReadBits(5)
+		if err != nil {
+			return 0, err
+		}
+		s, err := r.ReadBits(6)
+		if err != nil {
+			return 0, err
+		}
+		st.lead, st.sig, st.seen = uint(l), uint(s)+1, true
+	} else if !st.seen {
+		return 0, ErrTruncated
+	}
+	v, err := r.ReadBits(st.sig)
+	if err != nil {
+		return 0, err
+	}
+	return prev ^ v<<(64-st.lead-st.sig), nil
+}

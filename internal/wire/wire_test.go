@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBitStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w BitWriter
+	w.Reset(nil)
+	type item struct {
+		v uint64
+		n uint
+	}
+	var items []item
+	for i := 0; i < 2000; i++ {
+		n := uint(rng.Intn(64) + 1)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= 1<<n - 1
+		}
+		items = append(items, item{v, n})
+		w.WriteBits(v, n)
+	}
+	var r BitReader
+	r.Reset(w.Bytes())
+	for i, it := range items {
+		got, err := r.ReadBits(it.n)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d: got %x want %x (n=%d)", i, got, it.v, it.n)
+		}
+	}
+	if _, err := (&BitReader{}).ReadBits(1); err == nil {
+		t.Error("empty reader should error")
+	}
+	if _, err := (&BitReader{}).ReadBit(); err == nil {
+		t.Error("empty reader should error")
+	}
+}
+
+func TestWriterReuse(t *testing.T) {
+	var w BitWriter
+	w.Reset(nil)
+	w.WriteBits(0xAB, 8)
+	first := append([]byte(nil), w.Bytes()...)
+	w.Reset(w.Bytes()[:0])
+	w.WriteBits(0xCD, 8)
+	if w.Bytes()[0] != 0xCD {
+		t.Errorf("reset writer wrote %x, want CD", w.Bytes()[0])
+	}
+	if first[0] != 0xAB {
+		t.Errorf("copied bytes corrupted: %x", first[0])
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, math.MaxUint64}
+	var w BitWriter
+	w.Reset(nil)
+	for _, v := range vals {
+		w.WriteUvarint(v)
+	}
+	var r BitReader
+	r.Reset(w.Bytes())
+	for _, v := range vals {
+		got, err := r.ReadUvarint()
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+	// Overlong continuation must error, not overflow.
+	var over BitReader
+	over.Reset([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02})
+	if _, err := over.ReadUvarint(); err == nil {
+		t.Error("overflowing varint should error")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64} {
+		if got := Unzigzag(Zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestDoDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []int64{0, 1, -1, 8192, -8191, 8193, 65536, -65535, 65537,
+		524288, -524287, 524289, 1 << 40, -(1 << 40)}
+	for i := 0; i < 200; i++ {
+		vals = append(vals, rng.Int63n(1<<21)-1<<20)
+	}
+	var w BitWriter
+	w.Reset(nil)
+	for _, v := range vals {
+		w.WriteDoD(v)
+	}
+	var r BitReader
+	r.Reset(w.Bytes())
+	for _, v := range vals {
+		got, err := r.ReadDoD()
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("dod round trip %d -> %d", v, got)
+		}
+	}
+	if _, err := (&BitReader{}).ReadDoD(); err == nil {
+		t.Error("empty dod should error")
+	}
+}
+
+func TestXORRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := []float64{420, 420, 420.5, 0, -1, 1e300, 5e-324}
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			vals = append(vals, vals[len(vals)-1]) // repeat (zero XOR)
+		case 1:
+			vals = append(vals, vals[len(vals)-1]+float64(rng.Intn(16))) // nearby
+		default:
+			vals = append(vals, rng.NormFloat64()*1e4)
+		}
+	}
+	var w BitWriter
+	w.Reset(nil)
+	var ws XORState
+	prev := math.Float64bits(vals[0])
+	w.WriteBits(prev, 64)
+	for _, v := range vals[1:] {
+		cur := math.Float64bits(v)
+		w.WriteXOR(cur, prev, &ws)
+		prev = cur
+	}
+	var r BitReader
+	r.Reset(w.Bytes())
+	var rs XORState
+	got, err := r.ReadBits(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if i > 0 {
+			got, err = r.ReadXOR(got, &rs)
+			if err != nil {
+				t.Fatalf("value %d: %v", i, err)
+			}
+		}
+		if math.Float64frombits(got) != v {
+			t.Fatalf("value %d: got %v want %v", i, math.Float64frombits(got), v)
+		}
+	}
+	// A window-reuse control bit before any window is defined is corrupt.
+	var cw BitWriter
+	cw.Reset(nil)
+	cw.WriteBit(1) // non-zero XOR
+	cw.WriteBit(0) // "reuse window" — but none seen yet
+	var cr BitReader
+	cr.Reset(cw.Bytes())
+	var cs XORState
+	if _, err := cr.ReadXOR(0, &cs); err == nil {
+		t.Error("window reuse without a window should error")
+	}
+}
+
+func TestTickGrid(t *testing.T) {
+	for _, sec := range []float64{0, 1, 0.02, 123.4567891, -3.25} {
+		tick := ToTick(sec)
+		if math.Abs(ToSec(tick)-sec) > 0.5/TickHz {
+			t.Errorf("tick grid error for %v: %v", sec, ToSec(tick))
+		}
+	}
+}
