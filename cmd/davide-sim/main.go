@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"davide/internal/sched"
 	"davide/internal/units"
@@ -36,7 +37,23 @@ func main() {
 	streamRate := flag.Float64("stream-rate", 50, "telemetry replay sample rate (S/s of virtual time)")
 	workers := flag.Int("stream-workers", 0, "concurrent gateways in the replay fleet (0 = one per CPU, 1 = sequential)")
 	codec := flag.String("stream-codec", "binary", "batch wire codec for the replay: binary or json")
+	chaosName := flag.String("chaos", "", "fault-injection preset for the telemetry replay: "+
+		strings.Join(davide.ChaosPresetNames(), ", ")+" (requires -stream; seeded by -seed)")
+	chaosBatch := flag.Int("chaos-batch", 64, "samples per MQTT batch under -chaos (smaller batches give per-packet faults statistics)")
 	flag.Parse()
+
+	// Pure flag validation: reject a bad chaos setup before the
+	// scheduled simulation burns minutes of wall clock.
+	var chaosPlan *davide.ChaosPlan
+	if *chaosName != "" {
+		if *stream <= 0 {
+			log.Fatalf("-chaos %q needs a telemetry replay: pass -stream <seconds>", *chaosName)
+		}
+		var err error
+		if chaosPlan, err = davide.ChaosPreset(*chaosName, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var pol sched.Policy
 	switch *policy {
@@ -105,6 +122,10 @@ func main() {
 	if *stream > 0 {
 		sys.StreamWorkers = *workers
 		sys.StreamCodec = davide.WireCodec(*codec)
+		if chaosPlan != nil {
+			sys.StreamFaults = chaosPlan
+			sys.StreamBatchSamples = *chaosBatch
+		}
 		sres, err := sys.StreamWindow(0, *stream, *streamRate, *streamNodes)
 		if err != nil {
 			log.Fatal(err)
@@ -119,6 +140,18 @@ func main() {
 			sres.BrokerBufReuses, sres.ClientBufReuses)
 		fmt.Printf("  wall clock           %s\n", sres.WallClock)
 		fmt.Printf("  max energy error     %.4f %%\n", sres.MaxEnergyErrPct)
+		if *chaosName != "" {
+			f := sres.Faults
+			fmt.Printf("\nChaos scenario %q (seed %d):\n", *chaosName, *seed)
+			fmt.Printf("  injected             drop %d / partition %d / corrupt %d / dup %d / hold %d\n",
+				f.Dropped, f.Partitioned, f.Corrupted, f.Duplicated, f.Held)
+			fmt.Printf("  crashes / restarts   %d / %d\n", f.Crashes, sres.GatewayRestarts)
+			fmt.Printf("  delayed deliveries   %d\n", f.Delayed)
+			fmt.Printf("  samples lost / duped %d / %d (of %d sent)\n",
+				f.SamplesLost, f.SamplesDuplicated, sres.SamplesSent)
+			fmt.Printf("  agg reordered        %d (expected %d)\n", sres.ReorderedBatches, f.ExpectedReorders())
+			fmt.Printf("  agg undecodable      %d (expected %d)\n", sres.UndecodableDropped, f.Corrupted)
+		}
 	}
 }
 

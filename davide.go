@@ -20,6 +20,7 @@ package davide
 import (
 	"davide/internal/accounting"
 	"davide/internal/capping"
+	"davide/internal/chaos"
 	"davide/internal/cluster"
 	"davide/internal/core"
 	"davide/internal/energyapi"
@@ -170,6 +171,35 @@ type (
 func NewFleet(brokerAddr string, spec GatewaySpec, workers int) (*Fleet, error) {
 	return fleet.New(brokerAddr, spec, workers)
 }
+
+// Chaos engineering: deterministic fault injection for the telemetry
+// plane (see internal/chaos and the presets in internal/fleet).
+type (
+	// ChaosPlan assigns seeded fault specs across a fleet.
+	ChaosPlan = chaos.Plan
+	// ChaosSpec configures the faults injected on one gateway link.
+	ChaosSpec = chaos.Spec
+	// ChaosCounters is the exact, reproducible ledger of injected faults.
+	ChaosCounters = chaos.Counters
+)
+
+// Chaos scenario presets for fleet replays.
+const (
+	ChaosLossyRack       = fleet.ChaosLossyRack
+	ChaosFlappingGateway = fleet.ChaosFlappingGateway
+	ChaosSplitBrain      = fleet.ChaosSplitBrain
+	ChaosCorruptWire     = fleet.ChaosCorruptWire
+)
+
+// ChaosPreset builds a named fault scenario; the same (name, seed)
+// injects an identical fault schedule on every run.
+func ChaosPreset(name string, seed int64) (*ChaosPlan, error) { return fleet.ChaosPreset(name, seed) }
+
+// ChaosPresetNames lists the available chaos presets.
+func ChaosPresetNames() []string { return fleet.ChaosPresetNames() }
+
+// ChaosErrBound returns a preset's documented MaxEnergyErrPct bound.
+func ChaosErrBound(name string) (float64, error) { return fleet.ChaosErrBound(name) }
 
 // WireCodec selects the batch wire format gateways publish: the
 // compressed binary frame (default) or the original JSON text. Decoders

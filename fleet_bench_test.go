@@ -17,16 +17,16 @@ import (
 )
 
 // benchStreamSystem builds a scheduled 45-node system whose node signals
-// the fleet benchmarks replay.
-func benchStreamSystem(b *testing.B) *System {
-	b.Helper()
+// the fleet benchmarks (and the E18 chaos soak suite) replay.
+func benchStreamSystem(tb testing.TB) *System {
+	tb.Helper()
 	g, err := workload.NewGenerator(workload.DefaultGeneratorConfig(21))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	jobs, err := g.Batch(300)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	base := jobs[0].SubmitAt
 	for i := range jobs {
@@ -34,10 +34,10 @@ func benchStreamSystem(b *testing.B) *System {
 	}
 	sys, err := NewSystem(nil)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := sys.RunScheduled(jobs, sched.Config{Policy: sched.EASY}); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return sys
 }

@@ -8,22 +8,45 @@ import (
 	"davide/internal/units"
 )
 
+// PowerFeed supplies the controller's power observation from the
+// telemetry plane: the latest sample for the node and whether it is
+// fresh (arrived within the last control period). ok=false means
+// telemetry loss — the gateway stream stopped, the broker hiccuped, or
+// samples are stuck behind a partition.
+type PowerFeed func(now float64) (units.Watt, bool)
+
 // ControlLoop runs a NodeCapper periodically on the discrete-event engine:
 // the virtual-time equivalent of the firmware control task that enforces
 // the node power cap in the real system. It also advances the node's
 // thermal model each period, so capping and thermal throttling interact
 // the way they do on hardware.
+//
+// With a PowerFeed attached the loop is telemetry-fed, and telemetry
+// loss is handled fail-safe: on a stale feed the controller does not
+// actuate at all — it holds the last safe operating point rather than
+// walking the ladder against a phantom reading (raising into an unseen
+// overload, or oscillating on stale data). Held periods are counted.
 type ControlLoop struct {
 	Capper *NodeCapper
 	Period float64
 	cancel func()
+	feed   PowerFeed
+	held   int
 	trace  []units.Watt
 	times  []float64
 }
 
 // NewControlLoop registers the capper on the engine with the given control
-// period (seconds of virtual time).
+// period (seconds of virtual time), observing node power directly.
 func NewControlLoop(eng *simclock.Engine, capper *NodeCapper, period float64) (*ControlLoop, error) {
+	return NewControlLoopWithFeed(eng, capper, period, nil)
+}
+
+// NewControlLoopWithFeed registers a telemetry-fed control loop: each
+// period the feed is asked for the newest sample, and a stale feed
+// (ok=false) holds the current operating point instead of stepping.
+// A nil feed reads node power directly, as NewControlLoop does.
+func NewControlLoopWithFeed(eng *simclock.Engine, capper *NodeCapper, period float64, feed PowerFeed) (*ControlLoop, error) {
 	if eng == nil {
 		return nil, errors.New("capping: nil engine")
 	}
@@ -33,13 +56,24 @@ func NewControlLoop(eng *simclock.Engine, capper *NodeCapper, period float64) (*
 	if period <= 0 {
 		return nil, errors.New("capping: period must be positive")
 	}
-	cl := &ControlLoop{Capper: capper, Period: period}
+	cl := &ControlLoop{Capper: capper, Period: period, feed: feed}
 	cancel, err := eng.Every(period, period, func(now float64) {
 		if _, err := capper.Node.AdvanceThermal(period); err != nil {
 			return
 		}
-		p, err := capper.Step()
-		if err != nil {
+		var p units.Watt
+		if cl.feed != nil {
+			var fresh bool
+			p, fresh = cl.feed(now)
+			if !fresh {
+				// Telemetry loss: no actuation, hold the last safe cap.
+				cl.held++
+				return
+			}
+		} else {
+			p = capper.Node.Power()
+		}
+		if _, err := capper.StepWith(p); err != nil {
 			return
 		}
 		cl.trace = append(cl.trace, p)
@@ -51,6 +85,10 @@ func NewControlLoop(eng *simclock.Engine, capper *NodeCapper, period float64) (*
 	cl.cancel = cancel
 	return cl, nil
 }
+
+// Held returns how many control periods were skipped because the
+// telemetry feed had no fresh sample.
+func (cl *ControlLoop) Held() int { return cl.held }
 
 // Stop cancels the periodic control task.
 func (cl *ControlLoop) Stop() {

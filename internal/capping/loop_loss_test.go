@@ -1,0 +1,178 @@
+package capping
+
+import (
+	"testing"
+
+	"davide/internal/node"
+	"davide/internal/simclock"
+	"davide/internal/units"
+)
+
+// lossyFeed replays node power as a telemetry stream that goes dark at
+// cutoff — the controller's view of a gateway that stopped publishing.
+type lossyFeed struct {
+	n      *node.Node
+	cutoff float64
+	resume float64 // 0 = never
+	asked  int
+}
+
+func (f *lossyFeed) feed(now float64) (units.Watt, bool) {
+	f.asked++
+	dark := now > f.cutoff && (f.resume == 0 || now < f.resume)
+	if dark {
+		return 0, false
+	}
+	return f.n.Power(), true
+}
+
+func newLoopRig(t *testing.T) (*node.Node, *NodeCapper) {
+	t.Helper()
+	n, err := node.New(0, node.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capper, err := NewNodeCapper(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLoad(1) // ~1980 W uncapped
+	if err := capper.SetCap(1500); err != nil {
+		t.Fatal(err)
+	}
+	return n, capper
+}
+
+// TestControlLoopHoldsCapUnderTelemetryLoss: when samples stop
+// arriving, the controller must freeze at its last safe operating point
+// — no actuation at all — rather than creeping back up (the hysteresis
+// raise path) or oscillating on a phantom reading.
+func TestControlLoopHoldsCapUnderTelemetryLoss(t *testing.T) {
+	const period = 1.0
+	n, capper := newLoopRig(t)
+	eng := simclock.New()
+	f := &lossyFeed{n: n, cutoff: 30}
+	loop, err := NewControlLoopWithFeed(eng, capper, period, f.feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converge under live telemetry for 30 s.
+	if err := eng.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	stepsAtCutoff := capper.Steps()
+	pstateAtCutoff := n.PState()
+	powerAtCutoff := n.Power()
+	if stepsAtCutoff == 0 {
+		t.Fatal("controller never stepped while telemetry was live")
+	}
+	if powerAtCutoff > 1500*1.02 {
+		t.Fatalf("controller had not pulled power to cap before cutoff: %v", powerAtCutoff)
+	}
+
+	// 60 s of telemetry darkness.
+	if err := eng.RunUntil(90); err != nil {
+		t.Fatal(err)
+	}
+	loop.Stop()
+
+	if got := capper.Steps(); got != stepsAtCutoff {
+		t.Fatalf("controller stepped %d times during loss (had %d): must not actuate blind",
+			got-stepsAtCutoff, stepsAtCutoff)
+	}
+	if got := n.PState(); got != pstateAtCutoff {
+		t.Fatalf("operating point moved during loss: P-state %d -> %d", pstateAtCutoff, got)
+	}
+	if got := n.Power(); got != powerAtCutoff {
+		t.Fatalf("node power moved during loss: %v -> %v", powerAtCutoff, got)
+	}
+	if loop.Held() != 60 {
+		t.Fatalf("held %d periods, want 60", loop.Held())
+	}
+	// The trace records only observed steps, so its length matches.
+	if len(loop.Trace()) != stepsAtCutoff {
+		t.Fatalf("trace has %d entries, want %d", len(loop.Trace()), stepsAtCutoff)
+	}
+	// And the cap was honoured the whole time: held operating point
+	// cannot exceed what it produced at cutoff.
+	te, err := Analyze(loop.Trace(), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.Violations > te.Steps/2 {
+		t.Fatalf("cap violated in %d of %d observed steps", te.Violations, te.Steps)
+	}
+}
+
+// TestControlLoopResumesAfterTelemetryReturns: a loss window must not
+// wedge the controller — when samples come back, stepping resumes and
+// the controller reacts to load changes again.
+func TestControlLoopResumesAfterTelemetryReturns(t *testing.T) {
+	const period = 1.0
+	n, capper := newLoopRig(t)
+	eng := simclock.New()
+	f := &lossyFeed{n: n, cutoff: 20, resume: 40}
+	loop, err := NewControlLoopWithFeed(eng, capper, period, f.feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load drops during the dark window; the controller must not react
+	// until telemetry returns, then raise the operating point again.
+	if _, err := eng.At(30, func(float64) { n.SetLoad(0.1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	stepsDark := capper.Steps()
+	if err := eng.RunUntil(39); err != nil {
+		t.Fatal(err)
+	}
+	if capper.Steps() != stepsDark {
+		t.Fatal("controller stepped while dark")
+	}
+	pstateDark := n.PState()
+	if err := eng.RunUntil(90); err != nil {
+		t.Fatal(err)
+	}
+	loop.Stop()
+	if capper.Steps() == stepsDark {
+		t.Fatal("controller never resumed after telemetry returned")
+	}
+	if n.PState() <= pstateDark {
+		t.Fatalf("controller did not raise the operating point after load dropped and telemetry resumed (P-state %d -> %d)",
+			pstateDark, n.PState())
+	}
+	if loop.Held() != 19 {
+		t.Fatalf("held %d periods, want 19", loop.Held())
+	}
+}
+
+// TestControlLoopFeedValidation: the direct-read path is unchanged and
+// a feed loop validates its inputs like the classic constructor.
+func TestControlLoopFeedValidation(t *testing.T) {
+	n, capper := newLoopRig(t)
+	if _, err := NewControlLoopWithFeed(nil, capper, 1, nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewControlLoopWithFeed(simclock.New(), nil, 1, nil); err == nil {
+		t.Fatal("nil capper accepted")
+	}
+	if _, err := NewControlLoopWithFeed(simclock.New(), capper, 0, nil); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	// Direct-read loop still steps (regression guard for the refactor).
+	eng := simclock.New()
+	loop, err := NewControlLoop(eng, capper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	loop.Stop()
+	if capper.Steps() == 0 || loop.Held() != 0 {
+		t.Fatalf("direct loop: steps=%d held=%d", capper.Steps(), loop.Held())
+	}
+	_ = n
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"davide/internal/accounting"
+	"davide/internal/chaos"
 	"davide/internal/cluster"
 	"davide/internal/fleet"
 	"davide/internal/gateway"
@@ -60,6 +61,16 @@ type System struct {
 	// (chunk size, rollup resolutions, raw retention). Zero value =
 	// tsdb defaults.
 	StoreOptions tsdb.Options
+
+	// StreamFaults, when non-nil, runs telemetry replays under
+	// deterministic fault injection (see internal/chaos and
+	// fleet.ChaosPreset): the E18 chaos-soak path.
+	StreamFaults *chaos.Plan
+
+	// StreamBatchSamples overrides the per-batch sample count of
+	// telemetry replays (0 = the fleet default of 512). Chaos soaks use
+	// smaller batches so per-packet faults get statistics.
+	StreamBatchSamples int
 
 	// Node power signals from the last RunScheduled, one per node.
 	signals []*sensor.Piecewise
@@ -268,6 +279,25 @@ type StreamResult struct {
 	MaxEnergyErrPct float64
 	// PerNode carries each gateway's publish/delivery statistics.
 	PerNode []fleet.NodeStats
+	// Faults sums the injected-fault counters across the fleet (all
+	// zero unless the replay ran under StreamFaults); GatewayRestarts
+	// counts injected crash/reconnect cycles.
+	Faults          chaos.Counters
+	GatewayRestarts int
+	// ReorderedBatches / UndecodableDropped are the aggregator-side
+	// effects of the injected faults: batches that arrived out of order
+	// or overlapping, and payloads that failed to decode. Under chaos
+	// they must match the injected cause counts exactly
+	// (Faults.ExpectedReorders and Faults.Corrupted).
+	ReorderedBatches   int
+	UndecodableDropped int
+	// StoreOutOfOrderDropped counts samples that arrived too far behind
+	// the store's sealed horizon to ingest. The store keeps a rolling
+	// head window of at least ChunkSize samples and StreamWindow
+	// enforces hold-span × batch-size ≤ chunk-size, so this stays zero
+	// for every preset (asserted by E18); non-zero means unaccounted
+	// loss.
+	StoreOutOfOrderDropped int
 }
 
 // StreamWindow replays [t0, t1] of the last run's node signals through
@@ -306,9 +336,43 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	defer ingest.Close()
 	defer func() { _ = sub.Close() }()
 
+	batchSamples := s.StreamBatchSamples
+	if s.StreamFaults != nil {
+		maxSpan := 0
+		for n := 0; n < nodes; n++ {
+			if sp := s.StreamFaults.SpecFor(n).EffectiveHoldSpan(); sp > maxSpan {
+				maxSpan = sp
+			}
+		}
+		if maxSpan > 0 {
+			// A held batch is released up to HoldSpan batches late, so
+			// the store's head window must absorb HoldSpan × batch
+			// samples or late releases fall behind the sealed horizon
+			// as unaccounted loss, silently voiding the preset's energy
+			// error bound.
+			chunk := s.StoreOptions.ChunkSize
+			if chunk <= 0 {
+				chunk = tsdb.DefaultChunkSize
+			}
+			if batchSamples == 0 {
+				// The fleet default of 512 samples/batch would violate
+				// the constraint; pick the largest compliant batch.
+				batchSamples = chunk / maxSpan
+			}
+			// Rejects an explicit violation and a hold span no batch
+			// size can satisfy (maxSpan > chunk leaves the auto-sized
+			// batch at 0) alike.
+			if batchSamples < 1 || maxSpan*batchSamples > chunk {
+				return StreamResult{}, fmt.Errorf(
+					"core: chaos hold span %d × %d samples/batch exceeds the store's %d-sample reorder window — late releases would be dropped unaccounted",
+					maxSpan, batchSamples, chunk)
+			}
+		}
+	}
 	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
 		SampleRate: sampleRate, ClientPrefix: "gw", SeedBase: 1000,
-		Codec: s.StreamCodec,
+		Codec: s.StreamCodec, Faults: s.StreamFaults,
+		BatchSamples: batchSamples,
 	}, s.StreamWorkers)
 	if err != nil {
 		return StreamResult{}, err
@@ -323,12 +387,27 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	if err != nil {
 		return StreamResult{}, err
 	}
+	if st.Faults.Corrupted > 0 {
+		// Corrupted packets carry no samples, so the fleet's per-node
+		// delivery handshake cannot wait on them; a corrupt final packet
+		// may still be in flight here. Barrier on the exact injected
+		// count so Reordered/UndecodableDropped below are settled; on
+		// timeout proceed with whatever arrived (lossy QoS-0 semantics).
+		wctx, cancel := context.WithTimeout(context.Background(), fleet.DefaultWaitTimeout)
+		_ = agg.WaitDropped(wctx, int(st.Faults.Corrupted))
+		cancel()
+	}
 	s.store = db
 	res := StreamResult{
 		Window: t1 - t0, NodesStreamed: nodes,
 		SamplesSent: st.Samples, BatchesSent: st.Batches, PerNode: st.PerNode,
-		WireBytesPerSample: st.WireBytesPerSample(),
-		ClientBufReuses:    st.ClientBufReuses,
+		WireBytesPerSample:     st.WireBytesPerSample(),
+		ClientBufReuses:        st.ClientBufReuses,
+		Faults:                 st.Faults,
+		GatewayRestarts:        st.Restarts,
+		ReorderedBatches:       agg.Reordered(),
+		UndecodableDropped:     agg.Dropped(),
+		StoreOutOfOrderDropped: db.Stats().OutOfOrderDropped,
 	}
 
 	for n := 0; n < nodes; n++ {

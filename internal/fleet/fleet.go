@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"davide/internal/chaos"
 	"davide/internal/gateway"
 	"davide/internal/monitors"
 	"davide/internal/mqtt"
@@ -69,7 +70,19 @@ type GatewaySpec struct {
 	// Codec selects the batch wire format every gateway publishes:
 	// gateway.CodecBinary (the default) or gateway.CodecJSON.
 	Codec gateway.Codec
+	// Faults, when non-nil, injects deterministic transport faults into
+	// every gateway's MQTT link (see internal/chaos and ChaosPreset).
+	// Injected session crashes are recovered transparently: the fleet
+	// tears the member's session down, redials, and resumes the window
+	// from the gateway's replay cursor.
+	Faults *chaos.Plan
 }
+
+// maxGatewayRestarts bounds crash/reconnect cycles per node per window,
+// a safety net against a misconfigured crash schedule (with the minimum
+// legal CrashEvery of 2, every other publish attempt still progresses,
+// so real plans stay far below this).
+const maxGatewayRestarts = 1024
 
 // withDefaults fills unset fields with the pilot gateway configuration.
 func (sp GatewaySpec) withDefaults() GatewaySpec {
@@ -108,6 +121,9 @@ func (sp GatewaySpec) Validate() error {
 	if err := sp.Codec.Validate(); err != nil {
 		return fmt.Errorf("fleet: %w", err)
 	}
+	if err := sp.Faults.Validate(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
 	return nil
 }
 
@@ -125,10 +141,17 @@ func (sp GatewaySpec) monitorSpec() monitors.Spec {
 	}
 }
 
-// member is one assembled node gateway with its persistent broker session.
+// member is one assembled node gateway with its persistent broker
+// session. client is guarded by the fleet mutex (restartMember swaps it
+// mid-stream); gw and link are stable for the member's life.
 type member struct {
 	client *mqtt.Client
 	gw     *gateway.Gateway
+	// link is the node's fault-injection interceptor (nil without
+	// chaos). It survives session restarts, keeping the node on one
+	// deterministic fault schedule.
+	link     *chaos.Link
+	restarts int
 }
 
 // Fleet owns N node gateways attached to one broker and streams signal
@@ -212,9 +235,16 @@ func (f *Fleet) member(node int) (*member, error) {
 	}
 	f.mu.Unlock()
 
-	client, err := mqtt.Dial(f.brokerAddr, mqtt.ClientOptions{
-		ClientID: fmt.Sprintf("%s%02d", f.spec.ClientPrefix, node),
-	})
+	var link *chaos.Link
+	if f.spec.Faults != nil {
+		var err error
+		link, err = f.spec.Faults.NewLink(node)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %d: %w", node, err)
+		}
+		link.SetSizer(gateway.PayloadSamples)
+	}
+	client, err := f.dialMember(node, link)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
 	}
@@ -245,9 +275,55 @@ func (f *Fleet) member(node int) (*member, error) {
 		_ = client.Close()
 		return existing, nil
 	}
-	m := &member{client: client, gw: gw}
+	m := &member{client: client, gw: gw, link: link}
 	f.members[node] = m
 	return m, nil
+}
+
+// dialMember opens one node's broker session, with the node's chaos
+// link (if any) installed on the client.
+func (f *Fleet) dialMember(node int, link *chaos.Link) (*mqtt.Client, error) {
+	opts := mqtt.ClientOptions{ClientID: fmt.Sprintf("%s%02d", f.spec.ClientPrefix, node)}
+	if link != nil {
+		opts.Link = link
+	}
+	return mqtt.Dial(f.brokerAddr, opts)
+}
+
+// restartMember simulates a gateway reboot after an injected crash:
+// abrupt session teardown (no DISCONNECT), a fresh dial under the same
+// client ID (the broker's session takeover path), and the same chaos
+// link so the fault schedule continues deterministically. The caller
+// resumes the window from its gateway.Cursor.
+func (f *Fleet) restartMember(node int, m *member) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("fleet: closed")
+	}
+	old := m.client
+	f.mu.Unlock()
+	if err := old.Abort(); err != nil {
+		// Redialing the same client ID after an undrained abort could
+		// discard in-flight publishes and silently break the exact
+		// delivery accounting — fail the node's stream loudly instead.
+		return fmt.Errorf("fleet: node %d: %w", node, err)
+	}
+
+	client, err := f.dialMember(node, m.link)
+	if err != nil {
+		return fmt.Errorf("fleet: node %d reconnect: %w", node, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		_ = client.Close()
+		return errors.New("fleet: closed")
+	}
+	m.client = client
+	m.gw.Pub = gateway.ClientPublisher{C: client}
+	m.restarts++
+	return nil
 }
 
 // NodeStream pairs a node ID with the power signal its gateway samples.
@@ -267,6 +343,11 @@ type NodeStats struct {
 	BufReuses int64         // client pooled-buffer reuses in this window
 	Wall      time.Duration // publish + delivery wait for this node
 	Delivered bool          // aggregator confirmed every sample arrived
+	// Faults is this window's injected-fault delta on the node's chaos
+	// link (nil when the fleet runs without fault injection).
+	Faults *chaos.Counters
+	// Restarts counts gateway crash/reconnect cycles in this window.
+	Restarts int
 }
 
 // WireBytesPerSample is the node's mean encoded payload size per power
@@ -294,6 +375,11 @@ type StreamStats struct {
 	// confirmed delivery of the slowest node.
 	Wall    time.Duration
 	PerNode []NodeStats
+	// Faults sums the per-node injected-fault deltas for this window
+	// (all zero without fault injection); Restarts counts gateway
+	// crash/reconnect cycles across the fleet.
+	Faults   chaos.Counters
+	Restarts int
 }
 
 // WireBytesPerSample is the fleet-wide mean encoded payload size per
@@ -379,11 +465,18 @@ func (f *Fleet) Stream(ctx context.Context, nodes []NodeStream, t0, t1 float64, 
 		stats.Bytes += ns.Bytes
 		stats.WireBytes += ns.WireBytes
 		stats.ClientBufReuses += ns.BufReuses
+		stats.Restarts += ns.Restarts
+		if ns.Faults != nil {
+			stats.Faults.Add(*ns.Faults)
+		}
 	}
 	return stats, nil
 }
 
 // streamOne publishes one node's window and waits for its delivery.
+// Under fault injection it recovers injected session crashes (teardown,
+// redial, resume from the replay cursor) and adjusts the delivery wait
+// for the samples the chaos link provably lost or duplicated.
 func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, agg *telemetry.Aggregator) (NodeStats, error) {
 	m, err := f.member(ns.Node)
 	if err != nil {
@@ -391,15 +484,44 @@ func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, ag
 	}
 	begin := time.Now()
 	before := m.gw.Stats()
+	restartsBefore := m.restarts
+	var faultsBefore chaos.Counters
+	if m.link != nil {
+		faultsBefore = m.link.Counters()
+	}
+	// The client can be replaced mid-window by a crash/reconnect, so
+	// client-side counters accumulate across sessions.
+	var bytesAcc, reusesAcc int64
 	bytesBefore := m.client.Stats.PublishBytes.Load()
 	reusesBefore := m.client.Stats.BufReuses.Load()
 	baseline := 0
 	if agg != nil {
 		baseline = agg.Samples(ns.Node)
 	}
-	energy, err := m.gw.PublishWindow(ns.Signal, t0, t1)
-	if err != nil {
-		return NodeStats{}, fmt.Errorf("fleet: node %d: %w", ns.Node, err)
+
+	var cur gateway.Cursor
+	var energy float64
+	for {
+		energy, err = m.gw.PublishWindowResume(ns.Signal, t0, t1, &cur)
+		if err == nil {
+			// Release any packets the chaos link still holds back, so
+			// the delivery wait below cannot strand them.
+			if err = m.client.Flush(); err == nil {
+				break
+			}
+		}
+		if m.link == nil || !errors.Is(err, chaos.ErrCrash) {
+			return NodeStats{}, fmt.Errorf("fleet: node %d: %w", ns.Node, err)
+		}
+		if m.restarts-restartsBefore >= maxGatewayRestarts {
+			return NodeStats{}, fmt.Errorf("fleet: node %d: crash limit (%d restarts) exceeded", ns.Node, maxGatewayRestarts)
+		}
+		bytesAcc += m.client.Stats.PublishBytes.Load() - bytesBefore
+		reusesAcc += m.client.Stats.BufReuses.Load() - reusesBefore
+		if rerr := f.restartMember(ns.Node, m); rerr != nil {
+			return NodeStats{}, rerr
+		}
+		bytesBefore, reusesBefore = 0, 0 // fresh client, fresh counters
 	}
 	after := m.gw.Stats()
 	st := NodeStats{
@@ -407,9 +529,17 @@ func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, ag
 		Samples:   after.Samples - before.Samples,
 		Batches:   after.Batches - before.Batches,
 		EnergyJ:   energy,
-		Bytes:     m.client.Stats.PublishBytes.Load() - bytesBefore,
+		Bytes:     bytesAcc + m.client.Stats.PublishBytes.Load() - bytesBefore,
 		WireBytes: after.WireBytes - before.WireBytes,
-		BufReuses: m.client.Stats.BufReuses.Load() - reusesBefore,
+		BufReuses: reusesAcc + m.client.Stats.BufReuses.Load() - reusesBefore,
+		Restarts:  m.restarts - restartsBefore,
+	}
+	lostSamples, dupSamples := 0, 0
+	if m.link != nil {
+		d := m.link.Counters().Minus(faultsBefore)
+		st.Faults = &d
+		lostSamples = int(d.SamplesLost)
+		dupSamples = int(d.SamplesDuplicated)
 	}
 	if agg != nil {
 		// Wait for the aggregator's pre-publish count plus exactly the
@@ -422,13 +552,22 @@ func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, ag
 		// target and Delivered can report true with this window's tail
 		// still pending — once a node times out, treat later windows on
 		// the same aggregator as best-effort too.
+		// Under fault injection the target is corrected by the exact
+		// sample counts the link lost (drops, partitions, corruption)
+		// and duplicated, so a lossy window still completes its wait
+		// the moment the last surviving batch is ingested — and the
+		// post-wait aggregator state is deterministic.
 		waitCtx := ctx
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
 			waitCtx, cancel = context.WithTimeout(ctx, DefaultWaitTimeout)
 			defer cancel()
 		}
-		err := agg.WaitSamples(waitCtx, ns.Node, baseline+st.Samples)
+		target := baseline + st.Samples - lostSamples + dupSamples
+		if target < baseline {
+			target = baseline
+		}
+		err := agg.WaitSamples(waitCtx, ns.Node, target)
 		if errors.Is(err, context.Canceled) {
 			// Caller abort, not a lossy-delivery timeout: propagate.
 			return st, fmt.Errorf("fleet: node %d: %w", ns.Node, err)

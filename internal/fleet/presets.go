@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"davide/internal/chaos"
+)
+
+// Named chaos scenarios for fleet replays — the fault environments the
+// E18 soak suite (and `davide-sim -chaos <preset>`) runs every codec
+// through. Each preset documents the MaxEnergyErrPct bound its injected
+// loss pattern must respect on scheduled pilot signals (piecewise-
+// constant power, where a lost batch's span is bridged by the last
+// power level, so the error a hole can cause is bounded by the power
+// steps inside it). The bounds are asserted by the E18 suite; see
+// DESIGN.md §6.
+const (
+	// ChaosLossyRack models a congested rack switch: steady loss,
+	// duplication, reordering and latency jitter on every gateway.
+	ChaosLossyRack = "lossy-rack"
+	// ChaosFlappingGateway models BeagleBones that crash and reboot
+	// mid-stream: injected session crashes with cursor resume, plus
+	// light loss and reordering.
+	ChaosFlappingGateway = "flapping-gateway"
+	// ChaosSplitBrain models a partitioned fabric: odd-numbered nodes
+	// lose connectivity in repeating windows (a third of their
+	// publishes), even nodes see only trace loss.
+	ChaosSplitBrain = "split-brain"
+	// ChaosCorruptWire models a flaky physical layer: payload
+	// corruption (always detected, never silently ingested) with light
+	// loss and duplication.
+	ChaosCorruptWire = "corrupt-wire"
+)
+
+// chaosPreset couples a plan constructor with the preset's documented
+// MaxEnergyErrPct bound (the E18 invariant), so a new preset cannot be
+// registered without declaring its bound.
+type chaosPreset struct {
+	mk          func(seed int64) *chaos.Plan
+	errBoundPct float64
+}
+
+// chaosPresets maps preset names to their definitions.
+var chaosPresets = map[string]chaosPreset{
+	ChaosLossyRack: {errBoundPct: 3, mk: func(seed int64) *chaos.Plan {
+		return &chaos.Plan{Seed: seed, Default: chaos.Spec{
+			Drop: 0.04, Dup: 0.02, Hold: 0.03, HoldSpan: 4,
+			DelayPct: 0.10, MaxDelay: 500 * time.Microsecond,
+		}}
+	}},
+	ChaosFlappingGateway: {errBoundPct: 2, mk: func(seed int64) *chaos.Plan {
+		return &chaos.Plan{Seed: seed, Default: chaos.Spec{
+			Drop: 0.01, Hold: 0.02, HoldSpan: 3, CrashEvery: 40,
+		}}
+	}},
+	ChaosSplitBrain: {errBoundPct: 10, mk: func(seed int64) *chaos.Plan {
+		clean := chaos.Spec{Drop: 0.005}
+		cut := chaos.Spec{Drop: 0.005, PartitionEvery: 24, PartitionLen: 8}
+		return &chaos.Plan{
+			Seed:    seed,
+			Default: clean,
+			NodeSpec: func(node int) (chaos.Spec, bool) {
+				if node%2 == 1 {
+					return cut, true
+				}
+				return chaos.Spec{}, false
+			},
+		}
+	}},
+	ChaosCorruptWire: {errBoundPct: 3, mk: func(seed int64) *chaos.Plan {
+		return &chaos.Plan{Seed: seed, Default: chaos.Spec{
+			Corrupt: 0.05, Drop: 0.01, Dup: 0.01,
+		}}
+	}},
+}
+
+// lookupChaosPreset resolves a preset name or reports the available ones.
+func lookupChaosPreset(name string) (chaosPreset, error) {
+	p, ok := chaosPresets[name]
+	if !ok {
+		return chaosPreset{}, fmt.Errorf("fleet: unknown chaos preset %q (have %s)", name, strings.Join(ChaosPresetNames(), ", "))
+	}
+	return p, nil
+}
+
+// ChaosErrBound returns the documented MaxEnergyErrPct bound for a
+// preset's replays of scheduled pilot signals (the E18 invariant).
+func ChaosErrBound(name string) (float64, error) {
+	p, err := lookupChaosPreset(name)
+	if err != nil {
+		return 0, err
+	}
+	return p.errBoundPct, nil
+}
+
+// ChaosPresetNames lists the available presets, sorted.
+func ChaosPresetNames() []string {
+	names := make([]string, 0, len(chaosPresets))
+	for n := range chaosPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosPreset builds the named fault plan with the given seed. The same
+// (name, seed) pair injects an identical fault schedule on every run.
+func ChaosPreset(name string, seed int64) (*chaos.Plan, error) {
+	p, err := lookupChaosPreset(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.mk(seed), nil
+}

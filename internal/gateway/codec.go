@@ -154,48 +154,94 @@ func DecodeBatchInto(payload []byte, scratch []float64) (Batch, error) {
 	return b, nil
 }
 
-// decodeBinary parses a version-1 binary frame.
-func decodeBinary(payload []byte, scratch []float64) (Batch, error) {
+// PayloadSamples reports how many power samples a batch payload
+// carries, in either codec, without materialising the samples — for a
+// binary frame only the header varints are read. Returns 0 when the
+// payload is not a decodable batch. Delivery accounting (the chaos
+// link's sample sizer) uses this to translate faulted packets into
+// exact sample counts.
+func PayloadSamples(payload []byte) int {
+	if len(payload) == 0 {
+		return 0
+	}
+	if payload[0] == binMagic {
+		var r wire.BitReader
+		h, err := readBinaryHeader(payload, &r)
+		if err != nil {
+			return 0
+		}
+		return h.count
+	}
+	b, err := DecodeBatch(payload)
+	if err != nil {
+		return 0
+	}
+	return len(b.Samples)
+}
+
+// binHeader is the validated varint prefix of a version-1 binary frame.
+type binHeader struct {
+	node    int
+	count   int
+	dtTicks int64
+	tick0   int64
+}
+
+// readBinaryHeader parses and validates a version-1 frame's header,
+// leaving r positioned at the first timestamp DoD bucket. It is the
+// single definition of which headers the codec accepts — decodeBinary
+// and PayloadSamples (the chaos sizer) must never diverge on that.
+func readBinaryHeader(payload []byte, r *wire.BitReader) (binHeader, error) {
 	if len(payload) < 2 {
-		return Batch{}, ErrShortPayload
+		return binHeader{}, ErrShortPayload
 	}
 	if payload[1] != binVersion {
-		return Batch{}, fmt.Errorf("gateway: decode: unsupported wire version %d", payload[1])
+		return binHeader{}, fmt.Errorf("gateway: decode: unsupported wire version %d", payload[1])
 	}
 	data := payload[2:]
-	var r wire.BitReader
 	r.Reset(data)
 	node, err := r.ReadUvarint()
 	if err != nil {
-		return Batch{}, fmt.Errorf("gateway: decode: %w", err)
+		return binHeader{}, fmt.Errorf("gateway: decode: %w", err)
 	}
 	if node > math.MaxInt32 {
-		return Batch{}, fmt.Errorf("gateway: decode: node %d out of range", node)
+		return binHeader{}, fmt.Errorf("gateway: decode: node %d out of range", node)
 	}
 	count, err := r.ReadUvarint()
 	if err != nil {
-		return Batch{}, fmt.Errorf("gateway: decode: %w", err)
+		return binHeader{}, fmt.Errorf("gateway: decode: %w", err)
 	}
 	// Every sample past the first costs at least two bits (one dod bit,
 	// one XOR bit), so a count the payload cannot possibly hold is
 	// corrupt — reject it before trusting it for allocation sizing.
 	if count == 0 || count > uint64(4*len(data))+1 {
-		return Batch{}, fmt.Errorf("gateway: decode: implausible sample count %d", count)
+		return binHeader{}, fmt.Errorf("gateway: decode: implausible sample count %d", count)
 	}
-	n := int(count)
 	dtu, err := r.ReadUvarint()
 	if err != nil {
-		return Batch{}, fmt.Errorf("gateway: decode: %w", err)
+		return binHeader{}, fmt.Errorf("gateway: decode: %w", err)
 	}
 	dtTicks := int64(dtu)
 	if dtTicks <= 0 {
-		return Batch{}, fmt.Errorf("gateway: decode: non-positive dt (%d ticks)", dtTicks)
+		return binHeader{}, fmt.Errorf("gateway: decode: non-positive dt (%d ticks)", dtTicks)
 	}
 	u, err := r.ReadUvarint()
 	if err != nil {
-		return Batch{}, fmt.Errorf("gateway: decode: %w", err)
+		return binHeader{}, fmt.Errorf("gateway: decode: %w", err)
 	}
-	tick0 := wire.Unzigzag(u)
+	return binHeader{node: int(node), count: int(count), dtTicks: dtTicks, tick0: wire.Unzigzag(u)}, nil
+}
+
+// decodeBinary parses a version-1 binary frame.
+func decodeBinary(payload []byte, scratch []float64) (Batch, error) {
+	var r wire.BitReader
+	h, err := readBinaryHeader(payload, &r)
+	if err != nil {
+		return Batch{}, err
+	}
+	n := h.count
+	dtTicks := h.dtTicks
+	tick0 := h.tick0
 	delta := dtTicks
 	lastTick := tick0
 	for i := 1; i < n; i++ {
@@ -219,7 +265,7 @@ func decodeBinary(payload []byte, scratch []float64) (Batch, error) {
 		}
 		out = append(out, math.Float64frombits(vb))
 	}
-	b := Batch{Node: int(node), T0: wire.ToSec(tick0), Samples: out}
+	b := Batch{Node: h.node, T0: wire.ToSec(tick0), Samples: out}
 	if n == 1 {
 		b.Dt = wire.ToSec(dtTicks)
 	} else {

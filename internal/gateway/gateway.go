@@ -179,36 +179,85 @@ func (g *Gateway) Stats() Stats {
 // (streaming data, loss-tolerant) and a retained energy summary at QoS 1
 // (billing data, must arrive). Returns the energy estimate for the window.
 func (g *Gateway) PublishWindow(sig sensor.Signal, t0, t1 float64) (float64, error) {
-	if t1 <= t0 {
-		return 0, errors.New("gateway: empty window")
-	}
-	samples, err := g.Monitor.Observe(sig, t0, t1)
-	if err != nil {
-		return 0, err
-	}
-	if len(samples) < 2 {
-		return 0, errors.New("gateway: window too short for the sampling rate")
-	}
-	dt := samples[1].T - samples[0].T
-	// Stamp with the PTP clock: convert the (already offset-corrected by
-	// Observe's model) global window start to gateway time.
-	stamp0, err := g.Clock.Read(t0)
-	if err != nil {
-		return 0, err
-	}
-	clockShift := stamp0 - samples[0].T
+	var cur Cursor
+	return g.PublishWindowResume(sig, t0, t1, &cur)
+}
 
-	if err := g.Codec.Validate(); err != nil {
-		return 0, err
+// Cursor tracks one window replay's position so a crashed gateway
+// resumes from the first unacknowledged batch instead of restarting the
+// window. The first PublishWindowResume call fills it (the window is
+// observed and clock-stamped exactly once, so a resume republishes the
+// same stamped batches — no re-sampling); a publish failure leaves the
+// cursor pointing at the batch that failed, and the failed batch is
+// re-sent on the next call (at-least-once: the aggregator overwrites
+// exact duplicate timestamps, so a redelivered batch cannot corrupt
+// energy integrals).
+type Cursor struct {
+	samples    []sensor.Sample
+	clockShift float64
+	dt         float64
+	next       int // index of the first unpublished sample
+	energyJ    float64
+	done       bool
+}
+
+// Started reports whether the cursor's window has been observed yet.
+func (c *Cursor) Started() bool { return c.samples != nil }
+
+// Done reports whether the whole window (batches and energy summary)
+// has been published.
+func (c *Cursor) Done() bool { return c.done }
+
+// Remaining returns how many samples are still unpublished.
+func (c *Cursor) Remaining() int { return len(c.samples) - c.next }
+
+// PublishWindowResume is PublishWindow with crash/resume support: on a
+// publish error the cursor records the replay position and the call can
+// be repeated (typically on a fresh MQTT session) to continue from the
+// failed batch. The per-window energy estimate is returned once the
+// window completes; repeated calls after completion are no-ops
+// returning the same energy.
+func (g *Gateway) PublishWindowResume(sig sensor.Signal, t0, t1 float64, cur *Cursor) (float64, error) {
+	if cur == nil {
+		return 0, errors.New("gateway: nil cursor")
 	}
-	topic := PowerTopic(g.NodeID)
-	for start := 0; start < len(samples); start += g.BatchSamples {
-		end := start + g.BatchSamples
-		if end > len(samples) {
-			end = len(samples)
+	if cur.done {
+		return cur.energyJ, nil
+	}
+	if !cur.Started() {
+		if t1 <= t0 {
+			return 0, errors.New("gateway: empty window")
 		}
-		b := Batch{Node: g.NodeID, T0: samples[start].T + clockShift, Dt: dt, Samples: g.sampleBuf[:0]}
-		for _, s := range samples[start:end] {
+		if err := g.Codec.Validate(); err != nil {
+			return 0, err
+		}
+		samples, err := g.Monitor.Observe(sig, t0, t1)
+		if err != nil {
+			return 0, err
+		}
+		if len(samples) < 2 {
+			return 0, errors.New("gateway: window too short for the sampling rate")
+		}
+		// Stamp with the PTP clock: convert the (already offset-corrected
+		// by Observe's model) global window start to gateway time.
+		stamp0, err := g.Clock.Read(t0)
+		if err != nil {
+			return 0, err
+		}
+		cur.samples = samples
+		cur.dt = samples[1].T - samples[0].T
+		cur.clockShift = stamp0 - samples[0].T
+	}
+
+	topic := PowerTopic(g.NodeID)
+	for cur.next < len(cur.samples) {
+		start := cur.next
+		end := start + g.BatchSamples
+		if end > len(cur.samples) {
+			end = len(cur.samples)
+		}
+		b := Batch{Node: g.NodeID, T0: cur.samples[start].T + cur.clockShift, Dt: cur.dt, Samples: g.sampleBuf[:0]}
+		for _, s := range cur.samples[start:end] {
 			b.Samples = append(b.Samples, s.P)
 		}
 		g.sampleBuf = b.Samples
@@ -223,13 +272,14 @@ func (g *Gateway) PublishWindow(sig sensor.Signal, t0, t1 float64) (float64, err
 		g.published++
 		g.samples += end - start
 		g.wireBytes += int64(len(payload))
+		cur.next = end
 	}
 
-	energy, err := sensor.EnergyFromSamples(samples, t0, t1)
+	energy, err := sensor.EnergyFromSamples(cur.samples, t0, t1)
 	if err != nil {
 		return 0, err
 	}
-	mean, err := sensor.MeanPower(samples)
+	mean, err := sensor.MeanPower(cur.samples)
 	if err != nil {
 		return 0, err
 	}
@@ -242,6 +292,8 @@ func (g *Gateway) PublishWindow(sig sensor.Signal, t0, t1 float64) (float64, err
 		return 0, err
 	}
 	g.energyJ += energy
+	cur.energyJ = energy
+	cur.done = true
 	return energy, nil
 }
 

@@ -429,6 +429,35 @@ func (b *Broker) send(s *session, pkt []byte) error {
 	}
 }
 
+// Kick abruptly closes the named client's session — no DISCONNECT, the
+// connection just dies, as in a broker-side failure. Reports whether a
+// session by that ID existed.
+func (b *Broker) Kick(clientID string) bool {
+	b.mu.RLock()
+	s, ok := b.sessions[clientID]
+	b.mu.RUnlock()
+	if ok {
+		s.close()
+	}
+	return ok
+}
+
+// KickAll abruptly closes every connected session (a broker hiccup:
+// the process stays up, every peer must reconnect). Returns the number
+// of sessions closed.
+func (b *Broker) KickAll() int {
+	b.mu.RLock()
+	victims := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		victims = append(victims, s)
+	}
+	b.mu.RUnlock()
+	for _, s := range victims {
+		s.close()
+	}
+	return len(victims)
+}
+
 // RetainedCount returns the number of retained topics.
 func (b *Broker) RetainedCount() int {
 	b.mu.RLock()

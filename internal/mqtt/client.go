@@ -39,7 +39,19 @@ type ClientOptions struct {
 	CleanSession bool
 	ConnectWait  time.Duration // CONNACK timeout (default 5 s)
 	OnMessage    MessageHandler
+	// Link, when non-nil, intercepts every outbound application message
+	// (see Link); the fault-injection seam. A Link outlives the client:
+	// reconnect by dialing a new client with the same Link.
+	Link Link
 }
+
+// ErrAborted is the close reason reported by Err after Abort.
+var ErrAborted = errors.New("mqtt: connection aborted")
+
+// ErrAbortDrainTimeout is returned by Abort when the broker did not
+// drain and close the aborted stream within the wait bound — a
+// reconnect under the same client ID may then discard in-flight data.
+var ErrAbortDrainTimeout = errors.New("mqtt: abort: broker drain wait timed out")
 
 // ClientStats counts client-side traffic; all fields are updated
 // atomically, so a Client may be shared and inspected concurrently.
@@ -64,7 +76,8 @@ type Client struct {
 	nextID   atomic.Uint32
 	closed   atomic.Bool
 	done     chan struct{}
-	closeErr atomic.Value // error
+	readDone chan struct{} // closed when readLoop exits (Abort drain wait)
+	closeErr atomic.Value  // error
 	Stats    ClientStats
 
 	ackMu   sync.Mutex
@@ -86,11 +99,12 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 		return nil, fmt.Errorf("mqtt: dial: %w", err)
 	}
 	c := &Client{
-		opts:    opts,
-		conn:    conn,
-		done:    make(chan struct{}),
-		pending: make(map[uint16]chan struct{}),
-		subWait: make(map[uint16]chan []byte),
+		opts:     opts,
+		conn:     conn,
+		done:     make(chan struct{}),
+		readDone: make(chan struct{}),
+		pending:  make(map[uint16]chan struct{}),
+		subWait:  make(map[uint16]chan []byte),
 	}
 	c.bufs.reuses = &c.Stats.BufReuses
 	cp := &ConnectPacket{
@@ -147,6 +161,39 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// Abort tears the session down without the DISCONNECT handshake, the
+// way a crashing gateway process does: the write side closes
+// immediately (no new publishes; the kernel sends FIN *behind* data it
+// already accepted, so a crash loses nothing that Publish reported
+// written), then Abort waits — bounded — for the broker to drain the
+// stream, tear the session down and close its side. Waiting matters
+// for crash/reconnect cycles: redialing the same client ID while the
+// old session still has unread data would make the broker's takeover
+// discard it — so a timed-out drain returns ErrAbortDrainTimeout
+// rather than failing that invariant silently. Err reports ErrAborted.
+func (c *Client) Abort() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.closeErr.Store(ErrAborted)
+	var drainErr error
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := c.conn.(closeWriter); ok {
+		if cw.CloseWrite() == nil {
+			// readLoop exits when the broker, having consumed our FIN
+			// (and everything before it), closes its side.
+			select {
+			case <-c.readDone:
+			case <-time.After(5 * time.Second):
+				drainErr = ErrAbortDrainTimeout
+			}
+		}
+	}
+	close(c.done)
+	_ = c.conn.Close()
+	return drainErr
+}
+
 // Done is closed when the client's connection terminates for any reason.
 func (c *Client) Done() <-chan struct{} { return c.done }
 
@@ -167,7 +214,8 @@ func (c *Client) fail(err error) {
 }
 
 // Publish sends a message. QoS 0 returns after the write; QoS 1 blocks
-// until PUBACK or timeout.
+// until PUBACK or timeout. When the client carries a Link, the message
+// is routed through it first (the fault-injection seam).
 func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
 	if c.closed.Load() {
 		return io.ErrClosedPipe
@@ -175,7 +223,30 @@ func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) er
 	if qos > 1 {
 		return fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, qos)
 	}
-	p := &PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	m := Message{Topic: topic, Payload: payload, QoS: qos, Retained: retain}
+	if c.opts.Link != nil {
+		return c.opts.Link.Send(m, c.deliver)
+	}
+	return c.deliver(m)
+}
+
+// Flush drains any messages the client's Link is still holding back
+// (delay/reorder faults). A no-op without a Link.
+func (c *Client) Flush() error {
+	if c.opts.Link == nil {
+		return nil
+	}
+	return c.opts.Link.Flush(c.deliver)
+}
+
+// deliver performs one real wire publish: the DeliverFunc handed to the
+// Link, and the whole publish path when no Link is installed.
+func (c *Client) deliver(m Message) error {
+	if c.closed.Load() {
+		return io.ErrClosedPipe
+	}
+	p := &PublishPacket{Topic: m.Topic, Payload: m.Payload, QoS: m.QoS, Retain: m.Retained}
+	qos := m.QoS
 	var ack chan struct{}
 	if qos == 1 {
 		p.PacketID = c.allocID()
@@ -206,7 +277,7 @@ func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) er
 		return err
 	}
 	c.Stats.Publishes.Add(1)
-	c.Stats.PublishBytes.Add(int64(len(payload)))
+	c.Stats.PublishBytes.Add(int64(len(m.Payload)))
 	if qos == 0 {
 		return nil
 	}
@@ -309,6 +380,7 @@ func (c *Client) allocID() uint16 {
 }
 
 func (c *Client) readLoop() {
+	defer close(c.readDone)
 	for {
 		hdr, err := ReadFixedHeader(c.conn)
 		if err != nil {

@@ -1,0 +1,38 @@
+package mqtt
+
+// DeliverFunc writes one application message to the wire with the
+// client's normal publish semantics (QoS-1 calls block until PUBACK).
+// The message payload is copied into the client's write buffer before
+// the call returns, so a caller that passed a borrowed or reused
+// payload may recycle it immediately afterwards.
+type DeliverFunc func(Message) error
+
+// Link intercepts a client's outbound application messages before they
+// reach the wire — the seam fault-injection harnesses (internal/chaos)
+// hook into. A client with a Link routes every Publish call through
+// Send; deliver performs the real publish.
+//
+// Contract:
+//
+//   - Send may call deliver zero times (drop), once (pass-through), or
+//     several times (duplicate), with the original or a mutated copy
+//     (corruption), and may buffer messages for later Send or Flush
+//     calls (reordering/delay). A buffered message must be cloned —
+//     the payload is only valid for the duration of the Send call.
+//   - deliver must only be invoked from within Send or Flush; it is
+//     bound to the client the call came through, so a link survives
+//     session teardown/reconnect (the next Send arrives with the new
+//     client's deliver).
+//   - An error returned by Send propagates to the Publish caller; the
+//     injected chaos.ErrCrash rides this path to simulate a session
+//     crash mid-stream.
+//
+// Links must be safe for use from one publisher goroutine at a time
+// (the MQTT client does not add locking around Send).
+type Link interface {
+	Send(m Message, deliver DeliverFunc) error
+	// Flush delivers every message the link is still holding back.
+	// Callers flush after a publish window completes so delayed
+	// messages are not stranded.
+	Flush(deliver DeliverFunc) error
+}

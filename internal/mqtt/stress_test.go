@@ -16,6 +16,9 @@ import (
 // (mosquitto's max_queued_messages behaviour), while other subscribers
 // keep receiving.
 func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: skipped in -short")
+	}
 	b, err := NewBroker("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +79,9 @@ func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
 // TestLargePayloadRoundTrip exercises multi-byte remaining-length framing
 // end to end.
 func TestLargePayloadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: skipped in -short")
+	}
 	b := newTestBroker(t)
 	got := make(chan Message, 1)
 	sub := dialTest(t, b.Addr(), "sub", func(m Message) { got <- m.Clone() })
@@ -100,6 +106,9 @@ func TestLargePayloadRoundTrip(t *testing.T) {
 // TestManyRetainedTopics checks retained-store behaviour at scale: one
 // late subscriber receives the retained value of every node topic.
 func TestManyRetainedTopics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: skipped in -short")
+	}
 	b := newTestBroker(t)
 	pub := dialTest(t, b.Addr(), "pub", nil)
 	const topics = 45

@@ -119,15 +119,74 @@ type Aggregator struct {
 	meta     map[int]*nodeMeta
 	energies map[int][]gateway.EnergySummary
 	dropped  int
-	waiters  []*sampleWaiter
+	waiters  waitQueue // WaitSamples, keyed by node
+	dwaiters waitQueue // WaitDropped, single global key
 }
 
-// sampleWaiter is one blocked WaitSamples call: its channel is closed as
-// soon as the node's sample count reaches the target.
-type sampleWaiter struct {
-	node   int
+// waiter is one blocked wait call: its channel is closed as soon as the
+// counter it watches (keyed by node for sample waits, a single global
+// key for drop waits) reaches the target.
+type waiter struct {
+	key    int
 	target int
 	ch     chan struct{}
+}
+
+// waitQueue is the shared event-driven waiter machinery behind
+// WaitSamples and WaitDropped: register-or-return-immediately, wake on
+// counter advance, deregister on cancellation.
+type waitQueue struct {
+	waiters []*waiter
+}
+
+// notifyLocked releases every waiter on key whose target count has been
+// reached. Callers hold the mutex guarding the queue and its counter.
+func (q *waitQueue) notifyLocked(key, count int) {
+	kept := q.waiters[:0]
+	for _, w := range q.waiters {
+		if w.key == key && count >= w.target {
+			close(w.ch)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	for i := len(kept); i < len(q.waiters); i++ {
+		q.waiters[i] = nil
+	}
+	q.waiters = kept
+}
+
+// wait blocks until have() reaches n for key or ctx is done. mu guards
+// the queue and the counter have() reads.
+func (q *waitQueue) wait(ctx context.Context, mu sync.Locker, key, n int, have func() int) error {
+	mu.Lock()
+	if have() >= n {
+		mu.Unlock()
+		return nil
+	}
+	w := &waiter{key: key, target: n, ch: make(chan struct{})}
+	q.waiters = append(q.waiters, w)
+	mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		mu.Lock()
+		for i, other := range q.waiters {
+			if other == w {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
+			}
+		}
+		mu.Unlock()
+		select {
+		case <-w.ch: // the counter won the race against cancellation
+			return nil
+		default:
+		}
+		return ctx.Err()
+	}
 }
 
 // NewAggregator creates an aggregator backed by its own tsdb store with
@@ -181,9 +240,7 @@ func (a *Aggregator) consumeWith(m mqtt.Message, scratch []float64) []float64 {
 	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/power", m.Topic):
 		b, err := gateway.DecodeBatchInto(m.Payload, scratch)
 		if err != nil {
-			a.mu.Lock()
-			a.dropped++
-			a.mu.Unlock()
+			a.drop()
 			return scratch
 		}
 		a.AddBatch(b)
@@ -191,18 +248,14 @@ func (a *Aggregator) consumeWith(m mqtt.Message, scratch []float64) []float64 {
 	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/energy", m.Topic):
 		e, err := gateway.DecodeEnergySummary(m.Payload)
 		if err != nil {
-			a.mu.Lock()
-			a.dropped++
-			a.mu.Unlock()
+			a.drop()
 			return scratch
 		}
 		a.mu.Lock()
 		a.energies[e.Node] = append(a.energies[e.Node], e)
 		a.mu.Unlock()
 	default:
-		a.mu.Lock()
-		a.dropped++
-		a.mu.Unlock()
+		a.drop()
 	}
 	return scratch
 }
@@ -243,24 +296,7 @@ func (a *Aggregator) AddBatch(b gateway.Batch) {
 	}
 	m.batches++
 	m.ingested += len(b.Samples)
-	a.notifyLocked(b.Node, m.ingested)
-}
-
-// notifyLocked releases every waiter whose target the node just reached.
-// Callers must hold a.mu for writing.
-func (a *Aggregator) notifyLocked(node, count int) {
-	kept := a.waiters[:0]
-	for _, w := range a.waiters {
-		if w.node == node && count >= w.target {
-			close(w.ch)
-			continue
-		}
-		kept = append(kept, w)
-	}
-	for i := len(kept); i < len(a.waiters); i++ {
-		a.waiters[i] = nil
-	}
-	a.waiters = kept
+	a.waiters.notifyLocked(b.Node, m.ingested)
 }
 
 // WaitSamples blocks until the aggregator has ingested at least n samples
@@ -269,38 +305,31 @@ func (a *Aggregator) notifyLocked(node, count int) {
 // waiter the moment the delivering batch is ingested, so wall-clock
 // measurements see the pipeline latency, not a poll interval.
 func (a *Aggregator) WaitSamples(ctx context.Context, node, n int) error {
-	a.mu.Lock()
-	have := 0
-	if m := a.meta[node]; m != nil {
-		have = m.ingested
-	}
-	if have >= n {
-		a.mu.Unlock()
-		return nil
-	}
-	w := &sampleWaiter{node: node, target: n, ch: make(chan struct{})}
-	a.waiters = append(a.waiters, w)
-	a.mu.Unlock()
+	return a.waiters.wait(ctx, &a.mu, node, n, func() int {
+		if m := a.meta[node]; m != nil {
+			return m.ingested
+		}
+		return 0
+	})
+}
 
-	select {
-	case <-w.ch:
-		return nil
-	case <-ctx.Done():
-		a.mu.Lock()
-		for i, other := range a.waiters {
-			if other == w {
-				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
-				break
-			}
-		}
-		a.mu.Unlock()
-		select {
-		case <-w.ch: // delivery won the race against cancellation
-			return nil
-		default:
-		}
-		return ctx.Err()
-	}
+// drop records one undecodable or unroutable message and wakes any
+// WaitDropped callers whose target is now met.
+func (a *Aggregator) drop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dropped++
+	a.dwaiters.notifyLocked(0, a.dropped)
+}
+
+// WaitDropped blocks until the aggregator has dropped at least n
+// undecodable or unroutable messages or ctx is done. Dropped packets
+// carry no samples, so they escape the WaitSamples delivery handshake;
+// fault-injection replays that assert exact undecodable counts (the E18
+// corrupt-wire invariant) use this as the barrier for corrupted packets
+// still in flight behind the last decodable batch.
+func (a *Aggregator) WaitDropped(ctx context.Context, n int) error {
+	return a.dwaiters.wait(ctx, &a.mu, 0, n, func() int { return a.dropped })
 }
 
 // Dropped returns the number of undecodable or unroutable messages.

@@ -266,6 +266,48 @@ func TestWaitSamplesWakesOnDelivery(t *testing.T) {
 	}
 }
 
+func TestWaitDropped(t *testing.T) {
+	a := NewAggregator()
+	garbage := mqtt.Message{Topic: "davide/node01/power", Payload: []byte{0xFF, 0x01, 0x02}}
+	ctx := context.Background()
+	if err := a.WaitDropped(ctx, 0); err != nil {
+		t.Errorf("zero-target wait should return nil, got %v", err)
+	}
+	a.consume(garbage)
+	if err := a.WaitDropped(ctx, 1); err != nil {
+		t.Errorf("satisfied wait should return nil, got %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		done <- a.WaitDropped(wctx, 3)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.consume(garbage) // 2 drops: not enough yet
+	a.consume(garbage) // 3 drops: wakes the waiter
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("WaitDropped = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drop waiter never woke")
+	}
+	// Cancellation must deregister the waiter.
+	wctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := a.WaitDropped(wctx, 99); err == nil {
+		t.Error("expired context should return an error")
+	}
+	a.mu.Lock()
+	n := len(a.dwaiters.waiters)
+	a.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d drop waiters left registered after cancellation", n)
+	}
+}
+
 func TestWaitSamplesContextExpiry(t *testing.T) {
 	a := NewAggregator()
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
@@ -275,7 +317,7 @@ func TestWaitSamplesContextExpiry(t *testing.T) {
 	}
 	// The cancelled waiter must have been deregistered.
 	a.mu.Lock()
-	n := len(a.waiters)
+	n := len(a.waiters.waiters)
 	a.mu.Unlock()
 	if n != 0 {
 		t.Errorf("%d waiters left registered after cancellation", n)

@@ -32,10 +32,19 @@ var (
 	ErrBadRes      = errors.New("tsdb: resolution not maintained")
 )
 
+// DefaultChunkSize is the chunk size used when Options.ChunkSize is
+// unset — also the default reordering tolerance of the ingest path,
+// which transport-fault planners size against.
+const DefaultChunkSize = 256
+
 // Options tunes a DB. The zero value is ready to use.
 type Options struct {
-	// ChunkSize is the number of raw samples per sealed chunk (and the
-	// reordering tolerance of the ingest path). Default 256.
+	// ChunkSize is the number of raw samples per sealed chunk and the
+	// minimum reordering tolerance of the ingest path: the head keeps
+	// at least the ChunkSize newest samples uncompressed (sealing the
+	// older half when it reaches twice that), so a sample up to
+	// ChunkSize positions behind the newest always still places.
+	// Default 256.
 	ChunkSize int
 	// Resolutions are the rollup bucket widths in seconds, ascending.
 	// Default [1, 60].
@@ -47,7 +56,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.ChunkSize <= 0 {
-		o.ChunkSize = 256
+		o.ChunkSize = DefaultChunkSize
 	}
 	if len(o.Resolutions) == 0 {
 		o.Resolutions = []float64{1, 60}
@@ -92,9 +101,9 @@ func (db *DB) shard(node int) *shard {
 }
 
 // Append ingests one sample for a node. Out-of-order samples are placed
-// as long as they land inside the open head window (ChunkSize newest
-// samples); duplicates overwrite; anything older than the sealed horizon
-// is counted and dropped.
+// as long as they land inside the open head window (a rolling window of
+// at least the ChunkSize newest samples); duplicates overwrite; anything
+// older than the sealed horizon is counted and dropped.
 func (db *DB) Append(node int, t, w float64) {
 	sh := db.shard(node)
 	sh.mu.Lock()

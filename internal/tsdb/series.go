@@ -139,17 +139,25 @@ func (s *series) append(tick int64, w float64, chunkSize int, retainRaw float64)
 		s.headW[i] = w
 	}
 	s.total++
-	if len(s.headT) >= chunkSize {
-		s.seal()
+	// Seal once the head holds two chunks' worth, compressing only the
+	// older half: the newest chunkSize samples stay open, so the
+	// reordering tolerance is a rolling window of at least chunkSize
+	// samples behind the newest — it never resets to zero at a seal.
+	if len(s.headT) >= 2*chunkSize {
+		s.seal(chunkSize)
 		if retainRaw > 0 {
 			s.dropRawBefore(toSec(s.pendT) - retainRaw)
 		}
 	}
 }
 
-// seal compresses the whole head into one immutable chunk.
-func (s *series) seal() {
-	n := len(s.headT)
+// seal compresses the oldest n head samples into one immutable chunk,
+// leaving the rest as the open reorder window (n <= 0 or out of range
+// seals the whole head).
+func (s *series) seal(n int) {
+	if n <= 0 || n > len(s.headT) {
+		n = len(s.headT)
+	}
 	if n == 0 {
 		return
 	}
@@ -161,7 +169,7 @@ func (s *series) seal() {
 		}
 	}
 	meta := chunkMeta{
-		data: encodeChunk(s.headT, s.headW), count: n,
+		data: encodeChunk(s.headT[:n], s.headW[:n]), count: n,
 		tFirst: s.headT[0], tLast: s.headT[n-1],
 		lastW: s.headW[n-1], energyJ: e, maxW: maxW,
 	}
@@ -173,8 +181,8 @@ func (s *series) seal() {
 		s.cumE = append(s.cumE, 0)
 	}
 	s.chunks = append(s.chunks, meta)
-	s.headT = s.headT[:0]
-	s.headW = s.headW[:0]
+	s.headT = append(s.headT[:0], s.headT[n:]...)
+	s.headW = append(s.headW[:0], s.headW[n:]...)
 }
 
 // dropRawBefore drops sealed chunks whose whole span (including the gap

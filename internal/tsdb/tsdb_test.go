@@ -195,6 +195,19 @@ func TestOutOfOrderAndDuplicates(t *testing.T) {
 		t.Errorf("reordered energy = %v, want %v", got, want)
 	}
 
+	// The head window rolls: sealing keeps the newest ChunkSize samples
+	// open, so even immediately after a seal a sample up to ChunkSize
+	// positions behind the newest must still place — the tolerance
+	// never resets to zero.
+	roll := New(Options{ChunkSize: 8})
+	for i := 0; i < 64; i++ {
+		roll.Append(4, float64(i), 100)
+	}
+	roll.Append(4, 56.5, 100) // 7.5 samples behind the newest: in-window
+	if st := roll.Stats(); st.OutOfOrderDropped != 0 {
+		t.Errorf("rolling head window dropped an in-tolerance sample (oo=%d)", st.OutOfOrderDropped)
+	}
+
 	// Samples behind the sealed horizon are dropped and counted.
 	tiny := New(Options{ChunkSize: 4})
 	for i := 0; i < 8; i++ {
