@@ -1,0 +1,208 @@
+// Command benchjson turns `go test -bench` text output into
+// machine-readable JSON and gates CI on benchmark regressions against a
+// committed baseline.
+//
+// Two modes:
+//
+//	go test -run '^$' -bench ... | benchjson -out BENCH_ci.json
+//	    parses the benchmark lines on stdin and writes them as JSON
+//	    (also echoing stdin through, so it can sit inside a pipe);
+//
+//	benchjson -compare -baseline BENCH_baseline.json -current BENCH_ci.json -tol 0.30
+//	    compares every baseline metric whose unit has a known "better"
+//	    direction against the current run and exits non-zero when any
+//	    regresses beyond the tolerance (or a baseline benchmark went
+//	    missing). Units with no known direction are carried in the JSON
+//	    but not gated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the JSON document benchjson reads and writes.
+type File struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// direction returns +1 when larger is better, -1 when smaller is better
+// and 0 when the unit has no gating direction.
+func direction(unit string) int {
+	switch unit {
+	case "ns/op", "ns/sample", "B/op", "B/sample", "wire-B/sample", "allocs/op", "bytes/sample", "max-err-%", "rollup-B":
+		return -1
+	case "samples/s", "compression-x", "decode-speedup-x", "MB/s":
+		return +1
+	}
+	return 0
+}
+
+// procSuffix is the trailing "-N" GOMAXPROCS marker go test appends to
+// benchmark names. It is stripped so a baseline recorded on one machine
+// matches runs on hardware with a different core count.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark lines from `go test -bench` output.
+func parse(lines []string) File {
+	var f File
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder is value/unit pairs: "123 ns/op 4.5 B/sample ...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			f.Benchmarks = append(f.Benchmarks, b)
+		}
+	}
+	return f
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+// compare gates current against baseline; returns the failure report.
+func compare(baseline, current File, tol float64) []string {
+	byName := map[string]Benchmark{}
+	for _, b := range current.Benchmarks {
+		byName[b.Name] = b
+	}
+	var fails []string
+	for _, base := range baseline.Benchmarks {
+		cur, ok := byName[base.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: present in baseline, missing from current run", base.Name))
+			continue
+		}
+		units := make([]string, 0, len(base.Metrics))
+		for u := range base.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			dir := direction(unit)
+			if dir == 0 {
+				continue
+			}
+			bv := base.Metrics[unit]
+			cv, ok := cur.Metrics[unit]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: metric %q missing from current run", base.Name, unit))
+				continue
+			}
+			if bv == 0 {
+				continue
+			}
+			change := (cv - bv) / bv
+			if dir < 0 && change > tol {
+				fails = append(fails, fmt.Sprintf("%s: %s regressed %+.1f%% (%.4g -> %.4g, tolerance %.0f%%)",
+					base.Name, unit, 100*change, bv, cv, 100*tol))
+			}
+			if dir > 0 && change < -tol {
+				fails = append(fails, fmt.Sprintf("%s: %s regressed %+.1f%% (%.4g -> %.4g, tolerance %.0f%%)",
+					base.Name, unit, 100*change, bv, cv, 100*tol))
+			}
+		}
+	}
+	return fails
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed benchmark JSON to this file")
+	cmp := flag.Bool("compare", false, "compare -current against -baseline instead of parsing stdin")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON (with -compare)")
+	currentPath := flag.String("current", "BENCH_ci.json", "current-run JSON (with -compare)")
+	tol := flag.Float64("tol", 0.30, "relative regression tolerance (with -compare)")
+	flag.Parse()
+
+	if *cmp {
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		current, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		fails := compare(baseline, current, *tol)
+		if len(fails) > 0 {
+			fmt.Println("benchmark regression gate FAILED:")
+			for _, f := range fails {
+				fmt.Println("  " + f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark regression gate passed: %d benchmarks within ±%.0f%% of baseline\n",
+			len(baseline.Benchmarks), 100**tol)
+		return
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		fmt.Println(line) // pass-through so the step log keeps the raw output
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(2)
+	}
+	f := parse(lines)
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+}

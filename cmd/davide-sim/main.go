@@ -4,9 +4,17 @@
 // machine power cap, and prints scheduling QoS, power tracking and energy
 // accounting summaries.
 //
+// With -sched the batch simulator is replaced by the live control plane:
+// a tick-driven closed loop in which per-node gateways stream the
+// cluster's power over real MQTT into the compressed store, and
+// admission, reactive capping, per-rack cap enforcement and online
+// predictor retraining all work from those measurements (combine with
+// -chaos to watch the scheduler hold the cap on degraded telemetry).
+//
 // Usage:
 //
 //	davide-sim [-jobs N] [-cap kW] [-policy fcfs|easy] [-reactive] [-seed S]
+//	davide-sim -sched power [-tick S] [-jobs N] [-cap kW] [-chaos preset]
 package main
 
 import (
@@ -38,16 +46,18 @@ func main() {
 	workers := flag.Int("stream-workers", 0, "concurrent gateways in the replay fleet (0 = one per CPU, 1 = sequential)")
 	codec := flag.String("stream-codec", "binary", "batch wire codec for the replay: binary or json")
 	chaosName := flag.String("chaos", "", "fault-injection preset for the telemetry replay: "+
-		strings.Join(davide.ChaosPresetNames(), ", ")+" (requires -stream; seeded by -seed)")
+		strings.Join(davide.ChaosPresetNames(), ", ")+" (requires -stream or -sched; seeded by -seed)")
 	chaosBatch := flag.Int("chaos-batch", 64, "samples per MQTT batch under -chaos (smaller batches give per-packet faults statistics)")
+	schedMode := flag.String("sched", "", "run the live closed-loop control plane instead of the batch simulator: fifo or power")
+	tick := flag.Float64("tick", 30, "live control period in virtual seconds (with -sched)")
 	flag.Parse()
 
 	// Pure flag validation: reject a bad chaos setup before the
 	// scheduled simulation burns minutes of wall clock.
 	var chaosPlan *davide.ChaosPlan
 	if *chaosName != "" {
-		if *stream <= 0 {
-			log.Fatalf("-chaos %q needs a telemetry replay: pass -stream <seconds>", *chaosName)
+		if *stream <= 0 && *schedMode == "" {
+			log.Fatalf("-chaos %q needs a telemetry path: pass -stream <seconds> or -sched <policy>", *chaosName)
 		}
 		var err error
 		if chaosPlan, err = davide.ChaosPreset(*chaosName, *seed); err != nil {
@@ -85,6 +95,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *schedMode != "" {
+		sys.StreamWorkers = *workers
+		sys.StreamCodec = davide.WireCodec(*codec)
+		if chaosPlan != nil {
+			sys.StreamFaults = chaosPlan
+			sys.StreamBatchSamples = *chaosBatch
+		}
+		// The replay default of 50 S/s is a stress figure; a live loop
+		// samples at gateway-like rates unless explicitly overridden.
+		rate := 4.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "stream-rate" {
+				rate = *streamRate
+			}
+		})
+		runLive(sys, work, *schedMode, *capKW*1000, *reactive, *tick, rate, *streamNodes, *chaosName, *seed)
+		return
+	}
+
 	cfg := davide.SchedConfig{
 		Policy:          pol,
 		PowerCapW:       *capKW * 1000,
@@ -152,6 +182,73 @@ func main() {
 			fmt.Printf("  agg reordered        %d (expected %d)\n", sres.ReorderedBatches, f.ExpectedReorders())
 			fmt.Printf("  agg undecodable      %d (expected %d)\n", sres.UndecodableDropped, f.Corrupted)
 		}
+	}
+}
+
+// runLive executes the closed-loop control plane and prints its summary.
+func runLive(sys *davide.System, work []workload.Job, mode string, capW float64, reactive bool, tick, rate float64, nodes int, chaosName string, seed int64) {
+	var adm davide.Admission
+	switch mode {
+	case "fifo":
+		adm = davide.AdmitFIFO
+	case "power":
+		adm = davide.AdmitPowerAware
+	default:
+		log.Printf("unknown live policy %q (want fifo or power)", mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+	res, err := sys.RunLive(work, davide.LiveConfig{
+		Nodes:      nodes,
+		SampleRate: rate,
+		Sched: davide.ControllerConfig{
+			Admission: adm,
+			Config: davide.SchedConfig{
+				PowerCapW:       capW,
+				ReactiveCapping: reactive,
+			},
+			TickS: tick,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("D.A.V.I.D.E. live control plane — policy %s, %.0f s ticks\n", res.Policy, tick)
+	fmt.Printf("  jobs                 %d over %d ticks\n", res.Jobs, res.Ticks)
+	fmt.Printf("  makespan             %.1f h\n", res.Makespan/3600)
+	fmt.Printf("  mean wait            %.1f min (max %.1f)\n", res.MeanWait/60, res.MaxWait/60)
+	fmt.Printf("  mean bounded slowdown %.2f (p95 %.2f)\n", res.MeanSlowdown, res.P95Slowdown)
+	fmt.Printf("  utilisation          %.1f %%\n", res.UtilizationPct)
+	fmt.Printf("  energy true          %s (%.1f kWh)\n",
+		units.Joule(res.EnergyJ), units.Joule(res.EnergyJ).KWh())
+	fmt.Printf("  energy measured      %s (%+.3f %% vs true)\n",
+		units.Joule(res.MeasuredEnergyJ), 100*(res.MeasuredEnergyJ-res.EnergyJ)/res.EnergyJ)
+	if res.CapW > 0 {
+		fmt.Printf("  power cap            %.1f kW, true violation %.0f s (max over %.2f %%), measured violation %.0f s\n",
+			res.CapW/1000, res.CapViolationSec, res.MaxOverPct, res.MeasuredCapViolationSec)
+	}
+	fmt.Printf("  admissions refused   %d (power headroom)\n", res.RefusedAdmissions)
+	fmt.Printf("  telemetry reads      %d fresh / %d held (hold-last-safe)\n", res.FreshReads, res.StaleReads)
+	fmt.Printf("  predictor retrains   %d (measure failures %d)\n", res.Retrains, res.MeasureFailures)
+	fmt.Printf("  samples streamed     %d (%.2f wire B/sample, %d batches)\n",
+		res.SamplesSent, res.WireBytesPerSample, res.BatchesSent)
+	fmt.Printf("  wall clock           %s\n", res.WallClock)
+	fmt.Println("\nPer-rack capping loops (telemetry-fed):")
+	for _, r := range res.Racks {
+		fmt.Printf("  rack %d (nodes %d-%d): cap %.0f W/node, %d steps, %d held, %d over-cap\n",
+			r.Rack, r.FirstNode, r.FirstNode+r.Nodes-1, r.CapW, r.Steps, r.Held, r.Violations)
+	}
+	if chaosName != "" {
+		f := res.Faults
+		fmt.Printf("\nChaos scenario %q (seed %d):\n", chaosName, seed)
+		fmt.Printf("  injected             drop %d / partition %d / corrupt %d / dup %d / hold %d\n",
+			f.Dropped, f.Partitioned, f.Corrupted, f.Duplicated, f.Held)
+		fmt.Printf("  crashes / restarts   %d / %d\n", f.Crashes, res.GatewayRestarts)
+		fmt.Printf("  samples lost / duped %d / %d (of %d sent)\n",
+			f.SamplesLost, f.SamplesDuplicated, res.SamplesSent)
+		fmt.Printf("  agg reordered        %d, undecodable %d, store OO-dropped %d\n",
+			res.ReorderedBatches, res.UndecodableDropped, res.StoreOutOfOrderDropped)
 	}
 }
 

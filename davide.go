@@ -92,13 +92,66 @@ const (
 	EASY = sched.EASY
 )
 
+// Live control plane: the closed-loop scheduler that reads the machine's
+// measured power back out of the telemetry store every tick (see
+// internal/sched.Controller and core.RunLive).
+type (
+	// ControllerConfig configures the tick-driven live scheduler.
+	ControllerConfig = sched.ControllerConfig
+	// ControllerResult extends SchedResult with the live telemetry counters.
+	ControllerResult = sched.ControllerResult
+	// Controller is the closed-loop scheduler itself (core.RunLive wires
+	// it to a real fleet; use directly for custom plants).
+	Controller = sched.Controller
+	// Admission selects live-FIFO or power-aware dispatch.
+	Admission = sched.Admission
+	// TelemetrySource is the store slice the controller reads.
+	TelemetrySource = sched.TelemetrySource
+	// ControllerHooks connect a controller to its telemetry plant.
+	ControllerHooks = sched.Hooks
+	// LiveConfig configures a closed-loop run on a System.
+	LiveConfig = core.LiveConfig
+	// LiveResult is a closed-loop run's outcome.
+	LiveResult = core.LiveResult
+	// RackStats reports one per-rack capping loop.
+	RackStats = core.RackStats
+	// PowerFeed supplies a capping loop's telemetry observation.
+	PowerFeed = capping.PowerFeed
+)
+
+// Live admission disciplines.
+const (
+	AdmitFIFO       = sched.AdmitFIFO
+	AdmitPowerAware = sched.AdmitPowerAware
+)
+
+// NewController builds a closed-loop scheduler over a custom telemetry
+// plant; most callers want System.RunLive instead.
+func NewController(cfg ControllerConfig, jobs []Job, src TelemetrySource, hooks ControllerHooks) (*Controller, error) {
+	return sched.NewController(cfg, jobs, src, hooks)
+}
+
+// NewStoreFeed builds a capping PowerFeed over a node group from a
+// telemetry store, stale (held) whenever a node stops delivering.
+func NewStoreFeed(src capping.SampleStore, nodes []int, window float64) (PowerFeed, error) {
+	return capping.NewStoreFeed(src, nodes, window)
+}
+
 // Predictors.
 type (
 	// Predictor estimates per-node job power before execution.
 	Predictor = predictor.Predictor
 	// PredictorEvaluation scores a predictor on held-out jobs.
 	PredictorEvaluation = predictor.Evaluation
+	// OnlinePredictor retrains a predictor from measured completions.
+	OnlinePredictor = predictor.Online
 )
+
+// NewOnlinePredictor wraps a predictor for online retraining: refit on
+// base plus observed completions every `every` observations.
+func NewOnlinePredictor(p Predictor, base []Job, every, window int) (*OnlinePredictor, error) {
+	return predictor.NewOnline(p, base, every, window)
+}
 
 // NewMeanPredictor returns the per-(user, app) mean baseline.
 func NewMeanPredictor() Predictor { return predictor.NewMeanPerKey() }

@@ -47,6 +47,10 @@ func (r Record) NodeSeconds() float64 { return r.Duration() * float64(r.Nodes) }
 // MeanPowerW returns the job's mean total power.
 func (r Record) MeanPowerW() float64 { return r.EnergyJ / r.Duration() }
 
+// PerNodePowerW returns the job's measured mean power per allocated node
+// — the quantity the online power predictors retrain on.
+func (r Record) PerNodePowerW() float64 { return r.MeanPowerW() / float64(r.Nodes) }
+
 // EnergySource answers per-node energy-integral queries — satisfied by
 // the telemetry store (tsdb.DB), which is where the paper's EA agent gets
 // its measured energy from.

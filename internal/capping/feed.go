@@ -1,0 +1,63 @@
+package capping
+
+import (
+	"errors"
+
+	"davide/internal/units"
+)
+
+// SampleStore is the slice of the telemetry store a feed reads: windowed
+// mean power plus the monotonic ingested-sample count that detects
+// whether any fresh data arrived at all (monotonic, so a retention
+// chunk-drop cannot read as telemetry loss). tsdb.DB satisfies it.
+type SampleStore interface {
+	MeanPower(node int, t0, t1 float64) (float64, error)
+	IngestedSamples(node int) int
+}
+
+// NewStoreFeed builds a PowerFeed for a group of nodes (typically one
+// rack) from the telemetry store: each control period it reports the
+// group's mean per-node power over the trailing window. The feed is
+// fresh only when *every* node in the group delivered new samples since
+// the previous period — a partitioned or silent node makes the whole
+// group stale, so the control loop holds its last safe operating point
+// instead of actuating on a partial (and so underestimating) reading.
+func NewStoreFeed(src SampleStore, nodes []int, window float64) (PowerFeed, error) {
+	if src == nil {
+		return nil, errors.New("capping: nil sample store")
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("capping: feed needs nodes")
+	}
+	if window <= 0 {
+		return nil, errors.New("capping: window must be positive")
+	}
+	group := append([]int(nil), nodes...)
+	seen := make([]int, len(group))
+	return func(now float64) (units.Watt, bool) {
+		t0 := now - window
+		if t0 < 0 {
+			t0 = 0
+		}
+		sum := 0.0
+		fresh := true
+		for i, n := range group {
+			cnt := src.IngestedSamples(n)
+			if cnt <= seen[i] {
+				fresh = false
+				break
+			}
+			v, err := src.MeanPower(n, t0, now)
+			if err != nil {
+				fresh = false
+				break
+			}
+			sum += v
+			seen[i] = cnt
+		}
+		if !fresh {
+			return 0, false
+		}
+		return units.Watt(sum / float64(len(group))), true
+	}, nil
+}

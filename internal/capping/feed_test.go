@@ -1,0 +1,69 @@
+package capping
+
+import (
+	"math"
+	"testing"
+
+	"davide/internal/tsdb"
+)
+
+func TestStoreFeedValidation(t *testing.T) {
+	db := tsdb.New(tsdb.Options{})
+	if _, err := NewStoreFeed(nil, []int{0}, 1); err == nil {
+		t.Error("nil store should error")
+	}
+	if _, err := NewStoreFeed(db, nil, 1); err == nil {
+		t.Error("empty group should error")
+	}
+	if _, err := NewStoreFeed(db, []int{0}, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+// fill appends one window of constant samples for a node.
+func fill(db *tsdb.DB, node int, t0, t1, dt, w float64) {
+	n := int(math.Floor((t1 - t0) / dt))
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = w
+	}
+	db.AppendBatch(node, t0, dt, buf)
+}
+
+func TestStoreFeedGroupMeanAndStaleness(t *testing.T) {
+	db := tsdb.New(tsdb.Options{})
+	feed, err := NewStoreFeed(db, []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No data at all: stale.
+	if _, ok := feed(10); ok {
+		t.Fatal("empty store reported fresh")
+	}
+	// Both nodes report: fresh, value is the group's per-node mean.
+	fill(db, 0, 10, 20, 0.5, 400)
+	fill(db, 1, 10, 20, 0.5, 800)
+	v, ok := feed(20)
+	if !ok {
+		t.Fatal("fresh window reported stale")
+	}
+	if math.Abs(float64(v)-600) > 1e-9 {
+		t.Fatalf("group mean %v, want 600", v)
+	}
+	// Next period only node 0 reports: the whole group is stale
+	// (a silent node would make a partial mean underestimate).
+	fill(db, 0, 20, 30, 0.5, 400)
+	if _, ok := feed(30); ok {
+		t.Fatal("group with a silent node reported fresh")
+	}
+	// Node 1 recovers: fresh again.
+	fill(db, 0, 30, 40, 0.5, 400)
+	fill(db, 1, 30, 40, 0.5, 1200)
+	v, ok = feed(40)
+	if !ok {
+		t.Fatal("recovered group reported stale")
+	}
+	if math.Abs(float64(v)-800) > 1e-9 {
+		t.Fatalf("group mean %v, want 800", v)
+	}
+}

@@ -81,6 +81,9 @@ type System struct {
 	assignments map[int][]int
 	lastResult  *sched.Result
 	jobsByID    map[int]workload.Job
+	// trainJobs is the predictor's initial history, kept so RunLive can
+	// seed an online-retraining wrapper around the same model.
+	trainJobs []workload.Job
 }
 
 // NewSystem builds the pilot system with a trained power predictor.
@@ -100,6 +103,7 @@ func NewSystem(trainJobs []workload.Job) (*System, error) {
 			return nil, err
 		}
 		s.Predictor = p
+		s.trainJobs = append([]workload.Job(nil), trainJobs...)
 	}
 	return s, nil
 }
@@ -300,6 +304,103 @@ type StreamResult struct {
 	StoreOutOfOrderDropped int
 }
 
+// chaosSafeBatch reconciles a faulted replay's per-batch sample count
+// with the store's reordering tolerance. A held batch is released up to
+// HoldSpan batches late, so the store's head window must absorb
+// HoldSpan × batch samples or late releases fall behind the sealed
+// horizon as unaccounted loss, silently voiding the preset's energy
+// error bound. A nil plan passes batchSamples through unchanged.
+func chaosSafeBatch(plan *chaos.Plan, nodes, batchSamples int, opts tsdb.Options) (int, error) {
+	if plan == nil {
+		return batchSamples, nil
+	}
+	maxSpan := 0
+	for n := 0; n < nodes; n++ {
+		if sp := plan.SpecFor(n).EffectiveHoldSpan(); sp > maxSpan {
+			maxSpan = sp
+		}
+	}
+	if maxSpan == 0 {
+		return batchSamples, nil
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = tsdb.DefaultChunkSize
+	}
+	if batchSamples == 0 {
+		// The fleet default of 512 samples/batch would violate the
+		// constraint; pick the largest compliant batch.
+		batchSamples = chunk / maxSpan
+	}
+	// Rejects an explicit violation and a hold span no batch size can
+	// satisfy (maxSpan > chunk leaves the auto-sized batch at 0) alike.
+	if batchSamples < 1 || maxSpan*batchSamples > chunk {
+		return 0, fmt.Errorf(
+			"core: chaos hold span %d × %d samples/batch exceeds the store's %d-sample reorder window — late releases would be dropped unaccounted",
+			maxSpan, batchSamples, chunk)
+	}
+	return batchSamples, nil
+}
+
+// plant is one realized telemetry transport: broker → store-backed
+// aggregator behind a parallel-ingest pool → gateway fleet, built from
+// the System's transport knobs (codec, workers, faults, batch size,
+// store options). It is the shared substrate of window replays and
+// closed-loop runs.
+type plant struct {
+	broker *mqtt.Broker
+	db     *tsdb.DB
+	agg    *telemetry.Aggregator
+	ingest *telemetry.Ingest
+	sub    *mqtt.Client
+	fleet  *fleet.Fleet
+}
+
+// newPlant assembles the transport. nodes bounds the chaos hold-span
+// check; prefix/seedBase/aggID keep concurrent plants' client IDs and
+// monitor noise streams distinct.
+func (s *System) newPlant(nodes int, sampleRate float64, prefix string, seedBase int64, aggID string) (*plant, error) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	db := tsdb.New(s.StoreOptions)
+	agg := telemetry.NewAggregatorOn(db)
+	ingest, sub, err := agg.AttachParallel(broker.Addr(), aggID, 0)
+	if err != nil {
+		_ = broker.Close()
+		return nil, err
+	}
+	p := &plant{broker: broker, db: db, agg: agg, ingest: ingest, sub: sub}
+	batchSamples, err := chaosSafeBatch(s.StreamFaults, nodes, s.StreamBatchSamples, s.StoreOptions)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
+		SampleRate: sampleRate, ClientPrefix: prefix, SeedBase: seedBase,
+		Codec: s.StreamCodec, Faults: s.StreamFaults,
+		BatchSamples: batchSamples,
+	}, s.StreamWorkers)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	p.fleet = fl
+	return p, nil
+}
+
+// close tears the plant down in dependency order: publishers first,
+// then the subscriber session, its decode pool, and the broker.
+func (p *plant) close() {
+	if p.fleet != nil {
+		_ = p.fleet.Close()
+	}
+	_ = p.sub.Close()
+	p.ingest.Close()
+	_ = p.broker.Close()
+}
+
 // StreamWindow replays [t0, t1] of the last run's node signals through
 // real gateways -> MQTT broker -> aggregator agents over loopback TCP,
 // using a monitor of the given output rate (samples/s of virtual time).
@@ -321,63 +422,12 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	}
 	start := time.Now()
 
-	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	pl, err := s.newPlant(nodes, sampleRate, "gw", 1000, "core-aggregator")
 	if err != nil {
 		return StreamResult{}, err
 	}
-	defer func() { _ = broker.Close() }()
-
-	db := tsdb.New(s.StoreOptions)
-	agg := telemetry.NewAggregatorOn(db)
-	ingest, sub, err := agg.AttachParallel(broker.Addr(), "core-aggregator", 0)
-	if err != nil {
-		return StreamResult{}, err
-	}
-	defer ingest.Close()
-	defer func() { _ = sub.Close() }()
-
-	batchSamples := s.StreamBatchSamples
-	if s.StreamFaults != nil {
-		maxSpan := 0
-		for n := 0; n < nodes; n++ {
-			if sp := s.StreamFaults.SpecFor(n).EffectiveHoldSpan(); sp > maxSpan {
-				maxSpan = sp
-			}
-		}
-		if maxSpan > 0 {
-			// A held batch is released up to HoldSpan batches late, so
-			// the store's head window must absorb HoldSpan × batch
-			// samples or late releases fall behind the sealed horizon
-			// as unaccounted loss, silently voiding the preset's energy
-			// error bound.
-			chunk := s.StoreOptions.ChunkSize
-			if chunk <= 0 {
-				chunk = tsdb.DefaultChunkSize
-			}
-			if batchSamples == 0 {
-				// The fleet default of 512 samples/batch would violate
-				// the constraint; pick the largest compliant batch.
-				batchSamples = chunk / maxSpan
-			}
-			// Rejects an explicit violation and a hold span no batch
-			// size can satisfy (maxSpan > chunk leaves the auto-sized
-			// batch at 0) alike.
-			if batchSamples < 1 || maxSpan*batchSamples > chunk {
-				return StreamResult{}, fmt.Errorf(
-					"core: chaos hold span %d × %d samples/batch exceeds the store's %d-sample reorder window — late releases would be dropped unaccounted",
-					maxSpan, batchSamples, chunk)
-			}
-		}
-	}
-	fl, err := fleet.New(broker.Addr(), fleet.GatewaySpec{
-		SampleRate: sampleRate, ClientPrefix: "gw", SeedBase: 1000,
-		Codec: s.StreamCodec, Faults: s.StreamFaults,
-		BatchSamples: batchSamples,
-	}, s.StreamWorkers)
-	if err != nil {
-		return StreamResult{}, err
-	}
-	defer func() { _ = fl.Close() }()
+	defer pl.close()
+	db, agg, fl := pl.db, pl.agg, pl.fleet
 
 	streams := make([]fleet.NodeStream, nodes)
 	for n := 0; n < nodes; n++ {
@@ -426,10 +476,10 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 			}
 		}
 	}
-	res.BrokerPublishes = broker.Stats.PublishesOut.Load()
-	res.BrokerDropped = broker.Stats.Dropped.Load()
-	res.BrokerFanoutEncodedOnce = broker.Stats.FanoutEncodedOnce.Load()
-	res.BrokerBufReuses = broker.Stats.BufReuses.Load()
+	res.BrokerPublishes = pl.broker.Stats.PublishesOut.Load()
+	res.BrokerDropped = pl.broker.Stats.Dropped.Load()
+	res.BrokerFanoutEncodedOnce = pl.broker.Stats.FanoutEncodedOnce.Load()
+	res.BrokerBufReuses = pl.broker.Stats.BufReuses.Load()
 	res.WallClock = time.Since(start)
 	return res, nil
 }

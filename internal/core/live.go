@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"davide/internal/accounting"
+	"davide/internal/capping"
+	"davide/internal/chaos"
+	"davide/internal/energyapi"
+	"davide/internal/fleet"
+	"davide/internal/predictor"
+	"davide/internal/sched"
+	"davide/internal/simclock"
+	"davide/internal/units"
+	"davide/internal/workload"
+)
+
+// This file closes the paper's loop at system level: RunLive drives the
+// sched.Controller against a *real* telemetry plane — each control tick
+// the cluster's power levels go out through per-node gateways over MQTT
+// into the compressed store, and the scheduler's admission, reactive
+// capping and online predictor retraining read the measured values back
+// out. Per-rack capping.ControlLoop instances ride the same feed, so
+// node-level enforcement and machine-level scheduling see one truth —
+// including its degradations: under chaos presets the controller must
+// hold the cap on stale, lossy measurements.
+
+// LiveConfig configures one closed-loop control-plane run. Transport
+// knobs (codec, workers, faults, batch size, store options) come from
+// the System fields a StreamWindow replay uses.
+type LiveConfig struct {
+	// Sched is the controller configuration; Nodes is overridden with
+	// the live machine size below.
+	Sched sched.ControllerConfig
+	// Nodes is the machine size: one gateway per node (0 = whole
+	// cluster; must not exceed the cluster).
+	Nodes int
+	// SampleRate is each gateway's telemetry rate in samples per second
+	// of virtual time (default 4; at least 2 samples must fit one tick).
+	SampleRate float64
+	// RackSize groups nodes for the per-rack capping control loops
+	// (default: the cluster's rack width).
+	RackSize int
+	// OnlineEvery is the online predictor's retraining cadence in
+	// completions when RunLive wires the system predictor itself
+	// (default 8; ignored when Sched.Trainer or Sched.Estimator is set).
+	// Negative disables online retraining.
+	OnlineEvery int
+}
+
+// RackStats reports one per-rack capping control loop's run.
+type RackStats struct {
+	Rack      int
+	FirstNode int
+	Nodes     int
+	// CapW is the per-node cap share the loop tracked (0 = uncapped).
+	CapW float64
+	// Steps / Held / Violations: control periods executed, periods held
+	// for stale telemetry (the fail-safe path), and periods whose
+	// measured power exceeded the cap.
+	Steps      int
+	Held       int
+	Violations int
+}
+
+// LiveResult is one closed-loop run's full outcome.
+type LiveResult struct {
+	sched.ControllerResult
+
+	// Telemetry-plane aggregates over every tick's fan-out.
+	SamplesSent        int
+	BatchesSent        int
+	WireBytesPerSample float64
+	BrokerPublishes    int64
+	BrokerDropped      int64
+	Faults             chaos.Counters
+	GatewayRestarts    int
+	ReorderedBatches   int
+	UndecodableDropped int
+	// StoreOutOfOrderDropped counts samples that fell behind the store's
+	// sealed horizon (must stay zero under every preset; see E18/E19).
+	StoreOutOfOrderDropped int
+	WallClock              time.Duration
+
+	// Racks reports the per-rack capping loops.
+	Racks []RackStats
+	// JobPhases is the measured §IV phase view of every completed job,
+	// rebuilt from the store (energyapi.JobPhase); it must agree with
+	// the controller's accounting ledger.
+	JobPhases map[int]energyapi.Phase
+	// Assignments maps job ID to the concrete nodes it ran on.
+	Assignments map[int][]int
+	// Ledger is the run's telemetry-derived accounting ledger.
+	Ledger *accounting.Ledger
+}
+
+// RunLive executes the workload on the closed-loop control plane and
+// leaves the telemetry store queryable via Store().
+func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, error) {
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = s.Cluster.NodeCount()
+	}
+	if nodes > s.Cluster.NodeCount() {
+		return nil, fmt.Errorf("core: live machine of %d nodes exceeds the %d-node cluster", nodes, s.Cluster.NodeCount())
+	}
+	scfg := cfg.Sched
+	scfg.Nodes = nodes
+	if scfg.IdleNodePowerW == 0 {
+		scfg.IdleNodePowerW = s.IdleNodePowerW
+	}
+	if scfg.TickS == 0 {
+		scfg.TickS = 30
+	}
+	rate := cfg.SampleRate
+	if rate == 0 {
+		rate = 4
+	}
+	if rate*scfg.TickS < 2 {
+		return nil, fmt.Errorf("core: sample rate %g cannot fill a %g s tick with the 2 samples a gateway window needs", rate, scfg.TickS)
+	}
+	// Wire the online-retraining predictor when the caller didn't bring
+	// an estimator of their own.
+	if scfg.Admission == sched.AdmitPowerAware && scfg.Trainer == nil && scfg.Estimator == nil {
+		if s.Predictor == nil {
+			return nil, errors.New("core: power-aware admission needs a trained predictor (train the system or set an estimator)")
+		}
+		if cfg.OnlineEvery >= 0 {
+			every := cfg.OnlineEvery
+			if every == 0 {
+				every = 8
+			}
+			online, err := predictor.NewOnline(s.Predictor, s.trainJobs, every, 0)
+			if err != nil {
+				return nil, err
+			}
+			scfg.Trainer = online
+		} else {
+			scfg.Estimator = s.Predictor.Predict
+		}
+	}
+
+	start := time.Now()
+	pl, err := s.newPlant(nodes, rate, "live", 3000, "live-aggregator")
+	if err != nil {
+		return nil, err
+	}
+	defer pl.close()
+	db, agg, fl := pl.db, pl.agg, pl.fleet
+
+	// Per-rack capping control loops on the shared telemetry feed: one
+	// NodeCapper per rack (on the rack's first node model) tracking the
+	// per-node cap share, held fail-safe on stale rack telemetry.
+	rackSize := cfg.RackSize
+	if rackSize <= 0 {
+		rackSize = s.Cluster.NodesPerRack()
+	}
+	eng := simclock.New()
+	type rackLoop struct {
+		loop  *capping.ControlLoop
+		stats RackStats
+	}
+	var racks []*rackLoop
+	for first := 0; first < nodes; first += rackSize {
+		size := rackSize
+		if first+size > nodes {
+			size = nodes - first
+		}
+		group := make([]int, size)
+		for i := range group {
+			group[i] = first + i
+		}
+		feed, err := capping.NewStoreFeed(db, group, scfg.TickS)
+		if err != nil {
+			return nil, err
+		}
+		capper, err := capping.NewNodeCapper(s.Cluster.Nodes[first])
+		if err != nil {
+			return nil, err
+		}
+		share := 0.0
+		if scfg.PowerCapW > 0 {
+			share = scfg.PowerCapW / float64(nodes)
+			if err := capper.SetCap(units.Watt(share)); err != nil {
+				return nil, fmt.Errorf("core: rack %d: %w", len(racks), err)
+			}
+		}
+		loop, err := capping.NewControlLoopWithFeed(eng, capper, scfg.TickS, feed)
+		if err != nil {
+			return nil, err
+		}
+		defer loop.Stop()
+		racks = append(racks, &rackLoop{loop: loop, stats: RackStats{
+			Rack: len(racks), FirstNode: first, Nodes: size, CapW: share,
+		}})
+	}
+
+	res := &LiveResult{}
+	var faultsTotal chaos.Counters
+	restarts := 0
+	var wireBytes int64
+	hooks := sched.Hooks{
+		StreamTick: func(t0, t1 float64, levels []float64) error {
+			st, err := fl.StreamLevels(context.Background(), levels, t0, t1, agg)
+			if err != nil {
+				return err
+			}
+			res.SamplesSent += st.Samples
+			res.BatchesSent += st.Batches
+			wireBytes += st.WireBytes
+			faultsTotal.Add(st.Faults)
+			restarts += st.Restarts
+			if faultsTotal.Corrupted > 0 {
+				// Corrupt packets carry no samples, so they escape the
+				// delivery handshake; barrier on the cumulative injected
+				// count before the controller reads the window back.
+				wctx, cancel := context.WithTimeout(context.Background(), fleet.DefaultWaitTimeout)
+				_ = agg.WaitDropped(wctx, int(faultsTotal.Corrupted))
+				cancel()
+			}
+			return nil
+		},
+		AfterTick: func(t0, t1 float64) error {
+			return eng.RunUntil(t1)
+		},
+	}
+	ctrl, err := sched.NewController(scfg, jobs, db, hooks)
+	if err != nil {
+		return nil, err
+	}
+	cres, err := ctrl.Run()
+	if err != nil {
+		return nil, err
+	}
+	s.store = db
+
+	res.ControllerResult = *cres
+	if res.SamplesSent > 0 {
+		res.WireBytesPerSample = float64(wireBytes) / float64(res.SamplesSent)
+	}
+	res.BrokerPublishes = pl.broker.Stats.PublishesOut.Load()
+	res.BrokerDropped = pl.broker.Stats.Dropped.Load()
+	res.Faults = faultsTotal
+	res.GatewayRestarts = restarts
+	res.ReorderedBatches = agg.Reordered()
+	res.UndecodableDropped = agg.Dropped()
+	res.StoreOutOfOrderDropped = db.Stats().OutOfOrderDropped
+	res.WallClock = time.Since(start)
+	for _, rl := range racks {
+		rl.stats.Steps = rl.loop.Capper.Steps()
+		rl.stats.Held = rl.loop.Held()
+		rl.stats.Violations = rl.loop.Capper.Violations()
+		res.Racks = append(res.Racks, rl.stats)
+	}
+	// The measured §IV phase view: every completed job rebuilt from the
+	// store the run just filled.
+	res.Ledger = ctrl.Ledger()
+	res.Assignments = ctrl.Assignments()
+	res.JobPhases = make(map[int]energyapi.Phase, len(jobs))
+	for id, nn := range res.Assignments {
+		rec, err := ctrl.Ledger().Job(id)
+		if err != nil {
+			continue // measure failure: the record was never built
+		}
+		ph, err := energyapi.JobPhase(db, rec.App, nn, rec.StartAt, rec.EndAt)
+		if err != nil {
+			continue
+		}
+		res.JobPhases[id] = ph
+	}
+	// Fold the measured records into the system ledger so PerUser /
+	// billing queries see the live run (duplicate IDs are skipped:
+	// a prior batch run may have accounted the same workload).
+	for id := range res.Assignments {
+		if rec, err := ctrl.Ledger().Job(id); err == nil {
+			_ = s.Ledger.Add(rec)
+		}
+	}
+	return res, nil
+}

@@ -233,6 +233,34 @@ func PhasesFromStore(store PowerStore, node int, names []string, boundaries []fl
 	return out, nil
 }
 
+// JobPhase reconstructs one job's whole execution as a single measured
+// phase from stored telemetry, summing the energy integral over every
+// node the job ran on. It is the §IV phase view of a *scheduled* job —
+// the live control plane uses it to cross-check the accounting ledger's
+// telemetry-derived records against the store they were built from.
+func JobPhase(store PowerStore, name string, nodes []int, t0, t1 float64) (Phase, error) {
+	if store == nil {
+		return Phase{}, errors.New("energyapi: nil store")
+	}
+	if len(nodes) == 0 {
+		return Phase{}, errors.New("energyapi: phase needs nodes")
+	}
+	if t1 <= t0 {
+		return Phase{}, errors.New("energyapi: empty interval")
+	}
+	total := 0.0
+	for _, n := range nodes {
+		e, err := store.Energy(n, t0, t1)
+		if err != nil {
+			return Phase{}, fmt.Errorf("energyapi: job phase %q node %d: %w", name, n, err)
+		}
+		total += e
+	}
+	ph := Phase{Name: name, T0: t0, T1: t1, EnergyJ: total}
+	ph.MeanW = total / ph.Duration()
+	return ph, nil
+}
+
 // TradeoffPoint is one (configuration, TTS, ETS) sample of the §IV design
 // space.
 type TradeoffPoint struct {

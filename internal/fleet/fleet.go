@@ -473,6 +473,19 @@ func (f *Fleet) Stream(ctx context.Context, nodes []NodeStream, t0, t1 float64, 
 	return stats, nil
 }
 
+// StreamLevels replays one window of constant per-node power levels:
+// levels[n] is node n's draw in watts over [t0, t1). It is the live
+// control plane's per-tick publish — each scheduler tick the cluster's
+// current power levels go out through the same gateways, broker and
+// aggregator a signal replay uses.
+func (f *Fleet) StreamLevels(ctx context.Context, levels []float64, t0, t1 float64, agg *telemetry.Aggregator) (StreamStats, error) {
+	streams := make([]NodeStream, len(levels))
+	for n, w := range levels {
+		streams[n] = NodeStream{Node: n, Signal: sensor.Const(w)}
+	}
+	return f.Stream(ctx, streams, t0, t1, agg)
+}
+
 // streamOne publishes one node's window and waits for its delivery.
 // Under fault injection it recovers injected session crashes (teardown,
 // redial, resume from the replay cursor) and adjusts the delivery wait

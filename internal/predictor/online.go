@@ -1,0 +1,107 @@
+package predictor
+
+import (
+	"errors"
+	"fmt"
+
+	"davide/internal/workload"
+)
+
+// Online wraps a Predictor with the live control plane's retraining loop:
+// as jobs complete, their *measured* per-node power (the accounting
+// ledger's telemetry-derived figure, not the synthetic ground truth) is
+// observed, and the underlying model is refit on the initial history plus
+// the measured completions every Every observations. This is the paper's
+// §III-A2 arrangement — the ML predictors keep learning from the power
+// measurements the monitoring plane produces in production.
+//
+// Online itself satisfies Predictor, so it drops into any estimator slot.
+// It is not safe for concurrent use; the controller drives it from one
+// goroutine.
+type Online struct {
+	// P is the underlying model being retrained.
+	P Predictor
+	// Every is the retraining cadence in observed completions.
+	Every int
+	// Window bounds how many measured completions are kept (FIFO);
+	// 0 keeps all.
+	Window int
+
+	base     []workload.Job
+	measured []workload.Job
+	since    int
+	retrains int
+}
+
+// NewOnline wraps p for online retraining. base is the initial training
+// history (p is fitted on it immediately); every is the retraining cadence
+// in completions; window bounds the retained measured set (0 = unbounded).
+func NewOnline(p Predictor, base []workload.Job, every, window int) (*Online, error) {
+	if p == nil {
+		return nil, errors.New("predictor: nil model")
+	}
+	if every <= 0 {
+		return nil, errors.New("predictor: retrain cadence must be positive")
+	}
+	if window < 0 {
+		return nil, errors.New("predictor: negative window")
+	}
+	o := &Online{P: p, Every: every, Window: window,
+		base: append([]workload.Job(nil), base...)}
+	if len(o.base) > 0 {
+		if err := p.Train(o.base); err != nil {
+			return nil, fmt.Errorf("predictor: initial fit: %w", err)
+		}
+	}
+	return o, nil
+}
+
+// Name implements Predictor.
+func (o *Online) Name() string { return "online-" + o.P.Name() }
+
+// Train implements Predictor: it replaces the base history, drops the
+// measured set and refits.
+func (o *Online) Train(history []workload.Job) error {
+	if err := o.P.Train(history); err != nil {
+		return err
+	}
+	o.base = append(o.base[:0], history...)
+	o.measured = o.measured[:0]
+	o.since = 0
+	return nil
+}
+
+// Predict implements Predictor.
+func (o *Online) Predict(j workload.Job) (float64, error) { return o.P.Predict(j) }
+
+// Observe feeds one completed job whose TruePowerPerNode carries the
+// measured per-node power, and refits the model when the cadence is due.
+// A refit failure leaves the previous model in place and is reported.
+func (o *Online) Observe(j workload.Job) error {
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("predictor: observed job: %w", err)
+	}
+	o.measured = append(o.measured, j)
+	if o.Window > 0 && len(o.measured) > o.Window {
+		o.measured = o.measured[len(o.measured)-o.Window:]
+	}
+	o.since++
+	if o.since < o.Every {
+		return nil
+	}
+	hist := make([]workload.Job, 0, len(o.base)+len(o.measured))
+	hist = append(hist, o.base...)
+	hist = append(hist, o.measured...)
+	if err := o.P.Train(hist); err != nil {
+		return fmt.Errorf("predictor: retrain: %w", err)
+	}
+	o.since = 0
+	o.retrains++
+	return nil
+}
+
+// Retrains returns how many refits Observe has performed.
+func (o *Online) Retrains() int { return o.retrains }
+
+// Observed returns how many measured completions are currently retained.
+func (o *Online) Observed() int { return len(o.measured) }

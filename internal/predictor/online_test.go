@@ -1,0 +1,99 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"davide/internal/workload"
+)
+
+// onlineJob builds one measured completion for user u with power w.
+func onlineJob(id, u int, w float64) workload.Job {
+	return workload.Job{
+		ID: id, User: u, App: workload.Generic, Nodes: 1,
+		SubmitAt: float64(id), WallLimit: 600, Duration: 300,
+		TruePowerPerNode: w,
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	if _, err := NewOnline(nil, nil, 4, 0); err == nil {
+		t.Error("nil model should error")
+	}
+	if _, err := NewOnline(NewMeanPerKey(), nil, 0, 0); err == nil {
+		t.Error("zero cadence should error")
+	}
+	if _, err := NewOnline(NewMeanPerKey(), nil, 4, -1); err == nil {
+		t.Error("negative window should error")
+	}
+}
+
+func TestOnlineRetrainsTowardMeasuredPower(t *testing.T) {
+	// Base history says user 0 draws 1000 W; the measured completions
+	// say the fleet actually draws 1600 W.
+	var base []workload.Job
+	for i := 0; i < 20; i++ {
+		base = append(base, onlineJob(i, 0, 1000))
+	}
+	o, err := NewOnline(NewMeanPerKey(), base, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := onlineJob(999, 0, 1)
+	p0, err := o.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p0-1000) > 1e-9 {
+		t.Fatalf("initial fit predicts %g, want 1000", p0)
+	}
+	for i := 0; i < 8; i++ {
+		if err := o.Observe(onlineJob(100+i, 0, 1600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Retrains() != 2 {
+		t.Errorf("8 observations at cadence 4 should refit twice, got %d", o.Retrains())
+	}
+	p1, err := o.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= p0 {
+		t.Errorf("prediction did not move toward measured power: %g -> %g", p0, p1)
+	}
+	// Exact expectation: mean of 20×1000 + 8×1600.
+	want := (20*1000.0 + 8*1600.0) / 28
+	if math.Abs(p1-want) > 1e-9 {
+		t.Errorf("refit predicts %g, want %g", p1, want)
+	}
+}
+
+func TestOnlineWindowBoundsMeasuredSet(t *testing.T) {
+	o, err := NewOnline(NewMeanPerKey(), []workload.Job{onlineJob(0, 0, 1000)}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := o.Observe(onlineJob(1+i, 0, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Observed() != 3 {
+		t.Errorf("window 3 retains %d measured jobs", o.Observed())
+	}
+	// Train resets both base and measured state.
+	if err := o.Train([]workload.Job{onlineJob(50, 0, 500)}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Observed() != 0 {
+		t.Errorf("Train should drop the measured set, kept %d", o.Observed())
+	}
+	p, err := o.Predict(onlineJob(999, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-500) > 1e-9 {
+		t.Errorf("after reset predicts %g, want 500", p)
+	}
+}

@@ -1,0 +1,681 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"davide/internal/accounting"
+	"davide/internal/predictor"
+	"davide/internal/sensor"
+	"davide/internal/workload"
+)
+
+// This file is the live half of the package: where Simulator replays a
+// workload against synthetic per-job power constants, Controller closes
+// the paper's loop — each control tick it streams the cluster's power
+// into the real telemetry plane (gateways → MQTT → tsdb), reads the
+// *measured* power back out of the store, and makes admission, reactive
+// capping and predictor-retraining decisions from those measurements.
+// Degraded telemetry is handled fail-safe with the capping loop's
+// hold-last-safe semantics: a node whose window produced no fresh samples
+// keeps its last measured value instead of being assumed idle, so lost
+// telemetry can never open phantom headroom under the power cap.
+
+// Admission selects the live dispatch discipline.
+type Admission int
+
+const (
+	// AdmitFIFO starts jobs strictly in submission order as soon as
+	// nodes are free, ignoring the power cap (the paper's baseline).
+	AdmitFIFO Admission = iota
+	// AdmitPowerAware starts a job only when measured machine power plus
+	// the job's predicted draw fits under the cap, greedily backfilling
+	// queued jobs that fit both nodes and power.
+	AdmitPowerAware
+)
+
+// String names the admission discipline.
+func (a Admission) String() string {
+	if a == AdmitFIFO {
+		return "live-fifo"
+	}
+	return "live-power-aware"
+}
+
+// TelemetrySource is the slice of the telemetry store the controller
+// reads: mean power over a tick window, per-node energy integrals for
+// completed-job accounting, and the monotonic ingested-sample count
+// that detects whether a window delivered fresh data at all (monotonic,
+// so a retention chunk-drop cannot masquerade as telemetry loss).
+// tsdb.DB satisfies it.
+type TelemetrySource interface {
+	MeanPower(node int, t0, t1 float64) (float64, error)
+	Energy(node int, t0, t1 float64) (float64, error)
+	IngestedSamples(node int) int
+}
+
+// Hooks connect a Controller to the surrounding plant.
+type Hooks struct {
+	// StreamTick publishes one tick of per-node power levels (levels[n]
+	// is node n's draw in watts over [t0, t1)) into the telemetry plane.
+	// By the time it returns, whatever the transport delivered must be
+	// queryable from the controller's TelemetrySource. Required.
+	StreamTick func(t0, t1 float64, levels []float64) error
+	// AfterTick runs after the tick's telemetry has been read back —
+	// the seam where per-rack capping control loops are pumped.
+	AfterTick func(t0, t1 float64) error
+}
+
+// ControllerConfig describes one live control-plane run.
+type ControllerConfig struct {
+	Config // machine size, cap, estimator, reactive capping, idle power
+
+	// Admission selects FIFO or power-aware dispatch.
+	Admission Admission
+	// TickS is the control period in virtual seconds (default 30).
+	TickS float64
+	// Trainer, when non-nil, supersedes Config.Estimator and is retrained
+	// online from measured completions (see predictor.Online).
+	Trainer *predictor.Online
+	// HeadReserveS bounds starvation under power-aware backfill: once the
+	// queue head has waited this long, backfill pauses until it starts
+	// (default 60 ticks).
+	HeadReserveS float64
+	// SettleTicks bounds how long a completion's accounting waits for
+	// telemetry newer than the job's end before measuring anyway. A
+	// record built once every participating node has reported past the
+	// job's end is stable: no late-arriving sample can change its energy
+	// integral. Default 8 ticks.
+	SettleTicks int
+	// MaxTicks aborts a run that cannot finish — e.g. a cap no pending
+	// job fits under (default 200000).
+	MaxTicks int
+}
+
+// withDefaults fills unset tuning fields.
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.TickS == 0 {
+		c.TickS = 30
+	}
+	if c.HeadReserveS == 0 {
+		c.HeadReserveS = 60 * c.TickS
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 200000
+	}
+	if c.SettleTicks == 0 {
+		c.SettleTicks = 8
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c ControllerConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.TickS < 0:
+		return errors.New("sched: negative tick period")
+	case c.HeadReserveS < 0:
+		return errors.New("sched: negative head reserve")
+	case c.MaxTicks < 0:
+		return errors.New("sched: negative tick limit")
+	case c.SettleTicks < 0:
+		return errors.New("sched: negative settle bound")
+	case c.Admission != AdmitFIFO && c.Admission != AdmitPowerAware:
+		return fmt.Errorf("sched: unknown admission discipline %d", int(c.Admission))
+	}
+	if c.Admission == AdmitPowerAware {
+		if c.PowerCapW <= 0 {
+			return errors.New("sched: power-aware admission needs a power cap")
+		}
+		if c.Estimator == nil && c.Trainer == nil {
+			return errors.New("sched: power-aware admission needs an estimator or trainer")
+		}
+	}
+	return nil
+}
+
+// liveJob tracks one job through the live run.
+type liveJob struct {
+	job       workload.Job
+	predicted float64 // per-node predicted power (power-aware only)
+	nodes     []int   // concrete node assignment while running
+	startAt   float64
+	endAt     float64
+	remaining float64
+	started   bool
+	finished  bool
+	// visible reports that the job's telemetry has been measured at
+	// least once since it started; until then admission adds its
+	// predicted draw on top of the (older) measurement.
+	visible bool
+}
+
+// ControllerResult extends the batch metrics with the live plane's
+// telemetry-facing counters.
+type ControllerResult struct {
+	Result
+	// Ticks is the number of control periods executed.
+	Ticks int
+	// FreshReads / StaleReads count per-node tick reads that delivered
+	// fresh samples vs. holds of the last measured value (telemetry
+	// loss, the hold-last-safe path).
+	FreshReads int
+	StaleReads int
+	// RefusedAdmissions counts dispatch attempts refused for lack of
+	// power headroom.
+	RefusedAdmissions int
+	// MeasuredEnergyJ is the telemetry-derived machine energy over the
+	// run (sum of per-node store integrals; EnergyJ is the analytic
+	// effective truth).
+	MeasuredEnergyJ float64
+	// MeasuredCapViolationSec counts ticks whose *measured* power
+	// exceeded the cap; CapViolationSec (in Result) counts the true
+	// effective power.
+	MeasuredCapViolationSec float64
+	// MaxOverPct is the worst true overshoot above the cap in percent.
+	MaxOverPct float64
+	// MeasureFailures counts completions whose telemetry-derived energy
+	// record could not be built (severe loss); such jobs skip retraining.
+	MeasureFailures int
+	// Retrains is the online predictor's refit count (0 without Trainer).
+	Retrains int
+}
+
+// Controller runs the closed-loop power-aware scheduler.
+type Controller struct {
+	cfg   ControllerConfig
+	src   TelemetrySource
+	hooks Hooks
+
+	jobs      []*liveJob
+	pending   []*liveJob
+	running   []*liveJob
+	arrived   int
+	finished  int
+	freeNodes []int
+	now       float64
+	speed     float64 // reactive execution speed for the *next* tick
+
+	// Telemetry view: last fresh per-node mean power, the ingested
+	// sample count at the last fresh read (freshness detection), and the
+	// start of each node's newest fresh window (accounting settlement).
+	lastSeen    []float64
+	seen        []int
+	lastFreshT0 []float64
+
+	// measureQ holds completed jobs whose accounting waits for
+	// post-completion telemetry (see ControllerConfig.SettleTicks).
+	measureQ []measureItem
+
+	ledger *accounting.Ledger
+	trace  *sensor.Piecewise
+
+	fresh, stale    int
+	refused         int
+	measureFailures int
+	capViolSec      float64
+	capOverSq       float64
+	measViolSec     float64
+	maxOverPct      float64
+	consumed        bool
+}
+
+// NewController validates the configuration and prepares a live run over
+// the jobs, reading telemetry from src and publishing through hooks.
+func NewController(cfg ControllerConfig, jobs []workload.Job, src TelemetrySource, hooks Hooks) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("sched: nil telemetry source")
+	}
+	if hooks.StreamTick == nil {
+		return nil, errors.New("sched: StreamTick hook required")
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("sched: no jobs")
+	}
+	c := &Controller{cfg: cfg, src: src, hooks: hooks, speed: 1,
+		ledger: accounting.NewLedger()}
+	ids := make(map[int]struct{}, len(jobs))
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: job %d: %w", j.ID, err)
+		}
+		if j.Nodes > cfg.Nodes {
+			return nil, fmt.Errorf("sched: job %d requests %d nodes, machine has %d", j.ID, j.Nodes, cfg.Nodes)
+		}
+		if i > 0 && j.SubmitAt < jobs[i-1].SubmitAt {
+			return nil, errors.New("sched: jobs must be sorted by submit time")
+		}
+		if _, dup := ids[j.ID]; dup {
+			// A duplicate would collide in the accounting ledger, the
+			// assignment map and the phase view; reject it up front.
+			return nil, fmt.Errorf("sched: duplicate job ID %d", j.ID)
+		}
+		ids[j.ID] = struct{}{}
+		c.jobs = append(c.jobs, &liveJob{job: j, remaining: j.Duration})
+	}
+	c.freeNodes = make([]int, cfg.Nodes)
+	c.lastSeen = make([]float64, cfg.Nodes)
+	c.seen = make([]int, cfg.Nodes)
+	c.lastFreshT0 = make([]float64, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		c.freeNodes[n] = n
+		// Before any telemetry exists the machine is provably idle.
+		c.lastSeen[n] = cfg.IdleNodePowerW
+		c.lastFreshT0[n] = -1
+	}
+	c.trace = sensor.NewPiecewise(0, cfg.IdleNodePowerW*float64(cfg.Nodes))
+	return c, nil
+}
+
+// Ledger returns the telemetry-derived energy-accounting ledger the run
+// fills as jobs complete (the paper's EA agent view of the machine).
+func (c *Controller) Ledger() *accounting.Ledger { return c.ledger }
+
+// Assignments returns the concrete node IDs each job ran on (filled as
+// jobs start; complete once Run returns).
+func (c *Controller) Assignments() map[int][]int {
+	out := make(map[int][]int, len(c.jobs))
+	for _, j := range c.jobs {
+		if j.started {
+			out[j.job.ID] = append([]int(nil), j.nodes...)
+		}
+	}
+	return out
+}
+
+// measuredTotal is the controller's belief about current machine power:
+// the sum of the newest per-node measurements, stale nodes held at their
+// last fresh value.
+func (c *Controller) measuredTotal() float64 {
+	t := 0.0
+	for _, v := range c.lastSeen {
+		t += v
+	}
+	return t
+}
+
+// predict returns (caching) the per-node power prediction for a job.
+func (c *Controller) predict(js *liveJob) (float64, error) {
+	if js.predicted > 0 {
+		return js.predicted, nil
+	}
+	var p float64
+	var err error
+	if c.cfg.Trainer != nil {
+		p, err = c.cfg.Trainer.Predict(js.job)
+	} else {
+		p, err = c.cfg.Estimator(js.job)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sched: predict job %d: %w", js.job.ID, err)
+	}
+	// A prediction below idle would subtract headroom for starting a
+	// job; clamp to the physical floor.
+	if p < c.cfg.IdleNodePowerW {
+		p = c.cfg.IdleNodePowerW
+	}
+	js.predicted = p
+	return p, nil
+}
+
+// start launches a job now on concrete nodes from the free list.
+func (c *Controller) start(js *liveJob) {
+	n := js.job.Nodes
+	js.nodes = append([]int(nil), c.freeNodes[:n]...)
+	c.freeNodes = c.freeNodes[n:]
+	js.started = true
+	js.startAt = c.now
+	c.running = append(c.running, js)
+}
+
+// dispatch runs one admission pass at the top of a tick.
+func (c *Controller) dispatch() error {
+	// invisibleDelta: predicted draw of running jobs the telemetry has
+	// not yet measured (started less than a tick ago, or started into a
+	// window that was lost). Without it, a job admitted last tick would
+	// not count against headroom until its power shows up in the store.
+	invisibleDelta := 0.0
+	for _, r := range c.running {
+		if !r.visible && r.predicted > 0 {
+			invisibleDelta += (r.predicted - c.cfg.IdleNodePowerW) * float64(r.job.Nodes)
+		}
+	}
+	base := c.measuredTotal() + invisibleDelta
+
+	reserveHead := false
+	if c.cfg.Admission == AdmitPowerAware && len(c.pending) > 0 {
+		if wait := c.now - c.pending[0].job.SubmitAt; wait >= c.cfg.HeadReserveS {
+			reserveHead = true
+		}
+	}
+	kept := c.pending[:0]
+	blocked := false
+	for qi, js := range c.pending {
+		if blocked {
+			kept = append(kept, js)
+			continue
+		}
+		if js.job.Nodes > len(c.freeNodes) {
+			kept = append(kept, js)
+			if c.cfg.Admission == AdmitFIFO || reserveHead {
+				// Strict in-order: nothing may overtake the head.
+				blocked = true
+			}
+			continue
+		}
+		if c.cfg.Admission == AdmitPowerAware {
+			pred, err := c.predict(js)
+			if err != nil {
+				return err
+			}
+			delta := (pred - c.cfg.IdleNodePowerW) * float64(js.job.Nodes)
+			// Fail fast on a job that could not fit under the cap even
+			// on an otherwise-idle machine: it will never start, and
+			// silently ticking until MaxTicks would burn an hour of wall
+			// clock streaming an unschedulable queue.
+			if float64(c.cfg.Nodes)*c.cfg.IdleNodePowerW+delta > c.cfg.PowerCapW {
+				return fmt.Errorf(
+					"sched: job %d (predicted %.0f W/node × %d nodes) cannot fit under the %.0f W cap even on an idle machine",
+					js.job.ID, pred, js.job.Nodes, c.cfg.PowerCapW)
+			}
+			if base+delta > c.cfg.PowerCapW {
+				c.refused++
+				kept = append(kept, js)
+				if reserveHead && qi == 0 {
+					blocked = true
+				}
+				continue
+			}
+			base += delta
+		}
+		c.start(js)
+	}
+	c.pending = kept
+	return nil
+}
+
+// levels returns each node's true effective power for the coming tick:
+// idle plus the resident job's dynamic share, stretched by the reactive
+// capping speed.
+func (c *Controller) levels() []float64 {
+	out := make([]float64, c.cfg.Nodes)
+	for n := range out {
+		out[n] = c.cfg.IdleNodePowerW
+	}
+	for _, r := range c.running {
+		dyn := (r.job.TruePowerPerNode - c.cfg.IdleNodePowerW) * c.speed
+		for _, n := range r.nodes {
+			out[n] = c.cfg.IdleNodePowerW + dyn
+		}
+	}
+	return out
+}
+
+// observe reads the tick's telemetry back from the store. A node whose
+// ingested sample count did not grow delivered nothing this tick: its
+// last measurement is held (the capping loop's hold-last-safe rule) and
+// the hold is counted.
+func (c *Controller) observe(t0, t1 float64) {
+	freshNodes := make([]bool, c.cfg.Nodes)
+	for n := 0; n < c.cfg.Nodes; n++ {
+		cnt := c.src.IngestedSamples(n)
+		if cnt > c.seen[n] {
+			if v, err := c.src.MeanPower(n, t0, t1); err == nil {
+				c.lastSeen[n] = v
+				c.seen[n] = cnt
+				c.lastFreshT0[n] = t0
+				c.fresh++
+				freshNodes[n] = true
+				continue
+			}
+		}
+		c.stale++
+	}
+	// A running job becomes visible once every one of its nodes has
+	// reported a window that overlaps its execution.
+	for _, r := range c.running {
+		if r.visible || r.startAt > t0 {
+			continue
+		}
+		vis := true
+		for _, n := range r.nodes {
+			if !freshNodes[n] {
+				vis = false
+				break
+			}
+		}
+		r.visible = vis
+	}
+}
+
+// updateSpeed recomputes the reactive execution speed for the next tick
+// from the tick's *measured* power. Measured power reflects the current
+// (already stretched) execution, so the full-speed draw is reconstructed
+// before the budget ratio is taken — otherwise the controller would
+// oscillate between capped and uncapped ticks.
+func (c *Controller) updateSpeed() {
+	prev := c.speed
+	c.speed = 1
+	if !c.cfg.ReactiveCapping || c.cfg.PowerCapW == 0 || prev <= 0 {
+		return
+	}
+	idle := float64(c.cfg.Nodes) * c.cfg.IdleNodePowerW
+	budget := c.cfg.PowerCapW - idle
+	dynFull := (c.measuredTotal() - idle) / prev
+	if dynFull <= budget {
+		return
+	}
+	if budget <= 0 {
+		c.speed = 0.05
+		return
+	}
+	c.speed = math.Max(0.05, budget/dynFull)
+}
+
+// advance progresses running jobs by one tick and settles completions at
+// the tick boundary, measuring each finished job's energy from telemetry.
+func (c *Controller) advance(t1 float64) error {
+	still := c.running[:0]
+	for _, r := range c.running {
+		r.remaining -= c.cfg.TickS * c.speed
+		if r.remaining > 1e-9 {
+			still = append(still, r)
+			continue
+		}
+		r.finished = true
+		r.endAt = t1
+		c.freeNodes = append(c.freeNodes, r.nodes...)
+		c.finished++
+		c.measureQ = append(c.measureQ, measureItem{
+			js: r, deadline: t1 + float64(c.cfg.SettleTicks)*c.cfg.TickS,
+		})
+	}
+	sort.Ints(c.freeNodes)
+	c.running = still
+	return nil
+}
+
+// measureItem is one completed job waiting for its accounting to settle.
+type measureItem struct {
+	js       *liveJob
+	deadline float64
+}
+
+// settle measures the completions whose accounting has stabilised: every
+// participating node has reported a telemetry window past the job's end
+// (so no late-arriving sample can change the energy integral), or the
+// settle deadline passed. force measures everything immediately — the
+// end-of-run flush, when no further telemetry will ever arrive and the
+// store is final by definition.
+func (c *Controller) settle(now float64, force bool) error {
+	kept := c.measureQ[:0]
+	for _, it := range c.measureQ {
+		ready := force || now >= it.deadline
+		if !ready {
+			ready = true
+			for _, n := range it.js.nodes {
+				if c.lastFreshT0[n] < it.js.endAt {
+					ready = false
+					break
+				}
+			}
+		}
+		if !ready {
+			kept = append(kept, it)
+			continue
+		}
+		if err := c.complete(it.js); err != nil {
+			return err
+		}
+	}
+	c.measureQ = kept
+	return nil
+}
+
+// complete builds the finished job's telemetry-derived accounting record
+// and feeds the measured per-node power to the online trainer. Severe
+// telemetry loss can make the record unbuildable; that degrades
+// accounting (counted), never the run.
+func (c *Controller) complete(r *liveJob) error {
+	rec, err := c.ledger.AddFromSource(c.src, r.job.ID, r.job.User,
+		r.job.App.String(), r.nodes, r.startAt, r.endAt)
+	if err != nil {
+		c.measureFailures++
+		return nil
+	}
+	if c.cfg.Trainer == nil {
+		return nil
+	}
+	measured := r.job
+	measured.TruePowerPerNode = rec.PerNodePowerW()
+	if measured.TruePowerPerNode <= 0 {
+		c.measureFailures++
+		return nil
+	}
+	// Duration as scheduled (capping may have stretched it); the
+	// predictors train on submission-time features plus measured power.
+	measured.Duration = r.endAt - r.startAt
+	if measured.Duration > measured.WallLimit {
+		measured.WallLimit = measured.Duration
+	}
+	if err := c.cfg.Trainer.Observe(measured); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes the closed loop to completion and returns metrics.
+func (c *Controller) Run() (*ControllerResult, error) {
+	if c.consumed {
+		return nil, errors.New("sched: controller already consumed")
+	}
+	c.consumed = true
+	ticks := 0
+	for ; c.finished < len(c.jobs); ticks++ {
+		if ticks >= c.cfg.MaxTicks {
+			return nil, fmt.Errorf("sched: run incomplete after %d ticks (%d/%d jobs finished — cap too tight for the workload?)",
+				ticks, c.finished, len(c.jobs))
+		}
+		t0, t1 := c.now, c.now+c.cfg.TickS
+		for c.arrived < len(c.jobs) && c.jobs[c.arrived].job.SubmitAt <= t0 {
+			c.pending = append(c.pending, c.jobs[c.arrived])
+			c.arrived++
+		}
+		if err := c.dispatch(); err != nil {
+			return nil, err
+		}
+		levels := c.levels()
+		trueEff := 0.0
+		for _, l := range levels {
+			trueEff += l
+		}
+		if err := c.trace.Set(t0, trueEff); err != nil {
+			return nil, err
+		}
+		if err := c.hooks.StreamTick(t0, t1, levels); err != nil {
+			return nil, err
+		}
+		c.observe(t0, t1)
+		if c.cfg.PowerCapW > 0 {
+			if over := trueEff - c.cfg.PowerCapW; over > 0 {
+				c.capViolSec += c.cfg.TickS
+				c.capOverSq += over * over * c.cfg.TickS
+				if pct := 100 * over / c.cfg.PowerCapW; pct > c.maxOverPct {
+					c.maxOverPct = pct
+				}
+			}
+			if c.measuredTotal() > c.cfg.PowerCapW {
+				c.measViolSec += c.cfg.TickS
+			}
+		}
+		if err := c.advance(t1); err != nil {
+			return nil, err
+		}
+		if err := c.settle(t1, false); err != nil {
+			return nil, err
+		}
+		c.updateSpeed()
+		if c.hooks.AfterTick != nil {
+			if err := c.hooks.AfterTick(t0, t1); err != nil {
+				return nil, err
+			}
+		}
+		c.now = t1
+	}
+	// Flush the settle queue: the plant has stopped, the store is final.
+	if err := c.settle(c.now, true); err != nil {
+		return nil, err
+	}
+	return c.collect(ticks)
+}
+
+// collect assembles the final metrics.
+func (c *Controller) collect(ticks int) (*ControllerResult, error) {
+	outs := make([]jobOutcome, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		if !j.finished {
+			return nil, fmt.Errorf("sched: job %d never finished", j.job.ID)
+		}
+		outs = append(outs, jobOutcome{
+			id: j.job.ID, submit: j.job.SubmitAt,
+			start: j.startAt, end: j.endAt, nodes: j.job.Nodes,
+		})
+	}
+	name := c.cfg.Admission.String()
+	if c.cfg.Admission == AdmitPowerAware && c.cfg.ReactiveCapping {
+		name += "+reactive"
+	}
+	base, err := summarize(name, outs, c.cfg.Nodes, c.cfg.PowerCapW,
+		c.trace, c.capViolSec, c.capOverSq)
+	if err != nil {
+		return nil, err
+	}
+	res := &ControllerResult{
+		Result:                  *base,
+		Ticks:                   ticks,
+		FreshReads:              c.fresh,
+		StaleReads:              c.stale,
+		RefusedAdmissions:       c.refused,
+		MeasuredCapViolationSec: c.measViolSec,
+		MaxOverPct:              c.maxOverPct,
+		MeasureFailures:         c.measureFailures,
+	}
+	if c.cfg.Trainer != nil {
+		res.Retrains = c.cfg.Trainer.Retrains()
+	}
+	for n := 0; n < c.cfg.Nodes; n++ {
+		if e, err := c.src.Energy(n, 0, res.Makespan); err == nil {
+			res.MeasuredEnergyJ += e
+		}
+	}
+	return res, nil
+}

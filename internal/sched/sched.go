@@ -375,31 +375,59 @@ func (s *Simulator) Run() (*Result, error) {
 
 // collect computes the final metrics.
 func (s *Simulator) collect() (*Result, error) {
-	res := &Result{
-		Policy: s.policyName(),
-		Jobs:   len(s.jobs),
-		CapW:   s.cfg.PowerCapW,
-		Trace:  s.trace,
-		Starts: make(map[int]float64, len(s.jobs)),
-		Ends:   make(map[int]float64, len(s.jobs)),
-	}
-	var waits, slows []float64
-	var busyNodeSec float64
+	outs := make([]jobOutcome, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		if !j.finished {
 			return nil, fmt.Errorf("sched: job %d never finished", j.job.ID)
 		}
-		res.Starts[j.job.ID] = j.startAt
-		res.Ends[j.job.ID] = j.endAt
-		wait := j.startAt - j.job.SubmitAt
+		outs = append(outs, jobOutcome{
+			id: j.job.ID, submit: j.job.SubmitAt,
+			start: j.startAt, end: j.endAt, nodes: j.job.Nodes,
+		})
+	}
+	res, err := summarize(s.policyName(), outs, s.cfg.Nodes, s.cfg.PowerCapW,
+		s.trace, s.capViolSec, s.capOverSq)
+	if err != nil {
+		return nil, err
+	}
+	s.trace = nil // mark consumed
+	return res, nil
+}
+
+// jobOutcome is one finished job's timing, the input both the batch
+// simulator and the live controller summarise QoS metrics from.
+type jobOutcome struct {
+	id            int
+	submit, start float64
+	end           float64
+	nodes         int
+}
+
+// summarize turns per-job outcomes plus a power trace into a Result:
+// the metric set shared by the batch Simulator and the live Controller.
+func summarize(policy string, outs []jobOutcome, machineNodes int, capW float64, trace *sensor.Piecewise, capViolSec, capOverSq float64) (*Result, error) {
+	res := &Result{
+		Policy: policy,
+		Jobs:   len(outs),
+		CapW:   capW,
+		Trace:  trace,
+		Starts: make(map[int]float64, len(outs)),
+		Ends:   make(map[int]float64, len(outs)),
+	}
+	var waits, slows []float64
+	var busyNodeSec float64
+	for _, o := range outs {
+		res.Starts[o.id] = o.start
+		res.Ends[o.id] = o.end
+		wait := o.start - o.submit
 		waits = append(waits, wait)
-		run := j.endAt - j.startAt
+		run := o.end - o.start
 		// Bounded slowdown with a 60-second threshold.
 		den := math.Max(run, 60)
 		slows = append(slows, math.Max(1, (wait+run)/den))
-		busyNodeSec += run * float64(j.job.Nodes)
-		if j.endAt > res.Makespan {
-			res.Makespan = j.endAt
+		busyNodeSec += run * float64(o.nodes)
+		if o.end > res.Makespan {
+			res.Makespan = o.end
 		}
 	}
 	res.MeanWait = stats.Mean(waits)
@@ -411,23 +439,22 @@ func (s *Simulator) collect() (*Result, error) {
 	}
 	res.P95Slowdown = p95
 	if res.Makespan > 0 {
-		res.UtilizationPct = 100 * busyNodeSec / (res.Makespan * float64(s.cfg.Nodes))
+		res.UtilizationPct = 100 * busyNodeSec / (res.Makespan * float64(machineNodes))
 	}
 	gini, err := stats.Gini(slows)
 	if err != nil {
 		return nil, err
 	}
 	res.SlowdownGini = gini
-	e, err := s.trace.Energy(0, res.Makespan)
+	e, err := trace.Energy(0, res.Makespan)
 	if err != nil {
 		return nil, err
 	}
 	res.EnergyJ = e
-	res.CapViolationSec = s.capViolSec
-	if s.capViolSec > 0 {
-		res.CapOverRMSW = math.Sqrt(s.capOverSq / s.capViolSec)
+	res.CapViolationSec = capViolSec
+	if capViolSec > 0 {
+		res.CapOverRMSW = math.Sqrt(capOverSq / capViolSec)
 	}
-	s.trace = nil // mark consumed
 	return res, nil
 }
 

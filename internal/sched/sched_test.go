@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"davide/internal/predictor"
@@ -45,14 +46,37 @@ func trainedEstimator(t *testing.T) func(workload.Job) (float64, error) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if err := (Config{Nodes: 0}).Validate(); err == nil {
-		t.Error("zero nodes should error")
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{"ok", Config{Nodes: 1}, ""},
+		{"ok-full", Config{Nodes: 45, PowerCapW: 52000, IdleNodePowerW: 360, ReactiveCapping: true}, ""},
+		{"zero-nodes", Config{Nodes: 0}, "at least one node"},
+		{"negative-nodes", Config{Nodes: -3}, "at least one node"},
+		{"negative-cap", Config{Nodes: 1, PowerCapW: -1}, "negative power cap"},
+		{"negative-idle", Config{Nodes: 1, IdleNodePowerW: -1}, "negative idle power"},
+		// The first failing field wins: nodes before cap before idle.
+		{"nodes-before-cap", Config{Nodes: 0, PowerCapW: -1}, "at least one node"},
+		{"cap-before-idle", Config{Nodes: 1, PowerCapW: -1, IdleNodePowerW: -1}, "negative power cap"},
 	}
-	if err := (Config{Nodes: 1, PowerCapW: -1}).Validate(); err == nil {
-		t.Error("negative cap should error")
-	}
-	if err := (Config{Nodes: 1, IdleNodePowerW: -1}).Validate(); err == nil {
-		t.Error("negative idle should error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -324,6 +324,21 @@ func (db *DB) Samples(node int) int {
 	return 0
 }
 
+// IngestedSamples returns the monotonic count of samples ever accepted
+// for a node. It is the freshness watermark for telemetry-fed control:
+// unlike Samples, it never decreases when the retention policy drops
+// sealed raw chunks, so a chunk drop cannot masquerade as telemetry
+// loss.
+func (db *DB) IngestedSamples(node int) int {
+	sh := db.shard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s := sh.series[node]; s != nil {
+		return s.total
+	}
+	return 0
+}
+
 // Stats summarises the store's footprint.
 type Stats struct {
 	Nodes             int
