@@ -46,7 +46,7 @@ func direction(unit string) int {
 	switch unit {
 	case "ns/op", "ns/sample", "B/op", "B/sample", "wire-B/sample", "allocs/op", "bytes/sample", "max-err-%", "rollup-B":
 		return -1
-	case "samples/s", "compression-x", "decode-speedup-x", "MB/s":
+	case "samples/s", "samples/s/core", "compression-x", "decode-speedup-x", "MB/s":
 		return +1
 	}
 	return 0

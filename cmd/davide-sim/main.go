@@ -11,10 +11,16 @@
 // predictor retraining all work from those measurements (combine with
 // -chaos to watch the scheduler hold the cap on degraded telemetry).
 //
+// With -racks N the telemetry replay runs on the tiered fabric: the
+// fleet is partitioned over N per-rack brokers, each bridged into a
+// spine broker (combine with -chaos bridge-flap to fault the uplinks
+// while the rack tier stays exact).
+//
 // Usage:
 //
 //	davide-sim [-jobs N] [-cap kW] [-policy fcfs|easy] [-reactive] [-seed S]
 //	davide-sim -sched power [-tick S] [-jobs N] [-cap kW] [-chaos preset]
+//	davide-sim -stream 600 -racks 8 [-chaos bridge-flap] [-cpuprofile cpu.out]
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"davide/internal/sched"
@@ -46,23 +54,64 @@ func main() {
 	workers := flag.Int("stream-workers", 0, "concurrent gateways in the replay fleet (0 = one per CPU, 1 = sequential)")
 	codec := flag.String("stream-codec", "binary", "batch wire codec for the replay: binary or json")
 	chaosName := flag.String("chaos", "", "fault-injection preset for the telemetry replay: "+
-		strings.Join(davide.ChaosPresetNames(), ", ")+" (requires -stream or -sched; seeded by -seed)")
+		strings.Join(davide.ChaosPresetNames(), ", ")+" (requires -stream or -sched; seeded by -seed); "+
+		"bridge presets ("+strings.Join(davide.ChaosBridgePresetNames(), ", ")+") fault the rack→spine uplinks and require -racks > 1")
 	chaosBatch := flag.Int("chaos-batch", 64, "samples per MQTT batch under -chaos (smaller batches give per-packet faults statistics)")
+	racks := flag.Int("racks", 1, "rack broker cells for the telemetry replay (>1 = tiered fabric with spine bridges)")
 	schedMode := flag.String("sched", "", "run the live closed-loop control plane instead of the batch simulator: fifo or power")
 	tick := flag.Float64("tick", 30, "live control period in virtual seconds (with -sched)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	// Pure flag validation: reject a bad chaos setup before the
 	// scheduled simulation burns minutes of wall clock.
 	var chaosPlan *davide.ChaosPlan
+	bridgeChaos := davide.IsBridgePreset(*chaosName)
 	if *chaosName != "" {
 		if *stream <= 0 && *schedMode == "" {
 			log.Fatalf("-chaos %q needs a telemetry path: pass -stream <seconds> or -sched <policy>", *chaosName)
+		}
+		if bridgeChaos && *racks <= 1 {
+			log.Fatalf("-chaos %q faults rack→spine uplinks: pass -racks > 1", *chaosName)
+		}
+		if bridgeChaos && *schedMode != "" {
+			log.Fatalf("-chaos %q needs the tiered replay path (-stream); the live control plane is single-broker", *chaosName)
 		}
 		var err error
 		if chaosPlan, err = davide.ChaosPreset(*chaosName, *seed); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *racks < 1 {
+		log.Fatal("-racks must be >= 1")
+	}
+	if *racks > 1 && *schedMode != "" {
+		log.Fatal("-racks applies to -stream replays; the live control plane is single-broker")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); _ = f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	var pol sched.Policy
@@ -152,8 +201,13 @@ func main() {
 	if *stream > 0 {
 		sys.StreamWorkers = *workers
 		sys.StreamCodec = davide.WireCodec(*codec)
+		sys.StreamRacks = *racks
 		if chaosPlan != nil {
-			sys.StreamFaults = chaosPlan
+			if bridgeChaos {
+				sys.BridgeFaults = chaosPlan
+			} else {
+				sys.StreamFaults = chaosPlan
+			}
 			sys.StreamBatchSamples = *chaosBatch
 		}
 		sres, err := sys.StreamWindow(0, *stream, *streamRate, *streamNodes)
@@ -164,13 +218,27 @@ func main() {
 		fmt.Printf("  window               %.0f virtual s at %.0f S/s\n", sres.Window, *streamRate)
 		fmt.Printf("  samples / batches    %d / %d\n", sres.SamplesSent, sres.BatchesSent)
 		fmt.Printf("  broker publishes     %d (dropped %d)\n", sres.BrokerPublishes, sres.BrokerDropped)
+		if sres.Racks > 1 {
+			fmt.Printf("  tiered fabric        %d racks, bridges forwarded %d (dropped %d, redials %d)\n",
+				sres.Racks, sres.Bridge.Forwarded, sres.Bridge.Dropped, sres.Bridge.UplinkRedials)
+		}
 		fmt.Printf("  wire codec           %s (%.2f B/sample, %d fan-out encode hits)\n",
 			*codec, sres.WireBytesPerSample, sres.BrokerFanoutEncodedOnce)
 		fmt.Printf("  pooled buffer reuse  broker %d / clients %d\n",
 			sres.BrokerBufReuses, sres.ClientBufReuses)
 		fmt.Printf("  wall clock           %s\n", sres.WallClock)
 		fmt.Printf("  max energy error     %.4f %%\n", sres.MaxEnergyErrPct)
-		if *chaosName != "" {
+		switch {
+		case bridgeChaos:
+			f := sres.BridgeFaults
+			fmt.Printf("\nBridge chaos scenario %q (seed %d) on the rack→spine uplinks:\n", *chaosName, *seed)
+			fmt.Printf("  injected             drop %d / dup %d / crash %d\n", f.Dropped, f.Duplicated, f.Crashes)
+			fmt.Printf("  uplink redials       %d (retries %d)\n", sres.Bridge.UplinkRedials, sres.Bridge.Retries)
+			fmt.Printf("  samples lost / duped %d / %d (of %d sent)\n",
+				f.SamplesLost, f.SamplesDuplicated, sres.SamplesSent)
+			fmt.Printf("  spine copy           %d samples (published − lost + duplicated), max energy error %.4f %%\n",
+				sres.SpineSamples, sres.SpineMaxEnergyErrPct)
+		case *chaosName != "":
 			f := sres.Faults
 			fmt.Printf("\nChaos scenario %q (seed %d):\n", *chaosName, *seed)
 			fmt.Printf("  injected             drop %d / partition %d / corrupt %d / dup %d / hold %d\n",

@@ -225,6 +225,34 @@ func NewFleet(brokerAddr string, spec GatewaySpec, workers int) (*Fleet, error) 
 	return fleet.New(brokerAddr, spec, workers)
 }
 
+// Tiered telemetry fabric: per-rack brokers bridged into a spine (see
+// internal/fleet's Plane and internal/mqtt's Bridge, DESIGN.md §8).
+type (
+	// Bridge is a broker-to-broker uplink session forwarding topic
+	// filters from a source broker onto a target broker.
+	Bridge = mqtt.Bridge
+	// BridgeOptions configures NewBridge.
+	BridgeOptions = mqtt.BridgeOptions
+	// BridgeStats snapshots a bridge's traffic accounting.
+	BridgeStats = mqtt.BridgeStats
+	// Plane is the tiered fabric: rack broker cells with bridge uplinks
+	// into one spine broker, aggregating into a shared store.
+	Plane = fleet.Plane
+	// PlaneSpec describes a tiered plane.
+	PlaneSpec = fleet.PlaneSpec
+	// PlaneStats reports one Plane.Stream call.
+	PlaneStats = fleet.PlaneStats
+)
+
+// NewBridge dials both brokers and starts forwarding the configured
+// topic filters from sourceAddr onto targetAddr.
+func NewBridge(sourceAddr, targetAddr string, opts BridgeOptions) (*Bridge, error) {
+	return mqtt.NewBridge(sourceAddr, targetAddr, opts)
+}
+
+// NewPlane builds a tiered telemetry plane from spec.
+func NewPlane(spec PlaneSpec) (*Plane, error) { return fleet.NewPlane(spec) }
+
 // Chaos engineering: deterministic fault injection for the telemetry
 // plane (see internal/chaos and the presets in internal/fleet).
 type (
@@ -236,20 +264,32 @@ type (
 	ChaosCounters = chaos.Counters
 )
 
-// Chaos scenario presets for fleet replays.
+// Chaos scenario presets for fleet replays. ChaosBridgeFlap targets the
+// rack→spine uplinks of a tiered plane (keyed by rack index) rather than
+// per-gateway links; apply it through System.BridgeFaults or
+// PlaneSpec.BridgeFaults.
 const (
 	ChaosLossyRack       = fleet.ChaosLossyRack
 	ChaosFlappingGateway = fleet.ChaosFlappingGateway
 	ChaosSplitBrain      = fleet.ChaosSplitBrain
 	ChaosCorruptWire     = fleet.ChaosCorruptWire
+	ChaosBridgeFlap      = fleet.ChaosBridgeFlap
 )
 
 // ChaosPreset builds a named fault scenario; the same (name, seed)
 // injects an identical fault schedule on every run.
 func ChaosPreset(name string, seed int64) (*ChaosPlan, error) { return fleet.ChaosPreset(name, seed) }
 
-// ChaosPresetNames lists the available chaos presets.
+// ChaosPresetNames lists the available gateway-side chaos presets;
+// bridge (uplink) presets are listed by ChaosBridgePresetNames.
 func ChaosPresetNames() []string { return fleet.ChaosPresetNames() }
+
+// ChaosBridgePresetNames lists the available bridge (uplink) presets.
+func ChaosBridgePresetNames() []string { return fleet.ChaosBridgePresetNames() }
+
+// IsBridgePreset reports whether the named preset targets rack→spine
+// uplinks instead of per-gateway links.
+func IsBridgePreset(name string) bool { return fleet.IsBridgePreset(name) }
 
 // ChaosErrBound returns a preset's documented MaxEnergyErrPct bound.
 func ChaosErrBound(name string) (float64, error) { return fleet.ChaosErrBound(name) }

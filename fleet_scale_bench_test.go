@@ -1,0 +1,125 @@
+package davide
+
+// BenchmarkE20TieredFabric is the tiered-fabric scaling experiment
+// (DESIGN.md §8): the same gateway fleet streamed through one broker
+// versus partitioned over per-rack brokers with bridge uplinks into a
+// spine. It pins the two claims the fabric makes:
+//
+//   - throughput scales with racks: the single-broker path serialises
+//     every node through one broker goroutine and one ingest funnel (the
+//     flat scaling E16's ingest tiers exposed), while rack cells run
+//     truly in parallel — on a multicore runner 8 racks must clear >1.5×
+//     the 1-rack samples/s at 256 nodes and ≥4× at 1024;
+//   - parallelism is free of nondeterminism: the per-seed fleet energy
+//     total is bit-identical between the 1-rack and 8-rack planes.
+//
+// Tiers: 256 (the CI regression-gate tier), 1024, and 4096 nodes
+// (skipped under -short); the 10240-node tier lives behind the `soak`
+// build tag in fleet_scale_soak_test.go. Speedup assertions only engage
+// with GOMAXPROCS >= 8 — a single-core runner measures the fabric's
+// overhead, not its parallelism.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"davide/internal/fleet"
+	"davide/internal/sensor"
+)
+
+// e20Streams builds distinct per-node waveforms so a cross-node mixup
+// cannot cancel out in a fleet total.
+func e20Streams(n int) []fleet.NodeStream {
+	out := make([]fleet.NodeStream, n)
+	for i := range out {
+		out[i] = fleet.NodeStream{
+			Node: i,
+			Signal: sensor.Sum{
+				sensor.Const(300 + float64(i%32)),
+				sensor.Square{Low: 0, High: 900, Period: 2 + 0.01*float64(i%100), Duty: 0.4},
+			},
+		}
+	}
+	return out
+}
+
+func BenchmarkE20TieredFabric(b *testing.B) {
+	// 200 samples/node per iteration, batched at 64 — enough batches per
+	// node that broker fan-out and ingest sharding dominate, not setup.
+	const t0, t1, sampleRate, batch = 0.0, 4.0, 50.0, 64
+	type cfg struct{ nodes, racks int }
+	cfgs := []cfg{{256, 1}, {256, 8}, {1024, 1}, {1024, 8}, {4096, 8}}
+	rate := make(map[cfg]float64)
+	energy := make(map[cfg]float64)
+	for _, c := range cfgs {
+		if c.nodes >= 4096 && testing.Short() {
+			continue
+		}
+		name := fmt.Sprintf("%dnodes-%drack", c.nodes, c.racks)
+		if c.racks > 1 {
+			name += "s"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := fleet.NewPlane(fleet.PlaneSpec{
+				Racks:     c.racks,
+				NodesHint: c.nodes,
+				Gateway: fleet.GatewaySpec{
+					SampleRate: sampleRate, BatchSamples: batch, ClientPrefix: "e20gw",
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = p.Close() }()
+			streams := e20Streams(c.nodes)
+			var st fleet.PlaneStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err = p.Stream(context.Background(), streams, t0, t1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st.Bridge.Dropped != 0 {
+				b.Fatalf("bridge backpressure dropped %d with sized queues", st.Bridge.Dropped)
+			}
+			for _, ns := range st.PerNode {
+				if !ns.Delivered {
+					b.Fatalf("node %d not delivered", ns.Node)
+				}
+			}
+			perSec := float64(st.Samples) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "samples/s")
+			b.ReportMetric(perSec/float64(runtime.GOMAXPROCS(0)), "samples/s/core")
+			b.ReportMetric(float64(st.Samples), "samples")
+			tot, err := p.EnergyTotal(t0, t1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate[c] = perSec
+			energy[c] = tot
+		})
+	}
+
+	// Determinism contract: rack partitioning must not move a single bit
+	// of the fleet energy total.
+	for _, nodes := range []int{256, 1024} {
+		e1, ok1 := energy[cfg{nodes, 1}]
+		e8, ok8 := energy[cfg{nodes, 8}]
+		if ok1 && ok8 && e1 != e8 {
+			b.Fatalf("%d nodes: 8-rack energy %v != 1-rack %v (bit-identical required)", nodes, e8, e1)
+		}
+	}
+	// Scaling claims need real cores to parallelise over.
+	if runtime.GOMAXPROCS(0) >= 8 {
+		if r1, r8 := rate[cfg{256, 1}], rate[cfg{256, 8}]; r1 > 0 && r8 <= 1.5*r1 {
+			b.Errorf("256 nodes: 8 racks %.0f samples/s vs 1 rack %.0f — want >1.5x", r8, r1)
+		}
+		if r1, r8 := rate[cfg{1024, 1}], rate[cfg{1024, 8}]; r1 > 0 && r8 < 4*r1 {
+			b.Errorf("1024 nodes: 8 racks %.0f samples/s vs 1 rack %.0f — want >=4x", r8, r1)
+		}
+	}
+}

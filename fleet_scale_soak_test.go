@@ -1,0 +1,61 @@
+//go:build soak
+
+package davide
+
+// The 10k-node tier of the tiered-fabric experiment (DESIGN.md §8).
+// Behind the `soak` tag because it opens ~2 file descriptors per
+// gateway: raise the limit first (ulimit -n 32768) and expect minutes,
+// not seconds, on a laptop:
+//
+//	go test -tags soak -run '^$' -bench E20TieredFabric10k -benchtime 1x .
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"davide/internal/fleet"
+)
+
+func BenchmarkE20TieredFabric10k(b *testing.B) {
+	const t0, t1, sampleRate, batch = 0.0, 4.0, 50.0, 64
+	const nodes, racks = 10240, 16
+	p, err := fleet.NewPlane(fleet.PlaneSpec{
+		Racks:     racks,
+		NodesHint: nodes,
+		Gateway: fleet.GatewaySpec{
+			SampleRate: sampleRate, BatchSamples: batch, ClientPrefix: "e20gw",
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	streams := e20Streams(nodes)
+	var st fleet.PlaneStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err = p.Stream(context.Background(), streams, t0, t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st.Bridge.Dropped != 0 {
+		b.Fatalf("bridge backpressure dropped %d with sized queues", st.Bridge.Dropped)
+	}
+	undelivered := 0
+	for _, ns := range st.PerNode {
+		if !ns.Delivered {
+			undelivered++
+		}
+	}
+	if undelivered > 0 {
+		b.Fatal(fmt.Sprintf("%d of %d nodes not delivered", undelivered, nodes))
+	}
+	perSec := float64(st.Samples) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "samples/s")
+	b.ReportMetric(perSec/float64(runtime.GOMAXPROCS(0)), "samples/s/core")
+	b.ReportMetric(float64(st.Samples), "samples")
+}

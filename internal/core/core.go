@@ -72,6 +72,20 @@ type System struct {
 	// smaller batches so per-packet faults get statistics.
 	StreamBatchSamples int
 
+	// StreamRacks, when > 1, routes telemetry replays through the tiered
+	// fabric (fleet.Plane): per-rack brokers with bridge uplinks into a
+	// spine, instead of one broker for the whole fleet. 0 or 1 keeps the
+	// paper's single-broker pilot layout. RunLive always runs
+	// single-broker (the control plane is pilot-scale by construction).
+	StreamRacks int
+
+	// BridgeFaults, when non-nil, injects deterministic faults on the
+	// rack→spine uplinks of a tiered replay (plan keyed by rack index;
+	// see fleet.ChaosBridgePresetNames). Requires StreamRacks > 1. The
+	// replay then also attaches a spine-side verification aggregator and
+	// reports the spine copy's accounting in the result.
+	BridgeFaults *chaos.Plan
+
 	// Node power signals from the last RunScheduled, one per node.
 	signals []*sensor.Piecewise
 	// The telemetry store filled by the most recent replay
@@ -302,6 +316,25 @@ type StreamResult struct {
 	// for every preset (asserted by E18); non-zero means unaccounted
 	// loss.
 	StoreOutOfOrderDropped int
+	// Racks is the number of rack broker cells the replay streamed
+	// through (1 = the single-broker pilot path). On the tiered path the
+	// Broker* fields above sum over the rack brokers — the primary
+	// ingest tier; the spine's own traffic is accounted by Bridge.
+	Racks int
+	// Bridge sums the rack→spine uplink accounting (zero on the
+	// single-broker path).
+	Bridge mqtt.BridgeStats
+	// BridgeFaults sums the injected uplink faults (zero unless
+	// System.BridgeFaults was set).
+	BridgeFaults chaos.Counters
+	// SpineSamples is the verified sample count of the spine copy,
+	// and SpineMaxEnergyErrPct the worst per-node deviation between the
+	// spine copy's energy and the rack-tier ingest. Both are populated
+	// only when System.BridgeFaults is set (the spine verification
+	// aggregator costs a full extra ingest path, so it is attached only
+	// when the spine copy is the object under test).
+	SpineSamples         int
+	SpineMaxEnergyErrPct float64
 }
 
 // chaosSafeBatch reconciles a faulted replay's per-batch sample count
@@ -420,6 +453,12 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	if nodes <= 0 || nodes > len(s.signals) {
 		nodes = len(s.signals)
 	}
+	if s.BridgeFaults != nil && s.StreamRacks <= 1 {
+		return StreamResult{}, errors.New("core: BridgeFaults requires a tiered replay (StreamRacks > 1)")
+	}
+	if s.StreamRacks > 1 {
+		return s.streamWindowTiered(t0, t1, sampleRate, nodes)
+	}
 	start := time.Now()
 
 	pl, err := s.newPlant(nodes, sampleRate, "gw", 1000, "core-aggregator")
@@ -449,7 +488,7 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	}
 	s.store = db
 	res := StreamResult{
-		Window: t1 - t0, NodesStreamed: nodes,
+		Window: t1 - t0, NodesStreamed: nodes, Racks: 1,
 		SamplesSent: st.Samples, BatchesSent: st.Batches, PerNode: st.PerNode,
 		WireBytesPerSample:     st.WireBytesPerSample(),
 		ClientBufReuses:        st.ClientBufReuses,
@@ -460,26 +499,162 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 		StoreOutOfOrderDropped: db.Stats().OutOfOrderDropped,
 	}
 
-	for n := 0; n < nodes; n++ {
-		got, err := agg.NodeEnergy(n, t0, t1)
-		if err != nil {
-			return StreamResult{}, fmt.Errorf("core: node %d telemetry: %w", n, err)
-		}
-		want, err := s.signals[n].Energy(t0, t1)
-		if err != nil {
-			return StreamResult{}, err
-		}
-		if want > 0 {
-			errPct := 100 * math.Abs(got-want) / want
-			if errPct > res.MaxEnergyErrPct {
-				res.MaxEnergyErrPct = errPct
-			}
-		}
+	res.MaxEnergyErrPct, err = s.maxEnergyErrPct(agg, t0, t1, nodes)
+	if err != nil {
+		return StreamResult{}, err
 	}
 	res.BrokerPublishes = pl.broker.Stats.PublishesOut.Load()
 	res.BrokerDropped = pl.broker.Stats.Dropped.Load()
 	res.BrokerFanoutEncodedOnce = pl.broker.Stats.FanoutEncodedOnce.Load()
 	res.BrokerBufReuses = pl.broker.Stats.BufReuses.Load()
+	res.WallClock = time.Since(start)
+	return res, nil
+}
+
+// maxEnergyErrPct verifies the aggregator's per-node energies against
+// the analytic truth over [t0, t1] and returns the worst deviation.
+func (s *System) maxEnergyErrPct(agg *telemetry.Aggregator, t0, t1 float64, nodes int) (float64, error) {
+	worst := 0.0
+	for n := 0; n < nodes; n++ {
+		got, err := agg.NodeEnergy(n, t0, t1)
+		if err != nil {
+			return 0, fmt.Errorf("core: node %d telemetry: %w", n, err)
+		}
+		want, err := s.signals[n].Energy(t0, t1)
+		if err != nil {
+			return 0, err
+		}
+		if want > 0 {
+			if errPct := 100 * math.Abs(got-want) / want; errPct > worst {
+				worst = errPct
+			}
+		}
+	}
+	return worst, nil
+}
+
+// streamWindowTiered is StreamWindow on the tiered fabric: the fleet is
+// partitioned over StreamRacks rack brokers (fleet.Plane), each with its
+// own ingest pool into one shared store, and bridges forward every
+// rack's stream into a spine broker. When BridgeFaults is set, a
+// verification aggregator rides the spine and the result carries the
+// spine copy's accounting next to the rack-tier truth.
+func (s *System) streamWindowTiered(t0, t1, sampleRate float64, nodes int) (StreamResult, error) {
+	start := time.Now()
+	batchSamples, err := chaosSafeBatch(s.StreamFaults, nodes, s.StreamBatchSamples, s.StoreOptions)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	p, err := fleet.NewPlane(fleet.PlaneSpec{
+		Racks:     s.StreamRacks,
+		NodesHint: nodes,
+		Gateway: fleet.GatewaySpec{
+			SampleRate: sampleRate, ClientPrefix: "gw", SeedBase: 1000,
+			Codec: s.StreamCodec, Faults: s.StreamFaults,
+			BatchSamples: batchSamples,
+		},
+		BridgeFaults: s.BridgeFaults,
+		StoreOptions: s.StoreOptions,
+	})
+	if err != nil {
+		return StreamResult{}, err
+	}
+	defer func() { _ = p.Close() }()
+	agg := p.Aggregator()
+
+	// The spine copy is the object under test only when uplink faults
+	// are injected; attach its verification aggregator before any
+	// traffic flows so the ledger is complete.
+	var spineAgg *telemetry.Aggregator
+	if s.BridgeFaults != nil {
+		spineAgg = telemetry.NewAggregator()
+		ingest, sub, err := spineAgg.AttachParallel(p.SpineAddr(), "core-spine-verify", 0)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		defer ingest.Close()
+		defer func() { _ = sub.Close() }()
+	}
+
+	streams := make([]fleet.NodeStream, nodes)
+	for n := 0; n < nodes; n++ {
+		streams[n] = fleet.NodeStream{Node: n, Signal: s.signals[n]}
+	}
+	st, err := p.Stream(context.Background(), streams, t0, t1)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	if st.Faults.Corrupted > 0 {
+		// Same barrier as the single-broker path: settle the corrupted-
+		// payload counters before reading them.
+		wctx, cancel := context.WithTimeout(context.Background(), fleet.DefaultWaitTimeout)
+		_ = agg.WaitDropped(wctx, int(st.Faults.Corrupted))
+		cancel()
+	}
+	s.store = p.Store()
+	res := StreamResult{
+		Window: t1 - t0, NodesStreamed: nodes, Racks: st.Racks,
+		SamplesSent: st.Samples, BatchesSent: st.Batches, PerNode: st.PerNode,
+		WireBytesPerSample:     st.WireBytesPerSample(),
+		ClientBufReuses:        st.ClientBufReuses,
+		Faults:                 st.Faults,
+		GatewayRestarts:        st.Restarts,
+		Bridge:                 st.Bridge,
+		BridgeFaults:           st.BridgeFaults,
+		ReorderedBatches:       agg.Reordered(),
+		UndecodableDropped:     agg.Dropped(),
+		StoreOutOfOrderDropped: p.Store().Stats().OutOfOrderDropped,
+	}
+	res.MaxEnergyErrPct, err = s.maxEnergyErrPct(agg, t0, t1, nodes)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	for r := 0; r < p.Racks(); r++ {
+		bs := &p.RackBroker(r).Stats
+		res.BrokerPublishes += bs.PublishesOut.Load()
+		res.BrokerDropped += bs.Dropped.Load()
+		res.BrokerFanoutEncodedOnce += bs.FanoutEncodedOnce.Load()
+		res.BrokerBufReuses += bs.BufReuses.Load()
+	}
+
+	if spineAgg != nil {
+		// The spine copy must account to exactly published − lost +
+		// duplicated (the uplink fault ledger), then its energies are
+		// checked against the rack-tier ingest.
+		want := st.Samples - int(st.BridgeFaults.SamplesLost) + int(st.BridgeFaults.SamplesDuplicated)
+		spineTotal := func() int {
+			got := 0
+			for n := 0; n < nodes; n++ {
+				got += spineAgg.Samples(n)
+			}
+			return got
+		}
+		deadline := time.Now().Add(fleet.DefaultWaitTimeout)
+		for spineTotal() != want && time.Now().Before(deadline) {
+			time.Sleep(500 * time.Microsecond)
+		}
+		if got := spineTotal(); got != want {
+			return StreamResult{}, fmt.Errorf(
+				"core: spine copy settled at %d samples, want %d (published %d − lost %d + duplicated %d)",
+				got, want, st.Samples, st.BridgeFaults.SamplesLost, st.BridgeFaults.SamplesDuplicated)
+		}
+		res.SpineSamples = want
+		for n := 0; n < nodes; n++ {
+			ref, err := agg.NodeEnergy(n, t0, t1)
+			if err != nil {
+				return StreamResult{}, fmt.Errorf("core: node %d rack-tier telemetry: %w", n, err)
+			}
+			got, err := spineAgg.NodeEnergy(n, t0, t1)
+			if err != nil {
+				return StreamResult{}, fmt.Errorf("core: node %d spine telemetry: %w", n, err)
+			}
+			if ref > 0 {
+				if errPct := 100 * math.Abs(got-ref) / ref; errPct > res.SpineMaxEnergyErrPct {
+					res.SpineMaxEnergyErrPct = errPct
+				}
+			}
+		}
+	}
 	res.WallClock = time.Since(start)
 	return res, nil
 }

@@ -1,0 +1,415 @@
+package fleet
+
+// Plane is the tiered telemetry fabric at full scale: N per-rack brokers,
+// each fed by its own slice of the gateway fleet and drained by its own
+// ingest pool, with a bridge session forwarding every rack's telemetry
+// topics into one spine broker for fabric-wide consumers. The paper's
+// pilot (45 nodes, one broker) is the Racks=1 degenerate case; the tiered
+// layout is how the same architecture reaches O(1k–10k) nodes without
+// serialising the whole fleet through one broker goroutine.
+//
+// Data paths:
+//
+//	gateways ── rack broker ── rack ingest pool ── shared Aggregator/store
+//	                └── bridge ── spine broker ── (attach-on-demand consumers)
+//
+// The primary aggregator ingests at the rack tier (shortest path, what
+// the E20 benchmarks measure); the spine carries the same stream for
+// consumers that want one subscription over the whole fabric — attach
+// one with telemetry.(*Aggregator).AttachParallel(SpineAddr(), ...).
+//
+// Determinism contract (DESIGN.md §8): a node's published samples depend
+// only on (SeedBase+node, its PTP clock seed, the window), its delivery
+// order is preserved per node end to end (one gateway session in, FIFO
+// broker session queues, topic-sharded ingest), and each node's state
+// lives on exactly one aggregator/store stripe. Rack partitioning moves
+// nodes between brokers but changes none of those, so the same seed
+// yields bit-identical per-node series — and EnergyTotal, which sums in
+// sorted node order, yields bit-identical fleet totals — for any Racks.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"davide/internal/chaos"
+	"davide/internal/gateway"
+	"davide/internal/mqtt"
+	"davide/internal/telemetry"
+	"davide/internal/tsdb"
+)
+
+// PlaneSpec describes a tiered plane. Zero worker/queue fields are sized
+// to the machine and the NodesHint.
+type PlaneSpec struct {
+	// Racks is the number of per-rack broker cells (>= 1).
+	Racks int
+	// Gateway configures every rack's fleet (one gateway per node, as in
+	// Fleet). Gateway.Faults, if set, injects per-gateway transport
+	// faults exactly as in a single-broker fleet.
+	Gateway GatewaySpec
+	// NodesHint is the expected total node count, used to size broker
+	// session queues so a full window's batches never overflow a
+	// subscriber queue (default 1024 nodes).
+	NodesHint int
+	// WorkersPerRack bounds each rack fleet's publish pool (default
+	// GOMAXPROCS/Racks, min 1 — all racks together saturate the cores).
+	WorkersPerRack int
+	// IngestWorkers sizes each rack's decode pool (default
+	// GOMAXPROCS/Racks, min 1).
+	IngestWorkers int
+	// BridgeQueue bounds each bridge's decoupling queue (default: the
+	// rack broker's session queue depth).
+	BridgeQueue int
+	// BridgeQoS1 upgrades uplink forwards to QoS 1 (lossless across
+	// uplink teardown; see mqtt.BridgeOptions.ForceQoS1).
+	BridgeQoS1 bool
+	// BridgeFaults, when non-nil, injects deterministic faults on the
+	// rack→spine uplinks. The plan is keyed by *rack index*, not node
+	// ID. Faults here only shape the spine copy of the stream — the
+	// primary aggregator sits below the bridges and never sees them.
+	BridgeFaults *chaos.Plan
+	// Store, when non-nil, is the shared store the plane aggregates
+	// into; otherwise a fresh store is built from StoreOptions.
+	Store        *tsdb.DB
+	StoreOptions tsdb.Options
+}
+
+func (sp PlaneSpec) withDefaults() PlaneSpec {
+	if sp.NodesHint <= 0 {
+		sp.NodesHint = 1024
+	}
+	perRack := max(1, runtime.GOMAXPROCS(0)/sp.Racks)
+	if sp.WorkersPerRack <= 0 {
+		sp.WorkersPerRack = perRack
+	}
+	if sp.IngestWorkers <= 0 {
+		sp.IngestWorkers = perRack
+	}
+	return sp
+}
+
+// rackQueueDepth sizes a rack broker's per-session queue: every node in
+// the rack can have a window's worth of batches in flight toward the
+// rack's two subscriber sessions (ingest + bridge), so scale with the
+// rack's node share, 4 messages of slack per node, floor at the broker
+// default.
+func (sp PlaneSpec) rackQueueDepth() int {
+	nodesPerRack := (sp.NodesHint + sp.Racks - 1) / sp.Racks
+	return max(1024, 4*nodesPerRack)
+}
+
+func (sp PlaneSpec) spineQueueDepth() int {
+	return max(1024, 4*sp.NodesHint)
+}
+
+// rackCell is one rack's slice of the fabric.
+type rackCell struct {
+	broker *mqtt.Broker
+	fleet  *Fleet
+	ingest *telemetry.Ingest
+	sub    *mqtt.Client
+	bridge *mqtt.Bridge
+	link   *chaos.Link // uplink chaos link, nil without BridgeFaults
+}
+
+// Plane owns a spine broker, Racks rack cells, and one shared
+// store-backed aggregator fed at the rack tier.
+type Plane struct {
+	spec  PlaneSpec
+	spine *mqtt.Broker
+	db    *tsdb.DB
+	agg   *telemetry.Aggregator
+	racks []*rackCell
+	once  sync.Once
+}
+
+// PlaneStats reports one Plane.Stream call. The embedded StreamStats is
+// the rack fleets' merged accounting (Wall spans the whole rack-parallel
+// fan-out); bridge fields account the rack→spine hop.
+type PlaneStats struct {
+	StreamStats
+	Racks   int
+	PerRack []StreamStats
+	// Bridge sums the bridges' counter deltas for this stream window.
+	Bridge mqtt.BridgeStats
+	// BridgeFaults sums the uplink chaos deltas for this window (zero
+	// without BridgeFaults).
+	BridgeFaults chaos.Counters
+}
+
+// NewPlane builds the spine, the rack cells and the shared aggregator.
+// Gateways dial lazily on first Stream, so a 10k-node plane costs only
+// its brokers until streamed.
+func NewPlane(spec PlaneSpec) (*Plane, error) {
+	if spec.Racks < 1 {
+		return nil, errors.New("fleet: plane needs at least one rack")
+	}
+	if err := spec.BridgeFaults.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: bridge faults: %w", err)
+	}
+	spec = spec.withDefaults()
+	db := spec.Store
+	if db == nil {
+		db = tsdb.New(spec.StoreOptions)
+	}
+	p := &Plane{spec: spec, db: db, agg: telemetry.NewAggregatorOn(db)}
+	spine, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	spine.QueueDepth = spec.spineQueueDepth()
+	p.spine = spine
+	for r := 0; r < spec.Racks; r++ {
+		cell, err := p.buildRack(r)
+		if err != nil {
+			_ = p.Close()
+			return nil, fmt.Errorf("fleet: rack %d: %w", r, err)
+		}
+		p.racks = append(p.racks, cell)
+	}
+	return p, nil
+}
+
+func (p *Plane) buildRack(r int) (*rackCell, error) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	broker.QueueDepth = p.spec.rackQueueDepth()
+	cell := &rackCell{broker: broker}
+	fail := func(err error) (*rackCell, error) {
+		cell.close()
+		return nil, err
+	}
+	cell.fleet, err = New(broker.Addr(), p.spec.Gateway, p.spec.WorkersPerRack)
+	if err != nil {
+		return fail(err)
+	}
+	cell.ingest, cell.sub, err = p.agg.AttachParallel(
+		broker.Addr(), fmt.Sprintf("plane-agg-r%02d", r), p.spec.IngestWorkers)
+	if err != nil {
+		return fail(err)
+	}
+	if p.spec.BridgeFaults != nil {
+		cell.link, err = p.spec.BridgeFaults.NewLink(r)
+		if err != nil {
+			return fail(err)
+		}
+		cell.link.SetSizer(gateway.PayloadSamples)
+	}
+	queue := p.spec.BridgeQueue
+	if queue <= 0 {
+		queue = p.spec.rackQueueDepth()
+	}
+	cell.bridge, err = mqtt.NewBridge(broker.Addr(), p.spine.Addr(), mqtt.BridgeOptions{
+		Name: fmt.Sprintf("bridge-r%02d", r),
+		Filters: []mqtt.Subscription{
+			{Filter: gateway.TopicPrefix + "/+/power", QoS: 0},
+			{Filter: gateway.TopicPrefix + "/+/energy", QoS: 1},
+		},
+		QueueDepth: queue,
+		ForceQoS1:  p.spec.BridgeQoS1,
+		Link:       linkOrNil(cell.link),
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return cell, nil
+}
+
+// linkOrNil avoids handing mqtt a typed-nil Link interface.
+func linkOrNil(l *chaos.Link) mqtt.Link {
+	if l == nil {
+		return nil
+	}
+	return l
+}
+
+func (c *rackCell) close() {
+	if c.fleet != nil {
+		_ = c.fleet.Close()
+	}
+	if c.bridge != nil {
+		_ = c.bridge.Close()
+	}
+	if c.sub != nil {
+		_ = c.sub.Close()
+	}
+	if c.ingest != nil {
+		c.ingest.Close()
+	}
+	if c.broker != nil {
+		_ = c.broker.Close()
+	}
+}
+
+// Aggregator returns the shared rack-tier aggregator.
+func (p *Plane) Aggregator() *telemetry.Aggregator { return p.agg }
+
+// Store returns the shared store behind the aggregator.
+func (p *Plane) Store() *tsdb.DB { return p.db }
+
+// SpineAddr returns the spine broker's address, for fabric-wide
+// consumers.
+func (p *Plane) SpineAddr() string { return p.spine.Addr() }
+
+// SpineBroker exposes the spine broker (stats inspection, Kick-based
+// resilience drills).
+func (p *Plane) SpineBroker() *mqtt.Broker { return p.spine }
+
+// RackAddr returns rack r's broker address.
+func (p *Plane) RackAddr(r int) string { return p.racks[r].broker.Addr() }
+
+// RackBroker exposes rack r's broker (stats inspection, Kick-based
+// resilience drills).
+func (p *Plane) RackBroker(r int) *mqtt.Broker { return p.racks[r].broker }
+
+// Racks returns the rack count.
+func (p *Plane) Racks() int { return len(p.racks) }
+
+// RackFor returns the rack index Stream assigns the i-th stream of n
+// (contiguous equal shares over the node-sorted order).
+func RackFor(i, n, racks int) int { return i * racks / n }
+
+// partition splits the streams into contiguous node-sorted shares, one
+// per rack. Sorting first makes the assignment a pure function of the
+// node set, independent of caller order.
+func (p *Plane) partition(streams []NodeStream) [][]NodeStream {
+	sorted := append([]NodeStream(nil), streams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	parts := make([][]NodeStream, len(p.racks))
+	for i, ns := range sorted {
+		r := RackFor(i, len(sorted), len(p.racks))
+		parts[r] = append(parts[r], ns)
+	}
+	return parts
+}
+
+// Stream replays [t0, t1) of every node signal through the plane: each
+// rack streams its share concurrently through its own broker and ingest
+// pool into the shared aggregator, then the bridges drain so the spine
+// copy is complete before the call returns. Delivery accounting is
+// per-node exact, as in Fleet.Stream.
+func (p *Plane) Stream(ctx context.Context, streams []NodeStream, t0, t1 float64) (PlaneStats, error) {
+	if len(streams) == 0 {
+		return PlaneStats{}, errors.New("fleet: no nodes to stream")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bridgeBefore := make([]mqtt.BridgeStats, len(p.racks))
+	faultsBefore := make([]chaos.Counters, len(p.racks))
+	for r, cell := range p.racks {
+		bridgeBefore[r] = cell.bridge.Stats()
+		if cell.link != nil {
+			faultsBefore[r] = cell.link.Counters()
+		}
+	}
+
+	parts := p.partition(streams)
+	start := time.Now()
+	perRack := make([]StreamStats, len(p.racks))
+	errs := make([]error, len(p.racks))
+	var wg sync.WaitGroup
+	for r, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int, part []NodeStream) {
+			defer wg.Done()
+			perRack[r], errs[r] = p.racks[r].fleet.Stream(ctx, part, t0, t1, p.agg)
+		}(r, part)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return PlaneStats{}, err
+	}
+
+	// The rack-tier handshake above confirmed primary ingest; drain the
+	// bridges so the spine copy (and the uplink fault ledger) is settled
+	// too. Bound the wait when the caller's context has no deadline.
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, DefaultWaitTimeout)
+		defer cancel()
+	}
+	for _, cell := range p.racks {
+		if err := cell.bridge.Drain(dctx); err != nil {
+			return PlaneStats{}, fmt.Errorf("fleet: bridge drain: %w", err)
+		}
+	}
+
+	stats := PlaneStats{Racks: len(p.racks), PerRack: perRack}
+	for r, rs := range perRack {
+		stats.Nodes += rs.Nodes
+		stats.Samples += rs.Samples
+		stats.Batches += rs.Batches
+		stats.Bytes += rs.Bytes
+		stats.WireBytes += rs.WireBytes
+		stats.ClientBufReuses += rs.ClientBufReuses
+		stats.Restarts += rs.Restarts
+		stats.Faults.Add(rs.Faults)
+		stats.PerNode = append(stats.PerNode, rs.PerNode...)
+		delta := p.racks[r].bridge.Stats()
+		delta.Forwarded -= bridgeBefore[r].Forwarded
+		delta.ForwardedBytes -= bridgeBefore[r].ForwardedBytes
+		delta.Dropped -= bridgeBefore[r].Dropped
+		delta.Retries -= bridgeBefore[r].Retries
+		delta.UplinkRedials -= bridgeBefore[r].UplinkRedials
+		delta.SourceRedials -= bridgeBefore[r].SourceRedials
+		stats.Bridge.Add(delta)
+		if p.racks[r].link != nil {
+			stats.BridgeFaults.Add(p.racks[r].link.Counters().Minus(faultsBefore[r]))
+		}
+	}
+	sort.Slice(stats.PerNode, func(i, j int) bool { return stats.PerNode[i].Node < stats.PerNode[j].Node })
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+// EnergyTotal sums per-node energy over [t0, t1] in sorted node order —
+// the fleet total the determinism contract pins: for a fixed seed it is
+// bit-identical for any rack partitioning of the same node set.
+func (p *Plane) EnergyTotal(t0, t1 float64) (float64, error) {
+	total := 0.0
+	for _, node := range p.agg.Nodes() {
+		e, err := p.agg.NodeEnergy(node, t0, t1)
+		if err != nil {
+			return 0, err
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// Close tears the plane down: fleets first (no new input), then bridges,
+// ingest pools, rack brokers, spine.
+func (p *Plane) Close() error {
+	var first error
+	p.once.Do(func() {
+		for _, cell := range p.racks {
+			if cell.fleet != nil {
+				if err := cell.fleet.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		for _, cell := range p.racks {
+			cell.fleet = nil // close() must not double-close
+			cell.close()
+		}
+		if p.spine != nil {
+			if err := p.spine.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	})
+	return first
+}

@@ -33,6 +33,15 @@ const (
 	// corruption (always detected, never silently ingested) with light
 	// loss and duplication.
 	ChaosCorruptWire = "corrupt-wire"
+	// ChaosBridgeFlap is a *bridge* preset (rack→spine uplinks, not
+	// gateway links): it models flapping spine connectivity — periodic
+	// uplink session crashes, which the bridge redials through, plus
+	// light loss and duplication on the hop. The "node" key of the plan
+	// is the rack index. Apply it via PlaneSpec.BridgeFaults (or
+	// `davide-sim -racks N -chaos bridge-flap`); it never appears in
+	// ChaosPresetNames, so gateway-side suites cannot pick it up by
+	// iteration.
+	ChaosBridgeFlap = "bridge-flap"
 )
 
 // chaosPreset couples a plan constructor with the preset's documented
@@ -41,6 +50,9 @@ const (
 type chaosPreset struct {
 	mk          func(seed int64) *chaos.Plan
 	errBoundPct float64
+	// bridge marks presets meant for rack→spine uplinks (plan keyed by
+	// rack index) rather than per-gateway links (keyed by node ID).
+	bridge bool
 }
 
 // chaosPresets maps preset names to their definitions.
@@ -75,15 +87,37 @@ var chaosPresets = map[string]chaosPreset{
 			Corrupt: 0.05, Drop: 0.01, Dup: 0.01,
 		}}
 	}},
+	// The bridge-flap bound is looser than the raw 1% batch loss
+	// suggests because a dropped *uplink* batch holes the spine copy for
+	// a whole batch span (batch/rate seconds); on piecewise-constant
+	// pilot signals the hole is bridged by the last power level, so 3%
+	// holds for the E18-style replay geometry (64-sample batches, steps
+	// much longer than a batch). Crashes cost nothing: the bridge
+	// redials and retries the same message.
+	ChaosBridgeFlap: {errBoundPct: 3, bridge: true, mk: func(seed int64) *chaos.Plan {
+		return &chaos.Plan{Seed: seed, Default: chaos.Spec{
+			Drop: 0.01, Dup: 0.01, CrashEvery: 30,
+		}}
+	}},
 }
 
 // lookupChaosPreset resolves a preset name or reports the available ones.
 func lookupChaosPreset(name string) (chaosPreset, error) {
 	p, ok := chaosPresets[name]
 	if !ok {
-		return chaosPreset{}, fmt.Errorf("fleet: unknown chaos preset %q (have %s)", name, strings.Join(ChaosPresetNames(), ", "))
+		all := append(ChaosPresetNames(), ChaosBridgePresetNames()...)
+		sort.Strings(all)
+		return chaosPreset{}, fmt.Errorf("fleet: unknown chaos preset %q (have %s)", name, strings.Join(all, ", "))
 	}
 	return p, nil
+}
+
+// IsBridgePreset reports whether the named preset targets rack→spine
+// uplinks (plan keyed by rack index) instead of per-gateway links.
+// Unknown names report false; resolve them with ChaosPreset for the
+// real error.
+func IsBridgePreset(name string) bool {
+	return chaosPresets[name].bridge
 }
 
 // ChaosErrBound returns the documented MaxEnergyErrPct bound for a
@@ -96,11 +130,29 @@ func ChaosErrBound(name string) (float64, error) {
 	return p.errBoundPct, nil
 }
 
-// ChaosPresetNames lists the available presets, sorted.
+// ChaosPresetNames lists the available *gateway* presets, sorted. The
+// E18 suite iterates this list over per-gateway fault plans, so bridge
+// presets (keyed by rack, applied on uplinks) are listed separately by
+// ChaosBridgePresetNames.
 func ChaosPresetNames() []string {
 	names := make([]string, 0, len(chaosPresets))
-	for n := range chaosPresets {
-		names = append(names, n)
+	for n, p := range chaosPresets {
+		if !p.bridge {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosBridgePresetNames lists the available bridge (uplink) presets,
+// sorted.
+func ChaosBridgePresetNames() []string {
+	var names []string
+	for n, p := range chaosPresets {
+		if p.bridge {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -108,18 +108,35 @@ type nodeMeta struct {
 	lastT     float64 // newest sample timestamp ingested
 }
 
+// aggShard is one lock stripe of the aggregator's per-node state. All
+// state for a given node lives on exactly one stripe, so concurrent
+// ingest pools (one per rack in the tiered fabric) only contend when
+// they land on the same stripe — never on one global mutex.
+type aggShard struct {
+	mu       sync.RWMutex
+	series   map[int]*NodeSeries // raw fallback mode only
+	meta     map[int]*nodeMeta
+	energies map[int][]gateway.EnergySummary
+	waiters  waitQueue // WaitSamples, keyed by node
+}
+
 // Aggregator subscribes to gateway topics and maintains per-node series.
 // It is safe for concurrent use (the MQTT reader goroutine feeds it while
 // experiment code queries it). By default it writes through to a tsdb.DB
 // and answers queries from the store's compressed chunks and rollups.
+//
+// Per-node state is striped across power-of-two shards sized like the
+// store's (tsdb.ShardCountFor), so N rack-parallel ingest pools feeding
+// one aggregator scale with cores instead of serialising on a single
+// mutex. The only global state is the dropped-message counter, which is
+// off the sample hot path.
 type Aggregator struct {
-	mu       sync.RWMutex
-	db       *tsdb.DB            // nil in raw fallback mode
-	series   map[int]*NodeSeries // raw fallback mode only
-	meta     map[int]*nodeMeta
-	energies map[int][]gateway.EnergySummary
+	db     *tsdb.DB // nil in raw fallback mode
+	shards []*aggShard
+	mask   uint32
+
+	dropMu   sync.Mutex
 	dropped  int
-	waiters  waitQueue // WaitSamples, keyed by node
 	dwaiters waitQueue // WaitDropped, single global key
 }
 
@@ -207,15 +224,30 @@ func NewAggregatorOn(db *tsdb.DB) *Aggregator {
 // no compression, no rollups, queries scan NodeSeries slices.
 func NewRawAggregator() *Aggregator {
 	a := newAggregatorCommon()
-	a.series = make(map[int]*NodeSeries)
+	for _, sh := range a.shards {
+		sh.series = make(map[int]*NodeSeries)
+	}
 	return a
 }
 
 func newAggregatorCommon() *Aggregator {
-	return &Aggregator{
-		meta:     make(map[int]*nodeMeta),
-		energies: make(map[int][]gateway.EnergySummary),
+	n := tsdb.ShardCountFor(0)
+	a := &Aggregator{shards: make([]*aggShard, n), mask: uint32(n - 1)}
+	for i := range a.shards {
+		a.shards[i] = &aggShard{
+			meta:     make(map[int]*nodeMeta),
+			energies: make(map[int][]gateway.EnergySummary),
+		}
 	}
+	return a
+}
+
+// shardFor returns the stripe owning a node's state.
+func (a *Aggregator) shardFor(node int) *aggShard {
+	if node < 0 {
+		node = -node
+	}
+	return a.shards[uint32(node)&a.mask]
 }
 
 // Store returns the tsdb store behind this aggregator (nil in raw mode).
@@ -251,9 +283,10 @@ func (a *Aggregator) consumeWith(m mqtt.Message, scratch []float64) []float64 {
 			a.drop()
 			return scratch
 		}
-		a.mu.Lock()
-		a.energies[e.Node] = append(a.energies[e.Node], e)
-		a.mu.Unlock()
+		sh := a.shardFor(e.Node)
+		sh.mu.Lock()
+		sh.energies[e.Node] = append(sh.energies[e.Node], e)
+		sh.mu.Unlock()
 	default:
 		a.drop()
 	}
@@ -267,12 +300,13 @@ func (a *Aggregator) consumeWith(m mqtt.Message, scratch []float64) []float64 {
 // transport. b.Samples is not retained — the caller may reuse it as
 // decode scratch after the call returns.
 func (a *Aggregator) AddBatch(b gateway.Batch) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	m := a.meta[b.Node]
+	sh := a.shardFor(b.Node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.meta[b.Node]
 	if m == nil {
 		m = &nodeMeta{}
-		a.meta[b.Node] = m
+		sh.meta[b.Node] = m
 	}
 	if m.batches > 0 && b.T0 <= m.lastT {
 		m.reordered++
@@ -280,10 +314,10 @@ func (a *Aggregator) AddBatch(b gateway.Batch) {
 	if a.db != nil {
 		a.db.AppendBatch(b.Node, b.T0, b.Dt, b.Samples)
 	} else {
-		s := a.series[b.Node]
+		s := sh.series[b.Node]
 		if s == nil {
 			s = &NodeSeries{Node: b.Node}
-			a.series[b.Node] = s
+			sh.series[b.Node] = s
 		}
 		for i, p := range b.Samples {
 			s.insert(b.T0+float64(i)*b.Dt, p)
@@ -296,7 +330,7 @@ func (a *Aggregator) AddBatch(b gateway.Batch) {
 	}
 	m.batches++
 	m.ingested += len(b.Samples)
-	a.waiters.notifyLocked(b.Node, m.ingested)
+	sh.waiters.notifyLocked(b.Node, m.ingested)
 }
 
 // WaitSamples blocks until the aggregator has ingested at least n samples
@@ -305,8 +339,9 @@ func (a *Aggregator) AddBatch(b gateway.Batch) {
 // waiter the moment the delivering batch is ingested, so wall-clock
 // measurements see the pipeline latency, not a poll interval.
 func (a *Aggregator) WaitSamples(ctx context.Context, node, n int) error {
-	return a.waiters.wait(ctx, &a.mu, node, n, func() int {
-		if m := a.meta[node]; m != nil {
+	sh := a.shardFor(node)
+	return sh.waiters.wait(ctx, &sh.mu, node, n, func() int {
+		if m := sh.meta[node]; m != nil {
 			return m.ingested
 		}
 		return 0
@@ -316,8 +351,8 @@ func (a *Aggregator) WaitSamples(ctx context.Context, node, n int) error {
 // drop records one undecodable or unroutable message and wakes any
 // WaitDropped callers whose target is now met.
 func (a *Aggregator) drop() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.dropMu.Lock()
+	defer a.dropMu.Unlock()
 	a.dropped++
 	a.dwaiters.notifyLocked(0, a.dropped)
 }
@@ -329,35 +364,39 @@ func (a *Aggregator) drop() {
 // corrupt-wire invariant) use this as the barrier for corrupted packets
 // still in flight behind the last decodable batch.
 func (a *Aggregator) WaitDropped(ctx context.Context, n int) error {
-	return a.dwaiters.wait(ctx, &a.mu, 0, n, func() int { return a.dropped })
+	return a.dwaiters.wait(ctx, &a.dropMu, 0, n, func() int { return a.dropped })
 }
 
 // Dropped returns the number of undecodable or unroutable messages.
 func (a *Aggregator) Dropped() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	a.dropMu.Lock()
+	defer a.dropMu.Unlock()
 	return a.dropped
 }
 
 // Reordered returns how many batches arrived out of order (or overlapping
 // an earlier batch) across all nodes.
 func (a *Aggregator) Reordered() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	n := 0
-	for _, m := range a.meta {
-		n += m.reordered
+	for _, sh := range a.shards {
+		sh.mu.RLock()
+		for _, m := range sh.meta {
+			n += m.reordered
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Nodes returns the node IDs seen so far, sorted.
 func (a *Aggregator) Nodes() []int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make([]int, 0, len(a.meta))
-	for id := range a.meta {
-		out = append(out, id)
+	var out []int
+	for _, sh := range a.shards {
+		sh.mu.RLock()
+		for id := range sh.meta {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Ints(out)
 	return out
@@ -367,9 +406,10 @@ func (a *Aggregator) Nodes() []int {
 // monotonic (duplicates and later retention do not decrease it), which is
 // what delivery accounting — fleet.Stream's WaitSamples handshake — needs.
 func (a *Aggregator) Samples(node int) int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	if m := a.meta[node]; m != nil {
+	sh := a.shardFor(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if m := sh.meta[node]; m != nil {
 		return m.ingested
 	}
 	return 0
@@ -378,10 +418,11 @@ func (a *Aggregator) Samples(node int) int {
 // Series returns a copy of the node's flat series: the fallback slices in
 // raw mode, or a materialisation decoded from the store.
 func (a *Aggregator) Series(node int) (*NodeSeries, error) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	sh := a.shardFor(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if a.db == nil {
-		s := a.series[node]
+		s := sh.series[node]
 		if s == nil {
 			return nil, fmt.Errorf("telemetry: no data for node %d", node)
 		}
@@ -392,7 +433,7 @@ func (a *Aggregator) Series(node int) (*NodeSeries, error) {
 			Batches: s.Batches,
 		}, nil
 	}
-	m := a.meta[node]
+	m := sh.meta[node]
 	if m == nil {
 		return nil, fmt.Errorf("telemetry: no data for node %d", node)
 	}
@@ -410,12 +451,13 @@ func (a *Aggregator) Series(node int) (*NodeSeries, error) {
 
 // NodeEnergy integrates a node's power series over [t0, t1].
 func (a *Aggregator) NodeEnergy(node int, t0, t1 float64) (float64, error) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	if a.db != nil {
-		return a.db.Energy(node, t0, t1)
+		return a.db.Energy(node, t0, t1) // the store has its own stripes
 	}
-	s := a.series[node]
+	sh := a.shardFor(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[node]
 	if s == nil {
 		return 0, fmt.Errorf("telemetry: no data for node %d", node)
 	}
@@ -436,9 +478,10 @@ func (a *Aggregator) MeanPower(node int, t0, t1 float64) (float64, error) {
 
 // Summaries returns the retained energy summaries received for a node.
 func (a *Aggregator) Summaries(node int) []gateway.EnergySummary {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return append([]gateway.EnergySummary(nil), a.energies[node]...)
+	sh := a.shardFor(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]gateway.EnergySummary(nil), sh.energies[node]...)
 }
 
 // JobInterval describes where and when a job ran, for per-job accounting.

@@ -300,9 +300,9 @@ func TestWaitDropped(t *testing.T) {
 	if err := a.WaitDropped(wctx, 99); err == nil {
 		t.Error("expired context should return an error")
 	}
-	a.mu.Lock()
+	a.dropMu.Lock()
 	n := len(a.dwaiters.waiters)
-	a.mu.Unlock()
+	a.dropMu.Unlock()
 	if n != 0 {
 		t.Errorf("%d drop waiters left registered after cancellation", n)
 	}
@@ -316,9 +316,10 @@ func TestWaitSamplesContextExpiry(t *testing.T) {
 		t.Error("expired context should return an error")
 	}
 	// The cancelled waiter must have been deregistered.
-	a.mu.Lock()
-	n := len(a.waiters.waiters)
-	a.mu.Unlock()
+	sh := a.shardFor(1)
+	sh.mu.Lock()
+	n := len(sh.waiters.waiters)
+	sh.mu.Unlock()
 	if n != 0 {
 		t.Errorf("%d waiters left registered after cancellation", n)
 	}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -52,7 +53,48 @@ type Options struct {
 	// RetainRaw drops sealed raw chunks older than this many seconds
 	// behind each node's newest sample. 0 keeps raw data forever.
 	RetainRaw float64
+	// Shards is the lock-stripe count, rounded up to a power of two so
+	// node→shard routing is a mask instead of a modulo. 0 sizes the
+	// store to the machine: the smallest power of two ≥ 4×GOMAXPROCS
+	// (and ≥ MinShards), so rack-parallel writers land on distinct
+	// stripes with headroom even when node IDs cluster. Each shard
+	// seals its own heads, so writers on different stripes never
+	// contend on one chunk head.
+	Shards int
 }
+
+// MinShards is the smallest stripe count New will build (the historical
+// fixed layout), MaxShards the largest an explicit Options.Shards can
+// request.
+const (
+	MinShards = 16
+	MaxShards = 1024
+)
+
+// shardCountFor normalises a shard request to the power-of-two stripe
+// count a DB (or any other node-striped structure) should use.
+func shardCountFor(req int) int {
+	n := req
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+		if n < MinShards {
+			n = MinShards
+		}
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ShardCountFor exposes the sizing rule so sibling packages (the
+// telemetry aggregator stripes the same node space) stay in lockstep
+// with the store.
+func ShardCountFor(req int) int { return shardCountFor(req) }
 
 func (o Options) withDefaults() Options {
 	if o.ChunkSize <= 0 {
@@ -70,34 +112,38 @@ func (o Options) withDefaults() Options {
 // DefaultResolutions returns the rollup widths a zero-Options DB keeps.
 func DefaultResolutions() []float64 { return []float64{1, 60} }
 
-const shardCount = 16
-
 type shard struct {
 	mu     sync.RWMutex
 	series map[int]*series
 }
 
 // DB is a sharded, append-optimised time-series store for per-node power
-// streams. Safe for concurrent use.
+// streams. Safe for concurrent use. The stripe count is fixed at New
+// time (see Options.Shards); node→shard routing is a power-of-two mask.
 type DB struct {
 	opts   Options
-	shards [shardCount]shard
+	shards []shard
+	mask   uint32
 }
 
 // New creates a store.
 func New(opts Options) *DB {
-	db := &DB{opts: opts.withDefaults()}
+	n := shardCountFor(opts.Shards)
+	db := &DB{opts: opts.withDefaults(), shards: make([]shard, n), mask: uint32(n - 1)}
 	for i := range db.shards {
 		db.shards[i].series = make(map[int]*series)
 	}
 	return db
 }
 
+// Shards reports the stripe count the store was built with.
+func (db *DB) Shards() int { return len(db.shards) }
+
 func (db *DB) shard(node int) *shard {
 	if node < 0 {
 		node = -node
 	}
-	return &db.shards[node%shardCount]
+	return &db.shards[uint32(node)&db.mask]
 }
 
 // Append ingests one sample for a node. Out-of-order samples are placed

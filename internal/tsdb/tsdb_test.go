@@ -3,6 +3,7 @@ package tsdb
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -381,7 +382,7 @@ func TestCompressionRatio(t *testing.T) {
 }
 
 func TestNodesAndSamples(t *testing.T) {
-	db := New(Options{})
+	db := New(Options{Shards: 16})
 	db.Append(3, 0, 1)
 	db.Append(19, 0, 1) // same shard as 3: exercises map, not slot, identity
 	db.Append(5, 0, 1)
@@ -419,6 +420,37 @@ func TestGlitchGapDoesNotExplodeRollups(t *testing.T) {
 	e, err := db.Energy(0, 0, 2)
 	if err != nil || math.Abs(e-200) > 1e-9 {
 		t.Errorf("raw energy around glitch = %v, %v; want 200", e, err)
+	}
+}
+
+// TestShardSizing pins the stripe-count rule: auto mode follows
+// GOMAXPROCS (power of two, ≥ MinShards), explicit requests round up to
+// a power of two and clamp to MaxShards, and routing stays correct for
+// node IDs far beyond the stripe count (mask, not identity).
+func TestShardSizing(t *testing.T) {
+	auto := New(Options{})
+	want := 4 * runtime.GOMAXPROCS(0)
+	if want < MinShards {
+		want = MinShards
+	}
+	if n := auto.Shards(); n < want || n&(n-1) != 0 {
+		t.Errorf("auto shards = %d, want power of two >= %d", n, want)
+	}
+	for req, want := range map[int]int{1: 1, 3: 4, 16: 16, 17: 32, 1 << 20: MaxShards} {
+		if got := New(Options{Shards: req}).Shards(); got != want {
+			t.Errorf("Shards %d -> %d, want %d", req, got, want)
+		}
+	}
+	db := New(Options{Shards: 4})
+	for _, node := range []int{0, 3, 4, 1027, -9, 1 << 30} {
+		db.Append(node, 0, 50)
+		db.Append(node, 1, 50)
+		if e, err := db.Energy(node, 0, 1); err != nil || math.Abs(e-50) > 1e-9 {
+			t.Errorf("node %d energy = %v, %v; want 50", node, e, err)
+		}
+	}
+	if n := len(db.Nodes()); n != 6 {
+		t.Errorf("retained %d nodes, want 6", n)
 	}
 }
 
