@@ -13,7 +13,9 @@
 //	    direction against the current run and exits non-zero when any
 //	    regresses beyond the tolerance (or a baseline benchmark went
 //	    missing). Units with no known direction are carried in the JSON
-//	    but not gated.
+//	    but not gated. -match restricts the gate to baseline benchmarks
+//	    whose name matches the regex, so one baseline file can back
+//	    several CI invocations that each rerun a different subset.
 package main
 
 import (
@@ -147,6 +149,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON (with -compare)")
 	currentPath := flag.String("current", "BENCH_ci.json", "current-run JSON (with -compare)")
 	tol := flag.Float64("tol", 0.30, "relative regression tolerance (with -compare)")
+	match := flag.String("match", "", "regex restricting the gate to matching baseline benchmarks (with -compare)")
 	flag.Parse()
 
 	if *cmp {
@@ -154,6 +157,24 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
+		}
+		if *match != "" {
+			re, err := regexp.Compile(*match)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -match: %v\n", err)
+				os.Exit(2)
+			}
+			kept := baseline.Benchmarks[:0]
+			for _, b := range baseline.Benchmarks {
+				if re.MatchString(b.Name) {
+					kept = append(kept, b)
+				}
+			}
+			baseline.Benchmarks = kept
+			if len(baseline.Benchmarks) == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: -match %q selects no baseline benchmarks\n", *match)
+				os.Exit(2)
+			}
 		}
 		current, err := load(*currentPath)
 		if err != nil {

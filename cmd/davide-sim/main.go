@@ -60,6 +60,9 @@ func main() {
 	racks := flag.Int("racks", 1, "rack broker cells for the telemetry replay (>1 = tiered fabric with spine bridges)")
 	schedMode := flag.String("sched", "", "run the live closed-loop control plane instead of the batch simulator: fifo or power")
 	tick := flag.Float64("tick", 30, "live control period in virtual seconds (with -sched)")
+	obsAddr := flag.String("obs-addr", "", "serve the observability registry at this address while the run executes "+
+		"(e.g. 127.0.0.1:9100; Prometheus text at /metrics, ASCII histograms at /histograms)")
+	obsDump := flag.String("obs-dump", "", "write the final Prometheus-text registry snapshot to this file at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -143,6 +146,30 @@ func main() {
 	sys, err := davide.NewSystem(train)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Observability: one registry for the whole process. Every replay
+	// and live run publishes into it; the optional endpoint serves it
+	// live and -obs-dump snapshots it on the way out.
+	if *obsAddr != "" || *obsDump != "" {
+		reg := davide.NewObsRegistry()
+		sys.Obs = reg
+		if *obsAddr != "" {
+			srv, err := davide.ServeObs(*obsAddr, reg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Printf("observability: serving http://%s/metrics\n", srv.Addr())
+		}
+		if *obsDump != "" {
+			path := *obsDump
+			defer func() {
+				if err := os.WriteFile(path, []byte(reg.Text(true)), 0o644); err != nil {
+					log.Printf("obs-dump: %v", err)
+				}
+			}()
+		}
 	}
 
 	if *schedMode != "" {

@@ -10,15 +10,30 @@
 // -res picks the resolution (0 = raw samples, else a rollup width in
 // seconds).
 //
+// Two instrumented modes surface the plane's own health counters
+// post-hoc instead of leaving them buried in davide-sim summaries:
+// -racks > 1 streams the same demo signals through the tiered fabric
+// (per-rack brokers, bridge uplinks, spine) with an observability
+// registry attached, then prints per-rack bridge drop / queue
+// high-water counters and per-stage latency quantiles; -live runs the
+// closed-loop control plane and prints the scheduler's fresh/stale
+// telemetry reads (the hold-last-safe events) and the per-rack capping
+// holds. In both modes -metric queries the self-ingested health series
+// after the run (-metric list enumerates them).
+//
 // Usage:
 //
 //	egmon [-nodes N] [-window SEC] [-rate S/s] [-node K -t0 T -t1 T -res SEC]
+//	egmon -racks 4 [-nodes N] [-window SEC] [-metric NAME | -metric list]
+//	egmon -live [-nodes N] [-jobs N] [-metric NAME | -metric list]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"davide/internal/gateway"
@@ -27,6 +42,8 @@ import (
 	"davide/internal/ptp"
 	"davide/internal/sensor"
 	"davide/internal/telemetry"
+
+	davide "davide"
 )
 
 func main() {
@@ -40,9 +57,28 @@ func main() {
 	qT0 := flag.Float64("t0", -1, "query window start (default: stream start)")
 	qT1 := flag.Float64("t1", -1, "query window end (default: stream end)")
 	qRes := flag.Float64("res", 1, "query resolution in seconds (0 = raw samples)")
+	racks := flag.Int("racks", 1, "stream through the tiered fabric with this many rack cells (>1; instrumented)")
+	live := flag.Bool("live", false, "run the closed-loop control plane instead of the gateway demo (instrumented)")
+	jobs := flag.Int("jobs", 8, "jobs for the live control plane (-live)")
+	seed := flag.Int64("seed", 1, "workload seed (-live)")
+	metric := flag.String("metric", "", "post-hoc health-series query against the self-ingested registry snapshot ('list' enumerates)")
 	flag.Parse()
 	if *nodes <= 0 || *window <= 0 || *rate <= 0 {
 		log.Fatal("-nodes, -window and -rate must be positive")
+	}
+	if *racks < 1 {
+		log.Fatal("-racks must be >= 1")
+	}
+	if *live {
+		runLive(*nodes, *jobs, *seed, *metric, *qRes)
+		return
+	}
+	if *racks > 1 {
+		runTiered(*nodes, *racks, *window, *rate, *metric, *qRes)
+		return
+	}
+	if *metric != "" {
+		log.Fatal("-metric needs an instrumented run: pass -racks > 1 or -live")
 	}
 
 	broker, err := mqtt.NewBroker("127.0.0.1:0")
@@ -93,13 +129,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Each node runs a different application phase pattern.
-		sig := sensor.Sum{
-			sensor.Const(360 + 200*float64(n)),
-			sensor.Square{Low: 0, High: 800, Period: 2 + float64(n)/3, Duty: 0.4},
-			sensor.Sine{Amp: 15, Freq: 50},
-		}
-		if _, err := gw.PublishWindow(sig, 30, 30+*window); err != nil {
+		if _, err := gw.PublishWindow(demoSignal(n), 30, 30+*window); err != nil {
 			log.Fatal(err)
 		}
 		totalSamples += gw.SampleCount()
@@ -167,5 +197,195 @@ func main() {
 					p.T0, p.T1, p.MeanW, p.MaxW, p.EnergyJ)
 			}
 		}
+	}
+}
+
+// demoSignal is node n's application phase pattern: a per-node base
+// level, a square duty cycle and mains ripple.
+func demoSignal(n int) sensor.Signal {
+	return sensor.Sum{
+		sensor.Const(360 + 200*float64(n)),
+		sensor.Square{Low: 0, High: 800, Period: 2 + float64(n)/3, Duty: 0.4},
+		sensor.Sine{Amp: 15, Freq: 50},
+	}
+}
+
+// runTiered streams the demo signals through an instrumented tiered
+// plane and surfaces the per-rack bridge and stage-latency counters
+// post-hoc from the registry — the figures davide-sim only prints as
+// fleet-wide sums.
+func runTiered(nodes, racks int, window, rate float64, metric string, res float64) {
+	reg := davide.NewObsRegistry()
+	p, err := davide.NewPlane(davide.PlaneSpec{
+		Racks:     racks,
+		NodesHint: nodes,
+		Gateway: davide.GatewaySpec{
+			SampleRate: rate, ClientPrefix: "egmon", SeedBase: 100,
+			BatchSamples: 256,
+		},
+		Obs: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+
+	streams := make([]davide.NodeStream, nodes)
+	for n := 0; n < nodes; n++ {
+		streams[n] = davide.NodeStream{Node: n, Signal: demoSignal(n)}
+	}
+	t0, t1 := 30.0, 30+window
+	// Snapshot both window edges: bucketed health queries sample-and-hold
+	// between records, so a lone end-of-window record yields no buckets.
+	si := davide.NewObsSelfIngest(reg)
+	si.Record(t0)
+	st, err := p.Stream(context.Background(), streams, t0, t1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tiered replay — %d nodes over %d racks: %d samples in %d batches, %s wall\n",
+		st.Nodes, st.Racks, st.Samples, st.Batches, st.Wall)
+
+	snap := reg.Snapshot(true)
+	fmt.Println("\nPer-rack bridge health (from the obs registry):")
+	fmt.Printf("%-6s %12s %10s %12s\n", "rack", "forwarded", "dropped", "high-water")
+	for r := 0; r < racks; r++ {
+		label := fmt.Sprintf("bridge=%q", fmt.Sprintf("r%02d", r))
+		fmt.Printf("r%02d    %12.0f %10.0f %12.0f\n", r,
+			snapValue(snap, "davide_bridge_forwarded_total", label),
+			snapValue(snap, "davide_bridge_dropped_total", label),
+			snapValue(snap, "davide_bridge_queue_high_water", label))
+	}
+
+	fmt.Println("\nStage reorder lag per stage (seconds, all racks):")
+	fmt.Printf("%-8s %10s %12s %12s\n", "stage", "batches", "p50", "p99")
+	for _, stage := range []string{"encode", "fanout", "uplink", "decode", "commit"} {
+		label := fmt.Sprintf("stage=%q", stage)
+		n, p50, p99 := 0.0, 0.0, 0.0
+		for _, m := range snap {
+			if !strings.Contains(m.Name, label) || m.Hist == nil {
+				continue
+			}
+			n += float64(m.Hist.N())
+			if q, err := m.Hist.Quantile(0.50); err == nil && q*m.Scale > p50 {
+				p50 = q * m.Scale
+			}
+			if q, err := m.Hist.Quantile(0.99); err == nil && q*m.Scale > p99 {
+				p99 = q * m.Scale
+			}
+		}
+		fmt.Printf("%-8s %10.0f %12.3g %12.3g\n", stage, n, p50, p99)
+	}
+
+	// The end-of-window record needs a right neighbor to get a hold
+	// span, or bucketed queries would render the whole window from the
+	// opening zeros alone.
+	si.Record(t1)
+	si.Record(t1 + 1)
+	queryHealth(si, metric, t0, t1, res)
+}
+
+// runLive executes the closed-loop control plane with the registry
+// attached and surfaces the scheduler's telemetry-health counters —
+// fresh vs. stale reads (the hold-last-safe path) and the per-rack
+// capping holds — post-hoc.
+func runLive(nodes, jobs int, seed int64, metric string, res float64) {
+	gen, err := davide.NewGenerator(davide.DefaultWorkload(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := gen.Batch(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	work, err := gen.Batch(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(work) > 0 {
+		base := work[0].SubmitAt
+		for i := range work {
+			work[i].SubmitAt -= base
+		}
+	}
+	sys, err := davide.NewSystem(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := davide.NewObsRegistry()
+	sys.Obs = reg
+	lres, err := sys.RunLive(work, davide.LiveConfig{
+		Nodes: nodes,
+		Sched: davide.ControllerConfig{
+			Admission: davide.AdmitPowerAware,
+			// Generous cap: the demo surfaces telemetry health, not
+			// cap pressure (pilot jobs draw up to ~2 kW/node).
+			Config: davide.SchedConfig{PowerCapW: 2500 * float64(nodes), ReactiveCapping: true},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Live control plane — %d jobs on %d nodes over %d ticks, %s wall\n",
+		lres.Jobs, nodes, lres.Ticks, lres.WallClock)
+
+	snap := reg.Snapshot(true)
+	fmt.Println("\nScheduler telemetry health (from the obs registry):")
+	fmt.Printf("  reads                %.0f fresh / %.0f stale (hold-last-safe)\n",
+		snapValue(snap, "davide_sched_fresh_reads_total", ""),
+		snapValue(snap, "davide_sched_stale_reads_total", ""))
+	fmt.Printf("  admissions refused   %.0f (power headroom)\n",
+		snapValue(snap, "davide_sched_refused_admissions_total", ""))
+	fmt.Printf("  measure failures     %.0f\n",
+		snapValue(snap, "davide_sched_measure_failures_total", ""))
+	fmt.Println("\nPer-rack capping holds (stale-telemetry fail-safe):")
+	for _, r := range lres.Racks {
+		fmt.Printf("  rack %d (nodes %d-%d): held %d of %d steps\n",
+			r.Rack, r.FirstNode, r.FirstNode+r.Nodes-1, r.Held, r.Steps)
+	}
+	queryHealth(sys.SelfIngest(), metric, 0, lres.Makespan, res)
+}
+
+// snapValue returns the value of the first snapshot row whose name
+// starts with base and contains label ("" matches any labels).
+func snapValue(snap []davide.ObsMetric, base, label string) float64 {
+	for _, m := range snap {
+		if strings.HasPrefix(m.Name, base) && (label == "" || strings.Contains(m.Name, label)) {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// queryHealth resolves the -metric post-hoc query against the
+// self-ingested health store.
+func queryHealth(si *davide.ObsSelfIngest, metric string, t0, t1, res float64) {
+	if metric == "" || si == nil {
+		return
+	}
+	if metric == "list" {
+		fmt.Println("\nSelf-ingested health series:")
+		for _, name := range si.Series() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+	// Snapshots recorded on the window's closing edge (runTiered records
+	// exactly once, at t1) would fall outside a half-open [t0, t1)
+	// fetch; widen by one bucket so the final record is always included.
+	end := t1 + res
+	if res <= 0 {
+		end = t1 + 1
+	}
+	pts, err := si.Fetch(metric, t0, end, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pts == nil {
+		log.Fatalf("health series %q not found (try -metric list)", metric)
+	}
+	fmt.Printf("\n%s over [%g, %g] at %g s resolution (%d rows):\n", metric, t0, t1, res, len(pts))
+	for _, p := range pts {
+		fmt.Printf("  [%8.2f, %8.2f) %g\n", p.T0, p.T1, p.MeanW)
 	}
 }

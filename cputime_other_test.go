@@ -1,0 +1,9 @@
+//go:build !unix
+
+package davide
+
+import "time"
+
+// processCPUTime is unavailable off unix; E21 falls back to its
+// wall-time estimators alone.
+func processCPUTime() time.Duration { return 0 }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package davide
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the user+system CPU time consumed by this
+// process so far. E21 uses deltas of it as a load-independent overhead
+// estimator: external machine load inflates wall time but not this.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -29,6 +29,7 @@ import (
 	"davide/internal/monitors"
 	"davide/internal/mqtt"
 	"davide/internal/node"
+	"davide/internal/obs"
 	"davide/internal/powerapi"
 	"davide/internal/predictor"
 	"davide/internal/ptp"
@@ -353,6 +354,36 @@ func SubscribeTelemetryOn(db *TelemetryStore, brokerAddr, clientID string, worke
 func SubscribeTelemetryParallel(brokerAddr, clientID string, workers int) (*Aggregator, *TelemetryIngest, *mqtt.Client, error) {
 	return telemetry.SubscribeParallel(brokerAddr, clientID, workers)
 }
+
+// Observability: the allocation-free metrics fabric the plane publishes
+// its own health into (see internal/obs and DESIGN.md §9). Set
+// System.Obs (or PlaneSpec.Obs) to an ObsRegistry to instrument a
+// replay or live run; serve it with ServeObs for Prometheus-text
+// scrapes during the run.
+type (
+	// ObsRegistry is the sharded metric registry.
+	ObsRegistry = obs.Registry
+	// ObsServer is the /metrics HTTP endpoint over a registry.
+	ObsServer = obs.Server
+	// ObsStageTrace stamps telemetry batches at the five pipeline
+	// stages (encode, fan-out, uplink, decode, commit) in virtual time.
+	ObsStageTrace = obs.StageTrace
+	// ObsSelfIngest writes registry snapshots into a health tsdb.
+	ObsSelfIngest = obs.SelfIngest
+	// ObsMetric is one row of a registry snapshot.
+	ObsMetric = obs.Metric
+)
+
+// NewObsRegistry creates an empty metric registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsSelfIngest creates a self-ingest sink that writes snapshots of
+// reg into its own health tsdb (never the plant store).
+func NewObsSelfIngest(reg *ObsRegistry) *ObsSelfIngest { return obs.NewSelfIngest(reg) }
+
+// ServeObs serves a registry's Prometheus-text exposition at
+// http://addr/metrics (and an ASCII histogram view at /histograms).
+func ServeObs(addr string, reg *ObsRegistry) (*ObsServer, error) { return obs.Serve(addr, reg) }
 
 // Hardware and accounting.
 type (

@@ -30,6 +30,7 @@ import (
 	"davide/internal/fleet"
 	"davide/internal/gateway"
 	"davide/internal/mqtt"
+	"davide/internal/obs"
 	"davide/internal/predictor"
 	"davide/internal/sched"
 	"davide/internal/sensor"
@@ -86,6 +87,14 @@ type System struct {
 	// reports the spine copy's accounting in the result.
 	BridgeFaults *chaos.Plan
 
+	// Obs, when non-nil, instruments every replay and live run: stage
+	// traces, broker/bridge/fleet/store/scheduler counters all publish
+	// into this registry (DESIGN.md §9), live runs self-ingest a health
+	// snapshot per control tick, and replays one at end of window. The
+	// registry outlives individual plants, so counters accumulate across
+	// replays and func-backed series re-point to the newest plant.
+	Obs *obs.Registry
+
 	// Node power signals from the last RunScheduled, one per node.
 	signals []*sensor.Piecewise
 	// The telemetry store filled by the most recent replay
@@ -98,6 +107,27 @@ type System struct {
 	// trainJobs is the predictor's initial history, kept so RunLive can
 	// seed an online-retraining wrapper around the same model.
 	trainJobs []workload.Job
+	// selfIngest writes periodic registry snapshots into its own health
+	// store when Obs is set (lazily built; see SelfIngest).
+	selfIngest *obs.SelfIngest
+}
+
+// SelfIngest returns the health-series store the instrumented plane
+// writes its own registry snapshots into (one point per live control
+// tick, one at the end of each replay window) — the plane monitoring
+// itself through the same tsdb machinery it monitors the cluster with.
+// Nil until Obs is set and a replay or live run has executed.
+func (s *System) SelfIngest() *obs.SelfIngest { return s.selfIngest }
+
+// obsSelfIngest lazily builds the self-ingest sink for the registry.
+func (s *System) obsSelfIngest() *obs.SelfIngest {
+	if s.Obs == nil {
+		return nil
+	}
+	if s.selfIngest == nil {
+		s.selfIngest = obs.NewSelfIngest(s.Obs)
+	}
+	return s.selfIngest
 }
 
 // NewSystem builds the pilot system with a trained power predictor.
@@ -399,6 +429,20 @@ func (s *System) newPlant(nodes int, sampleRate float64, prefix string, seedBase
 	}
 	db := tsdb.New(s.StoreOptions)
 	agg := telemetry.NewAggregatorOn(db)
+	var trace *obs.StageTrace
+	if reg := s.Obs; reg != nil {
+		// Single-broker pilot layout: one rack cell's worth of series
+		// (rack "r00"), same names as the tiered plane publishes.
+		trace = obs.NewStageTrace(reg, 1)
+		agg.SetTrace(trace)
+		broker.Trace = fleet.StampHook(trace, obs.StageFanout)
+		obs.RegisterBroker(reg, obs.RackLabel(0), broker)
+		obs.RegisterStore(reg, db)
+		reg.CounterFunc("davide_agg_dropped_total",
+			func() float64 { return float64(agg.Dropped()) })
+		reg.CounterFunc("davide_agg_reordered_total",
+			func() float64 { return float64(agg.Reordered()) })
+	}
 	ingest, sub, err := agg.AttachParallel(broker.Addr(), aggID, 0)
 	if err != nil {
 		_ = broker.Close()
@@ -418,6 +462,9 @@ func (s *System) newPlant(nodes int, sampleRate float64, prefix string, seedBase
 	if err != nil {
 		p.close()
 		return nil, err
+	}
+	if s.Obs != nil {
+		fl.AttachObs(s.Obs, obs.RackLabel(0), trace)
 	}
 	p.fleet = fl
 	return p, nil
@@ -507,6 +554,9 @@ func (s *System) StreamWindow(t0, t1, sampleRate float64, nodes int) (StreamResu
 	res.BrokerDropped = pl.broker.Stats.Dropped.Load()
 	res.BrokerFanoutEncodedOnce = pl.broker.Stats.FanoutEncodedOnce.Load()
 	res.BrokerBufReuses = pl.broker.Stats.BufReuses.Load()
+	if si := s.obsSelfIngest(); si != nil {
+		si.Record(t1)
+	}
 	res.WallClock = time.Since(start)
 	return res, nil
 }
@@ -555,6 +605,7 @@ func (s *System) streamWindowTiered(t0, t1, sampleRate float64, nodes int) (Stre
 		},
 		BridgeFaults: s.BridgeFaults,
 		StoreOptions: s.StoreOptions,
+		Obs:          s.Obs,
 	})
 	if err != nil {
 		return StreamResult{}, err
@@ -654,6 +705,9 @@ func (s *System) streamWindowTiered(t0, t1, sampleRate float64, nodes int) (Stre
 				}
 			}
 		}
+	}
+	if si := s.obsSelfIngest(); si != nil {
+		si.Record(t1)
 	}
 	res.WallClock = time.Since(start)
 	return res, nil

@@ -115,6 +115,9 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 	if scfg.TickS == 0 {
 		scfg.TickS = 30
 	}
+	if scfg.Metrics == nil {
+		scfg.Metrics = s.Obs // mirror controller health counters when instrumented
+	}
 	rate := cfg.SampleRate
 	if rate == 0 {
 		rate = 4
@@ -224,7 +227,15 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 			return nil
 		},
 		AfterTick: func(t0, t1 float64) error {
-			return eng.RunUntil(t1)
+			if err := eng.RunUntil(t1); err != nil {
+				return err
+			}
+			if si := s.obsSelfIngest(); si != nil {
+				// One health point per control tick, stamped in virtual
+				// time: the plane monitoring itself through its own tsdb.
+				si.Record(t1)
+			}
+			return nil
 		},
 	}
 	ctrl, err := sched.NewController(scfg, jobs, db, hooks)

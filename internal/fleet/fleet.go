@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"davide/internal/chaos"
@@ -166,6 +167,10 @@ type Fleet struct {
 	// inside Stream is where the concurrency lives).
 	streamMu sync.Mutex
 
+	// obs, when set by AttachObs, carries this fleet's registry counters
+	// and stage trace (nil until attached; loaded per window).
+	obs atomic.Pointer[fleetMetrics]
+
 	mu      sync.Mutex
 	members map[int]*member
 	closed  bool
@@ -264,6 +269,9 @@ func (f *Fleet) member(node int) (*member, error) {
 		return nil, fmt.Errorf("fleet: node %d: %w", node, err)
 	}
 	gw.Codec = f.spec.Codec
+	if fm := f.obs.Load(); fm != nil {
+		gw.Trace = fm.trace
+	}
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -426,6 +434,17 @@ func (f *Fleet) Stream(ctx context.Context, nodes []NodeStream, t0, t1 float64, 
 	f.streamMu.Lock()
 	defer f.streamMu.Unlock()
 
+	if fm := f.obs.Load(); fm != nil {
+		// Size the trace's dense frontiers before any stamp is taken. In
+		// a tiered plane the Plane has already ensured the full node
+		// range, so this is a no-op there.
+		maxNode := 0
+		for _, ns := range nodes {
+			maxNode = max(maxNode, ns.Node)
+		}
+		fm.trace.EnsureNodes(maxNode + 1)
+	}
+
 	start := time.Now()
 	perNode := make([]NodeStats, len(nodes))
 	errs := make([]error, len(nodes))
@@ -546,6 +565,12 @@ func (f *Fleet) streamOne(ctx context.Context, ns NodeStream, t0, t1 float64, ag
 		WireBytes: after.WireBytes - before.WireBytes,
 		BufReuses: reusesAcc + m.client.Stats.BufReuses.Load() - reusesBefore,
 		Restarts:  m.restarts - restartsBefore,
+	}
+	if fm := f.obs.Load(); fm != nil {
+		fm.samples.Add(int64(st.Samples))
+		fm.batches.Add(int64(st.Batches))
+		fm.wireBytes.Add(st.WireBytes)
+		fm.restarts.Add(int64(st.Restarts))
 	}
 	lostSamples, dupSamples := 0, 0
 	if m.link != nil {

@@ -1,0 +1,38 @@
+package fleet
+
+import (
+	"davide/internal/obs"
+)
+
+// fleetMetrics is one fleet's slice of an obs registry: per-rack totals
+// the workers bump with their per-window NodeStats deltas, plus the
+// stage trace every member gateway stamps its encode point into.
+type fleetMetrics struct {
+	trace     *obs.StageTrace
+	samples   *obs.Counter
+	batches   *obs.Counter
+	wireBytes *obs.Counter
+	restarts  *obs.Counter
+}
+
+// AttachObs points the fleet at a registry. rack labels this fleet's
+// counters (obs.RackLabel(r) in a plane, "r00" standalone); trace, when
+// non-nil, receives a StageEncode stamp from every gateway publish.
+// Existing members are re-pointed; future members pick the trace up at
+// assembly. Call before streaming — attaching mid-window splits that
+// window's counts across registries.
+func (f *Fleet) AttachObs(reg *obs.Registry, rack string, trace *obs.StageTrace) {
+	fm := &fleetMetrics{
+		trace:     trace,
+		samples:   reg.CounterOf(obs.Key("davide_fleet_samples_total", "rack", rack)),
+		batches:   reg.CounterOf(obs.Key("davide_fleet_batches_total", "rack", rack)),
+		wireBytes: reg.CounterOf(obs.Key("davide_fleet_wire_bytes_total", "rack", rack)),
+		restarts:  reg.CounterOf(obs.Key("davide_fleet_restarts_total", "rack", rack)),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.obs.Store(fm)
+	for _, m := range f.members {
+		m.gw.Trace = trace
+	}
+}

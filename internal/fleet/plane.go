@@ -39,6 +39,7 @@ import (
 	"davide/internal/chaos"
 	"davide/internal/gateway"
 	"davide/internal/mqtt"
+	"davide/internal/obs"
 	"davide/internal/telemetry"
 	"davide/internal/tsdb"
 )
@@ -77,6 +78,12 @@ type PlaneSpec struct {
 	// into; otherwise a fresh store is built from StoreOptions.
 	Store        *tsdb.DB
 	StoreOptions tsdb.Options
+	// Obs, when non-nil, instruments the plane: a stage trace stamps
+	// every batch at encode/fanout/uplink/decode/commit, and broker,
+	// bridge, fleet, aggregator and store counters are published into
+	// the registry (DESIGN.md §9). Nil runs the plane uninstrumented —
+	// the hot paths carry no registry references at all.
+	Obs *obs.Registry
 }
 
 func (sp PlaneSpec) withDefaults() PlaneSpec {
@@ -124,6 +131,7 @@ type Plane struct {
 	spine *mqtt.Broker
 	db    *tsdb.DB
 	agg   *telemetry.Aggregator
+	trace *obs.StageTrace // nil unless spec.Obs is set
 	racks []*rackCell
 	once  sync.Once
 }
@@ -164,6 +172,19 @@ func NewPlane(spec PlaneSpec) (*Plane, error) {
 	}
 	spine.QueueDepth = spec.spineQueueDepth()
 	p.spine = spine
+	if reg := spec.Obs; reg != nil {
+		p.trace = obs.NewStageTrace(reg, spec.Racks)
+		p.agg.SetTrace(p.trace)
+		obs.RegisterBroker(reg, "spine", spine)
+		obs.RegisterStore(reg, db)
+		// telemetry imports obs for stage stamping, so the aggregator's
+		// counters are bridged here rather than from an obs helper.
+		agg := p.agg
+		reg.CounterFunc("davide_agg_dropped_total",
+			func() float64 { return float64(agg.Dropped()) })
+		reg.CounterFunc("davide_agg_reordered_total",
+			func() float64 { return float64(agg.Reordered()) })
+	}
 	for r := 0; r < spec.Racks; r++ {
 		cell, err := p.buildRack(r)
 		if err != nil {
@@ -186,9 +207,18 @@ func (p *Plane) buildRack(r int) (*rackCell, error) {
 		cell.close()
 		return nil, err
 	}
+	if p.spec.Obs != nil {
+		// Installed before any client dials, so every routed publish is
+		// stamped from the first window on.
+		broker.Trace = StampHook(p.trace, obs.StageFanout)
+		obs.RegisterBroker(p.spec.Obs, obs.RackLabel(r), broker)
+	}
 	cell.fleet, err = New(broker.Addr(), p.spec.Gateway, p.spec.WorkersPerRack)
 	if err != nil {
 		return fail(err)
+	}
+	if p.spec.Obs != nil {
+		cell.fleet.AttachObs(p.spec.Obs, obs.RackLabel(r), p.trace)
 	}
 	cell.ingest, cell.sub, err = p.agg.AttachParallel(
 		broker.Addr(), fmt.Sprintf("plane-agg-r%02d", r), p.spec.IngestWorkers)
@@ -206,7 +236,7 @@ func (p *Plane) buildRack(r int) (*rackCell, error) {
 	if queue <= 0 {
 		queue = p.spec.rackQueueDepth()
 	}
-	cell.bridge, err = mqtt.NewBridge(broker.Addr(), p.spine.Addr(), mqtt.BridgeOptions{
+	bopts := mqtt.BridgeOptions{
 		Name: fmt.Sprintf("bridge-r%02d", r),
 		Filters: []mqtt.Subscription{
 			{Filter: gateway.TopicPrefix + "/+/power", QoS: 0},
@@ -215,11 +245,31 @@ func (p *Plane) buildRack(r int) (*rackCell, error) {
 		QueueDepth: queue,
 		ForceQoS1:  p.spec.BridgeQoS1,
 		Link:       linkOrNil(cell.link),
-	})
+	}
+	if p.spec.Obs != nil {
+		bopts.OnForward = StampHook(p.trace, obs.StageUplink)
+	}
+	cell.bridge, err = mqtt.NewBridge(broker.Addr(), p.spine.Addr(), bopts)
 	if err != nil {
 		return fail(err)
 	}
+	if p.spec.Obs != nil {
+		obs.RegisterBridge(p.spec.Obs, obs.RackLabel(r), cell.bridge)
+	}
 	return cell, nil
+}
+
+// StampHook adapts a broker/bridge payload hook into a stage stamp. The
+// codec's header peek recovers (node, newest tick) without decoding the
+// samples; non-batch payloads (energy summaries) stamp nothing, keeping
+// the trace a pure power-batch pipeline view. Exported so single-broker
+// plants (internal/core) instrument their broker the same way.
+func StampHook(tr *obs.StageTrace, stage obs.Stage) func(topic string, payload []byte) {
+	return func(_ string, payload []byte) {
+		if node, _, newest, ok := gateway.PayloadTickInfo(payload); ok {
+			tr.Stamp(stage, node, newest)
+		}
+	}
 }
 
 // linkOrNil avoids handing mqtt a typed-nil Link interface.
@@ -250,6 +300,10 @@ func (c *rackCell) close() {
 
 // Aggregator returns the shared rack-tier aggregator.
 func (p *Plane) Aggregator() *telemetry.Aggregator { return p.agg }
+
+// Trace returns the plane's stage trace (nil unless PlaneSpec.Obs was
+// set).
+func (p *Plane) Trace() *obs.StageTrace { return p.trace }
 
 // Store returns the shared store behind the aggregator.
 func (p *Plane) Store() *tsdb.DB { return p.db }
@@ -312,6 +366,35 @@ func (p *Plane) Stream(ctx context.Context, streams []NodeStream, t0, t1 float64
 	}
 
 	parts := p.partition(streams)
+	if p.trace != nil {
+		// Route this window's stamps by the partition just computed, and
+		// reset the per-node frontiers so a repeated window is not scored
+		// as one giant reordering against the previous replay.
+		maxNode := 0
+		for _, part := range parts {
+			for _, ns := range part {
+				maxNode = max(maxNode, ns.Node)
+			}
+		}
+		// Dense slice, not a map: the lookup runs on every stamp.
+		rackOf := make([]int32, maxNode+1)
+		for r, part := range parts {
+			for _, ns := range part {
+				rackOf[ns.Node] = int32(r)
+			}
+		}
+		p.trace.SetRackOf(func(node int) int {
+			if node < 0 || node >= len(rackOf) {
+				return 0
+			}
+			return int(rackOf[node])
+		})
+		// Sized here, before the rack fan-out starts, so every stamp takes
+		// the lock-free dense path; the per-rack fleets' own EnsureNodes
+		// calls become no-ops.
+		p.trace.EnsureNodes(maxNode + 1)
+		p.trace.BeginWindow()
+	}
 	start := time.Now()
 	perRack := make([]StreamStats, len(p.racks))
 	errs := make([]error, len(p.racks))

@@ -179,6 +179,35 @@ func PayloadSamples(payload []byte) int {
 	return len(b.Samples)
 }
 
+// PayloadTickInfo extracts the node ID and the oldest/newest sample
+// wire ticks from a batch payload without materialising the samples —
+// the stage-trace stamp used at payload-agnostic pipeline points
+// (broker fan-out, bridge uplink). For a binary frame only the header
+// varints are read and the newest tick is reconstructed from the
+// uniform grid (tick0 + (n-1)·dt, which is what the gateway encoded up
+// to per-sample rounding); JSON payloads pay a full decode. Returns
+// ok=false for anything that is not a decodable power batch, so
+// callers can feed it every routed message and stamp only telemetry.
+func PayloadTickInfo(payload []byte) (node int, oldestTick, newestTick int64, ok bool) {
+	if len(payload) == 0 {
+		return 0, 0, 0, false
+	}
+	if payload[0] == binMagic {
+		var r wire.BitReader
+		h, err := readBinaryHeader(payload, &r)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		return h.node, h.tick0, h.tick0 + int64(h.count-1)*h.dtTicks, true
+	}
+	b, err := DecodeBatch(payload)
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	t0 := wire.ToTick(b.T0)
+	return b.Node, t0, wire.ToTick(b.T0 + float64(len(b.Samples)-1)*b.Dt), true
+}
+
 // binHeader is the validated varint prefix of a version-1 binary frame.
 type binHeader struct {
 	node    int

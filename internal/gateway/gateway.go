@@ -15,8 +15,10 @@ import (
 
 	"davide/internal/monitors"
 	"davide/internal/mqtt"
+	"davide/internal/obs"
 	"davide/internal/ptp"
 	"davide/internal/sensor"
+	"davide/internal/wire"
 )
 
 // TopicPrefix is the root of the telemetry topic tree.
@@ -116,6 +118,9 @@ type Gateway struct {
 	BatchSamples int
 	// Codec selects the batch wire format ("" = binary).
 	Codec Codec
+	// Trace, when set, stamps every published batch at the encode stage
+	// of the obs stage trace (DESIGN.md §9).
+	Trace *obs.StageTrace
 
 	published int
 	samples   int
@@ -268,6 +273,9 @@ func (g *Gateway) PublishWindowResume(sig sensor.Signal, t0, t1 float64, cur *Cu
 		g.encBuf = payload
 		if err := g.Pub.Publish(topic, payload, 0, false); err != nil {
 			return 0, err
+		}
+		if g.Trace != nil {
+			g.Trace.Stamp(obs.StageEncode, g.NodeID, wire.ToTick(b.T0+float64(len(b.Samples)-1)*b.Dt))
 		}
 		g.published++
 		g.samples += end - start

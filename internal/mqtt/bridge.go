@@ -69,6 +69,10 @@ type BridgeOptions struct {
 	Link Link
 	// RedialWait paces reconnect attempts (default 10 ms).
 	RedialWait time.Duration
+	// OnForward, when set, observes every message after it is
+	// successfully published on the uplink (the obs uplink stage
+	// stamp). The payload is only valid for the duration of the call.
+	OnForward func(topic string, payload []byte)
 }
 
 func (o BridgeOptions) withDefaults() (BridgeOptions, error) {
@@ -241,6 +245,9 @@ func (b *Bridge) forward(m queuedMsg) {
 		if err == nil {
 			b.forwarded.Add(1)
 			b.forwardedBytes.Add(int64(len(*m.payload)))
+			if b.opts.OnForward != nil {
+				b.opts.OnForward(m.topic, *m.payload)
+			}
 			return
 		}
 		if b.isClosed() {

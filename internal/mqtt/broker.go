@@ -45,7 +45,13 @@ type Broker struct {
 	// drops QoS-0 messages (matching mosquitto's max_queued_messages
 	// behaviour) rather than stalling the whole broker.
 	QueueDepth int
-	logf       func(format string, args ...any)
+	// Trace, when set, observes every inbound publish once before
+	// fan-out (the obs fan-out stage stamp). The broker stays
+	// payload-agnostic: the hook owns any decoding. Set it before
+	// clients start publishing; the payload is only valid for the
+	// duration of the call.
+	Trace func(topic string, payload []byte)
+	logf  func(format string, args ...any)
 	// bufs pools per-packet read buffers across all session readers.
 	bufs bufPool
 }
@@ -320,6 +326,9 @@ func (b *Broker) handle(s *session, hdr FixedHeader, body []byte) bool {
 // subscriber can share one immutable byte slice) instead of once per
 // subscriber; session writers only ever read the slice.
 func (b *Broker) route(p *PublishPacket) {
+	if b.Trace != nil {
+		b.Trace(p.Topic, p.Payload)
+	}
 	if p.Retain {
 		b.mu.Lock()
 		if len(p.Payload) == 0 {

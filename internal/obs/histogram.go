@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"davide/internal/stats"
+)
+
+// Histogram is the registry's atomic log2-bucketed histogram: the
+// lock-free write-side twin of stats.LogHistogram. Observe is a single
+// bounds check plus two atomic adds — cheap enough for per-batch
+// stamping on the ingest hot path.
+type Histogram struct {
+	counts [stats.LogBuckets]atomic.Uint64
+	under  atomic.Uint64
+	sum    atomic.Int64 // sum of clamped observations (integer domain)
+}
+
+// Observe records one sample. Negative values clamp to zero and are
+// counted so lossy inputs stay visible, mirroring stats.LogHistogram.
+// The zero fast path (in-order pipeline traffic) is one atomic add.
+func (h *Histogram) Observe(v int64) {
+	if v <= 0 {
+		if v < 0 {
+			h.under.Add(1)
+		}
+		h.counts[0].Add(1)
+		return
+	}
+	h.counts[stats.LogBucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations. Like Snapshot, it is
+// exact once streaming quiesces.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Snapshot materialises the current contents as a stats.LogHistogram,
+// which owns quantile estimation and ASCII rendering. Concurrent
+// observers may land between bucket reads; snapshots taken after
+// streaming quiesces are exact.
+func (h *Histogram) Snapshot() *stats.LogHistogram {
+	out := &stats.LogHistogram{
+		Under: h.under.Load(),
+		Sum:   float64(h.sum.Load()),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}

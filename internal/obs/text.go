@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"davide/internal/stats"
+)
+
+// splitKey splits a series key into base metric name and the inner
+// label list (without braces); labels is empty for unlabelled series.
+func splitKey(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// withLE appends an le label to an existing label list.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText writes the registry contents in Prometheus text exposition
+// format, series sorted within each family and families sorted by
+// name, so output is deterministic. With includeVolatile false the
+// output is additionally bit-reproducible across same-seed replays.
+func (r *Registry) WriteText(w io.Writer, includeVolatile bool) error {
+	snap := r.Snapshot(includeVolatile)
+	// Group into families: the TYPE header must precede all series of a
+	// base name, and families must not interleave.
+	type family struct {
+		kind    Kind
+		metrics []Metric
+	}
+	fams := map[string]*family{}
+	var order []string
+	for _, m := range snap {
+		base, _ := splitKey(m.Name)
+		f, ok := fams[base]
+		if !ok {
+			f = &family{kind: m.Kind}
+			fams[base] = f
+			order = append(order, base)
+		}
+		f.metrics = append(f.metrics, m)
+	}
+	sort.Strings(order)
+	for _, base := range order {
+		f := fams[base]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, f.kind); err != nil {
+			return err
+		}
+		for _, m := range f.metrics {
+			if m.Kind != KindHistogram {
+				if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, fnum(m.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeHistText(w, base, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistText emits one histogram series as cumulative _bucket lines
+// plus _sum and _count. Buckets past the highest occupied one are
+// folded into +Inf to keep scrapes compact.
+func writeHistText(w io.Writer, base string, m Metric) error {
+	_, labels := splitKey(m.Name)
+	h := m.Hist
+	hi := -1
+	var total uint64
+	for i, c := range h.Counts {
+		total += c
+		if c != 0 {
+			hi = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= hi; i++ {
+		cum += h.Counts[i]
+		le := fnum(stats.LogBucketUpper(i) * m.Scale)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, withLE(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, withLE(labels, "+Inf"), total); err != nil {
+		return err
+	}
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, brace, fnum(h.Sum*m.Scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, brace, total)
+	return err
+}
+
+// Text returns WriteText output as a string — the deterministic form
+// (includeVolatile false) is what the replay property test compares.
+func (r *Registry) Text(includeVolatile bool) string {
+	var sb strings.Builder
+	_ = r.WriteText(&sb, includeVolatile)
+	return sb.String()
+}
+
+// WriteHistograms renders every histogram as the human ASCII bucket
+// view (stats.LogHistogram rendering) with p50/p99 estimates — the
+// /histograms debug endpoint.
+func (r *Registry) WriteHistograms(w io.Writer) error {
+	for _, m := range r.Snapshot(true) {
+		if m.Kind != KindHistogram || m.Hist.N() == 0 {
+			continue
+		}
+		p50, _ := m.Hist.Quantile(0.5)
+		p99, _ := m.Hist.Quantile(0.99)
+		_, err := fmt.Fprintf(w, "%s  n=%d p50=%s p99=%s\n%s\n",
+			m.Name, m.Hist.N(), fnum(p50*m.Scale), fnum(p99*m.Scale), m.Hist.Scaled(m.Scale))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

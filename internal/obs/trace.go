@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"davide/internal/wire"
+)
+
+// Stage names the five pipeline points a telemetry batch is stamped at
+// on its way from a gateway into the store (DESIGN.md §9).
+type Stage uint8
+
+// Stage-trace points, in pipeline order.
+const (
+	StageEncode Stage = iota // gateway serialises the batch
+	StageFanout              // rack broker routes it to subscribers
+	StageUplink              // bridge publishes it into the spine
+	StageDecode              // ingest pool decodes the payload
+	StageCommit              // aggregator commits it to the store
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageEncode:
+		return "encode"
+	case StageFanout:
+		return "fanout"
+	case StageUplink:
+		return "uplink"
+	case StageDecode:
+		return "decode"
+	case StageCommit:
+		return "commit"
+	}
+	return "unknown"
+}
+
+const markStripes = 64
+
+type markStripe struct {
+	mu sync.Mutex
+	m  map[int]int64
+}
+
+// StageTrace stamps batches at each pipeline stage and publishes
+// per-stage, per-rack latency histograms into a registry.
+//
+// All stamps carry virtual wire ticks, never wall time: in a replayed
+// plane the wall clock is scheduling noise, so the trace measures the
+// deterministic virtual-time quantities instead. Per (stage, node) the
+// trace keeps the newest sample tick yet seen — the node's frontier at
+// that stage. A batch arriving behind the frontier was overtaken
+// (chaos holds, bridge redial replays, reorder faults), and its lag —
+// frontier minus the batch's newest tick — is recorded in that stage's
+// histogram; in-order batches record zero. At store commit the
+// end-to-end histogram additionally records frontier-to-oldest-sample
+// span, i.e. how stale the batch's oldest sample is relative to what
+// the node had already committed. Per-node stage order is
+// deterministic per seed, so these histograms are bit-reproducible and
+// participate in deterministic snapshots.
+// frontierSlot pads each dense watermark to its own cache line: nodes
+// are stamped concurrently, and eight per line would turn neighbouring
+// nodes' CAS loops into false sharing on the hot path.
+type frontierSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type StageTrace struct {
+	racks  int
+	rackOf atomic.Pointer[func(node int) int]
+	lag    [numStages][]*Histogram
+	e2e    []*Histogram
+	// frontier is the dense fast path: one atomic max-watermark per
+	// (stage, node) for node IDs below the EnsureNodes bound. Stamps
+	// here are a CAS loop — no mutex, so a commit stamp taken under an
+	// aggregator shard lock never parks the shard on a futex.
+	growMu   sync.Mutex
+	frontier [numStages]atomic.Pointer[[]frontierSlot]
+	// marks is the sparse fallback for nodes outside the dense bound.
+	marks [numStages][markStripes]markStripe
+}
+
+// NewStageTrace registers a trace's histograms and counters for the
+// given rack count under the davide_stage_* / davide_e2e_* names.
+// Nodes map to rack 0 until SetRackOf installs the plane's partition.
+func NewStageTrace(reg *Registry, racks int) *StageTrace {
+	if racks < 1 {
+		racks = 1
+	}
+	t := &StageTrace{racks: racks, e2e: make([]*Histogram, racks)}
+	tickScale := Scale(1 / float64(wire.TickHz))
+	for s := Stage(0); s < numStages; s++ {
+		t.lag[s] = make([]*Histogram, racks)
+		for r := 0; r < racks; r++ {
+			rl := RackLabel(r)
+			h := reg.HistogramOf(
+				Key("davide_stage_lag_seconds", "stage", s.String(), "rack", rl), tickScale)
+			t.lag[s][r] = h
+			// Every stamp is exactly one lag observation, so the batch
+			// counter is derived from the histogram at snapshot time
+			// instead of spending a second atomic add per stamp.
+			reg.CounterFunc(
+				Key("davide_stage_batches_total", "stage", s.String(), "rack", rl),
+				func() float64 { return float64(h.Count()) })
+		}
+	}
+	for r := 0; r < racks; r++ {
+		t.e2e[r] = reg.HistogramOf(
+			Key("davide_e2e_staleness_seconds", "rack", RackLabel(r)), tickScale)
+	}
+	for s := range t.marks {
+		for i := range t.marks[s] {
+			t.marks[s][i].m = make(map[int]int64)
+		}
+	}
+	return t
+}
+
+// RackLabel is the shared rack label format ("r00", "r01", ...) the
+// trace and every per-rack series use, so scrapes join on one label.
+func RackLabel(r int) string { return fmt.Sprintf("r%02d", r) }
+
+// SetRackOf installs the node→rack mapping. Call before streaming; the
+// pointer swap is atomic so a live scrape never observes a torn map.
+func (t *StageTrace) SetRackOf(fn func(node int) int) { t.rackOf.Store(&fn) }
+
+func (t *StageTrace) rack(node int) int {
+	if t.racks == 1 {
+		return 0
+	}
+	if fn := t.rackOf.Load(); fn != nil {
+		if r := (*fn)(node); r >= 0 && r < t.racks {
+			return r
+		}
+	}
+	return 0
+}
+
+// EnsureNodes sizes the dense frontier arrays to cover node IDs
+// [0, n). Callers invoke it before a window starts streaming (no
+// stamps in flight): growth swaps the arrays, and a stamp racing the
+// swap could land on the retired copy. Already-large arrays make it a
+// cheap no-op, so per-rack fleets may re-ensure their share after the
+// plane has ensured the full node range.
+func (t *StageTrace) EnsureNodes(n int) {
+	if n <= 0 {
+		return
+	}
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	for s := range t.frontier {
+		cur := t.frontier[s].Load()
+		if cur != nil && len(*cur) >= n {
+			continue
+		}
+		arr := make([]frontierSlot, n)
+		if cur != nil {
+			for i := range *cur {
+				arr[i].v.Store((*cur)[i].v.Load())
+			}
+		}
+		t.frontier[s].Store(&arr)
+	}
+}
+
+// advance updates the (stage, node) frontier and returns the batch's
+// lag behind it (zero when the batch itself advances the frontier).
+func (t *StageTrace) advance(stage Stage, node int, newestTick int64) int64 {
+	if arr := t.frontier[stage].Load(); arr != nil && node >= 0 && node < len(*arr) {
+		a := &(*arr)[node].v
+		for {
+			prev := a.Load()
+			if newestTick < prev {
+				return prev - newestTick
+			}
+			if a.CompareAndSwap(prev, newestTick) {
+				return 0
+			}
+		}
+	}
+	st := &t.marks[stage][node%markStripes]
+	st.mu.Lock()
+	prev := st.m[node]
+	var lag int64
+	if newestTick >= prev {
+		st.m[node] = newestTick
+	} else {
+		lag = prev - newestTick
+	}
+	st.mu.Unlock()
+	return lag
+}
+
+// Stamp records a batch passing a stage. newestTick is the wire tick
+// of the batch's newest sample.
+func (t *StageTrace) Stamp(stage Stage, node int, newestTick int64) {
+	r := t.rack(node)
+	t.lag[stage][r].Observe(t.advance(stage, node, newestTick))
+}
+
+// StampCommit records the store-commit stage plus the end-to-end
+// staleness of the batch's oldest sample against the node's committed
+// frontier.
+func (t *StageTrace) StampCommit(node int, oldestTick, newestTick int64) {
+	r := t.rack(node)
+	lag := t.advance(StageCommit, node, newestTick)
+	t.lag[StageCommit][r].Observe(lag)
+	frontier := newestTick + lag // == max(previous frontier, newestTick)
+	t.e2e[r].Observe(frontier - oldestTick)
+}
+
+// BeginWindow resets the per-node frontiers. A plane replaying the
+// same virtual window repeatedly (benchmarks, repeated Stream calls)
+// resets between windows so a fresh replay is not scored as one giant
+// reordering against the previous window's frontier.
+func (t *StageTrace) BeginWindow() {
+	for s := range t.frontier {
+		if arr := t.frontier[s].Load(); arr != nil {
+			for i := range *arr {
+				(*arr)[i].v.Store(0)
+			}
+		}
+	}
+	for s := range t.marks {
+		for i := range t.marks[s] {
+			st := &t.marks[s][i]
+			st.mu.Lock()
+			clear(st.m)
+			st.mu.Unlock()
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"davide/internal/accounting"
+	"davide/internal/obs"
 	"davide/internal/predictor"
 	"davide/internal/sensor"
 	"davide/internal/workload"
@@ -92,6 +93,11 @@ type ControllerConfig struct {
 	// MaxTicks aborts a run that cannot finish — e.g. a cap no pending
 	// job fits under (default 200000).
 	MaxTicks int
+	// Metrics, when non-nil, mirrors the controller's health counters
+	// (ticks, fresh/stale reads, refused admissions, measure failures)
+	// into the registry as davide_sched_* series, live during the run —
+	// the ControllerResult fields stay the canonical post-run numbers.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset tuning fields.
@@ -223,6 +229,29 @@ type Controller struct {
 	measViolSec     float64
 	maxOverPct      float64
 	consumed        bool
+
+	// met mirrors the counters above into a registry (nil without
+	// ControllerConfig.Metrics).
+	met *schedMetrics
+}
+
+// schedMetrics is the registry view of the controller's health counters.
+type schedMetrics struct {
+	ticks           *obs.Counter
+	freshReads      *obs.Counter
+	staleReads      *obs.Counter
+	refused         *obs.Counter
+	measureFailures *obs.Counter
+}
+
+func newSchedMetrics(reg *obs.Registry) *schedMetrics {
+	return &schedMetrics{
+		ticks:           reg.CounterOf("davide_sched_ticks_total"),
+		freshReads:      reg.CounterOf("davide_sched_fresh_reads_total"),
+		staleReads:      reg.CounterOf("davide_sched_stale_reads_total"),
+		refused:         reg.CounterOf("davide_sched_refused_admissions_total"),
+		measureFailures: reg.CounterOf("davide_sched_measure_failures_total"),
+	}
 }
 
 // NewController validates the configuration and prepares a live run over
@@ -243,6 +272,9 @@ func NewController(cfg ControllerConfig, jobs []workload.Job, src TelemetrySourc
 	}
 	c := &Controller{cfg: cfg, src: src, hooks: hooks, speed: 1,
 		ledger: accounting.NewLedger()}
+	if cfg.Metrics != nil {
+		c.met = newSchedMetrics(cfg.Metrics)
+	}
 	ids := make(map[int]struct{}, len(jobs))
 	for i, j := range jobs {
 		if err := j.Validate(); err != nil {
@@ -389,6 +421,9 @@ func (c *Controller) dispatch() error {
 			}
 			if base+delta > c.cfg.PowerCapW {
 				c.refused++
+				if c.met != nil {
+					c.met.refused.Inc()
+				}
 				kept = append(kept, js)
 				if reserveHead && qi == 0 {
 					blocked = true
@@ -434,11 +469,17 @@ func (c *Controller) observe(t0, t1 float64) {
 				c.seen[n] = cnt
 				c.lastFreshT0[n] = t0
 				c.fresh++
+				if c.met != nil {
+					c.met.freshReads.Inc()
+				}
 				freshNodes[n] = true
 				continue
 			}
 		}
 		c.stale++
+		if c.met != nil {
+			c.met.staleReads.Inc()
+		}
 	}
 	// A running job becomes visible once every one of its nodes has
 	// reported a window that overlaps its execution.
@@ -550,6 +591,9 @@ func (c *Controller) complete(r *liveJob) error {
 		r.job.App.String(), r.nodes, r.startAt, r.endAt)
 	if err != nil {
 		c.measureFailures++
+		if c.met != nil {
+			c.met.measureFailures.Inc()
+		}
 		return nil
 	}
 	if c.cfg.Trainer == nil {
@@ -559,6 +603,9 @@ func (c *Controller) complete(r *liveJob) error {
 	measured.TruePowerPerNode = rec.PerNodePowerW()
 	if measured.TruePowerPerNode <= 0 {
 		c.measureFailures++
+		if c.met != nil {
+			c.met.measureFailures.Inc()
+		}
 		return nil
 	}
 	// Duration as scheduled (capping may have stretched it); the
@@ -584,6 +631,9 @@ func (c *Controller) Run() (*ControllerResult, error) {
 		if ticks >= c.cfg.MaxTicks {
 			return nil, fmt.Errorf("sched: run incomplete after %d ticks (%d/%d jobs finished — cap too tight for the workload?)",
 				ticks, c.finished, len(c.jobs))
+		}
+		if c.met != nil {
+			c.met.ticks.Inc()
 		}
 		t0, t1 := c.now, c.now+c.cfg.TickS
 		for c.arrived < len(c.jobs) && c.jobs[c.arrived].job.SubmitAt <= t0 {

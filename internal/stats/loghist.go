@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LogBuckets is the number of buckets in a LogHistogram: one for zero
+// plus one per bit of a 64-bit value.
+const LogBuckets = 65
+
+// LogHistogram is a log2-bucketed histogram over non-negative integer
+// values (typically wire ticks or byte counts). Bucket 0 counts exact
+// zeros; bucket i (i >= 1) counts values in [2^(i-1), 2^i). Negative
+// samples are clamped to zero and tallied in Under so lossy inputs stay
+// visible. The zero value is ready to use, and the struct has no
+// unexported state so registries holding atomic counts can materialise
+// snapshots directly.
+type LogHistogram struct {
+	Counts [LogBuckets]uint64
+	Under  uint64  // negative samples, recorded in bucket 0 after clamping
+	Sum    float64 // sum of recorded (clamped) values
+}
+
+// Add records one sample.
+func (h *LogHistogram) Add(v int64) {
+	if v < 0 {
+		h.Under++
+		v = 0
+	}
+	h.Counts[LogBucketIndex(v)]++
+	h.Sum += float64(v)
+}
+
+// LogBucketIndex returns the bucket a non-negative value falls in:
+// 0 for v == 0, otherwise bits.Len64(v) so that bucket i spans
+// [2^(i-1), 2^i).
+func LogBucketIndex(v int64) int {
+	i := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		i++
+	}
+	return i
+}
+
+// LogBucketUpper returns the inclusive upper bound of bucket i
+// (2^i - 1 for integer-valued samples; 0 for bucket 0).
+func LogBucketUpper(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return math.Ldexp(1, i) - 1
+}
+
+// N returns the total number of recorded samples.
+func (h *LogHistogram) N() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an approximate q-quantile (0..1) using geometric
+// bucket midpoints; a zero-bucket hit returns 0 exactly. Under-range
+// (negative) samples were clamped into bucket 0 by Add, so they pull
+// low quantiles to zero rather than vanishing.
+func (h *LogHistogram) Quantile(q float64) (float64, error) {
+	n := h.N()
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0, nil
+			}
+			// Geometric midpoint of [2^(i-1), 2^i).
+			return math.Ldexp(math.Sqrt2, i-1), nil
+		}
+	}
+	return LogBucketUpper(LogBuckets - 1), nil
+}
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (h *LogHistogram) Mean() (float64, error) {
+	n := h.N()
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return h.Sum / float64(n), nil
+}
+
+// String renders a compact ASCII view spanning only the occupied bucket
+// range, with an optional unit scale applied to the bounds (e.g. pass
+// 1/wire.TickHz to print tick-valued buckets in seconds via Scaled).
+func (h *LogHistogram) String() string { return h.Scaled(1) }
+
+// Scaled is String with every bucket bound multiplied by scale.
+func (h *LogHistogram) Scaled(scale float64) string {
+	lo, hi := -1, -1
+	maxC := uint64(1)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if lo < 0 {
+		return "(empty)\n"
+	}
+	var sb strings.Builder
+	for i := lo; i <= hi; i++ {
+		c := h.Counts[i]
+		bar := strings.Repeat("#", int(40*c/maxC))
+		lb := 0.0
+		if i > 0 {
+			lb = math.Ldexp(1, i-1) * scale
+		}
+		fmt.Fprintf(&sb, "[%10.4g,%10.4g] %8d %s\n", lb, LogBucketUpper(i)*scale, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&sb, "under=%d (clamped to 0)\n", h.Under)
+	}
+	return sb.String()
+}

@@ -22,10 +22,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"davide/internal/gateway"
 	"davide/internal/mqtt"
+	"davide/internal/obs"
 	"davide/internal/tsdb"
+	"davide/internal/wire"
 )
 
 // NodeSeries is the reconstructed power series of one node, kept as flat
@@ -134,6 +137,10 @@ type Aggregator struct {
 	db     *tsdb.DB // nil in raw fallback mode
 	shards []*aggShard
 	mask   uint32
+
+	// trace, when set, stamps batches at the ingest-decode and
+	// store-commit stages of the obs stage trace.
+	trace atomic.Pointer[obs.StageTrace]
 
 	dropMu   sync.Mutex
 	dropped  int
@@ -253,6 +260,12 @@ func (a *Aggregator) shardFor(node int) *aggShard {
 // Store returns the tsdb store behind this aggregator (nil in raw mode).
 func (a *Aggregator) Store() *tsdb.DB { return a.db }
 
+// SetTrace installs (or clears) the obs stage trace this aggregator
+// stamps decoded and committed batches into. The swap is atomic, so it
+// is safe against in-flight consumers, but for deterministic traces it
+// should be installed before streaming starts.
+func (a *Aggregator) SetTrace(t *obs.StageTrace) { a.trace.Store(t) }
+
 // Handler returns the mqtt.MessageHandler that feeds this aggregator.
 func (a *Aggregator) Handler() mqtt.MessageHandler {
 	return func(m mqtt.Message) { a.consume(m) }
@@ -275,7 +288,19 @@ func (a *Aggregator) consumeWith(m mqtt.Message, scratch []float64) []float64 {
 			a.drop()
 			return scratch
 		}
+		last := b.T0 + float64(len(b.Samples)-1)*b.Dt
+		if tr := a.trace.Load(); tr != nil {
+			tr.Stamp(obs.StageDecode, b.Node, wire.ToTick(last))
+		}
 		a.AddBatch(b)
+		if tr := a.trace.Load(); tr != nil {
+			// Stamped after the shard lock is released: messages are
+			// worker-sticky per node (Ingest shards by topic; a single
+			// client consumes serially), so commit stamps stay in commit
+			// order per node — the determinism the snapshot property test
+			// pins — without lengthening the shard critical section.
+			tr.StampCommit(b.Node, wire.ToTick(b.T0), wire.ToTick(last))
+		}
 		return b.Samples
 	case mqtt.TopicMatches(gateway.TopicPrefix+"/+/energy", m.Topic):
 		e, err := gateway.DecodeEnergySummary(m.Payload)
