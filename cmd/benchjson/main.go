@@ -46,7 +46,8 @@ type File struct {
 // and 0 when the unit has no gating direction.
 func direction(unit string) int {
 	switch unit {
-	case "ns/op", "ns/sample", "B/op", "B/sample", "wire-B/sample", "allocs/op", "bytes/sample", "max-err-%", "rollup-B":
+	case "ns/op", "ns/sample", "B/op", "B/sample", "wire-B/sample", "allocs/op", "bytes/sample", "max-err-%", "rollup-B",
+		"max-over-%", "energy-err-%":
 		return -1
 	case "samples/s", "samples/s/core", "compression-x", "decode-speedup-x", "MB/s":
 		return +1

@@ -55,10 +55,14 @@ func main() {
 	codec := flag.String("stream-codec", "binary", "batch wire codec for the replay: binary or json")
 	chaosName := flag.String("chaos", "", "fault-injection preset for the telemetry replay: "+
 		strings.Join(davide.ChaosPresetNames(), ", ")+" (requires -stream or -sched; seeded by -seed); "+
-		"bridge presets ("+strings.Join(davide.ChaosBridgePresetNames(), ", ")+") fault the rack→spine uplinks and require -racks > 1")
+		"bridge presets ("+strings.Join(davide.ChaosBridgePresetNames(), ", ")+") fault the rack→spine uplinks and require -racks > 1; "+
+		"a comma-separated list stacks gateway presets into one composed plan")
 	chaosBatch := flag.Int("chaos-batch", 64, "samples per MQTT batch under -chaos (smaller batches give per-packet faults statistics)")
 	racks := flag.Int("racks", 1, "rack broker cells for the telemetry replay (>1 = tiered fabric with spine bridges)")
 	schedMode := flag.String("sched", "", "run the live closed-loop control plane instead of the batch simulator: fifo or power")
+	scenarioName := flag.String("scenario", "", "run a named scenario on the live control plane: "+
+		strings.Join(davide.ScenarioNames(), ", ")+" (arrival shaping, cap trajectories, thermal events and composed chaos; "+
+		"seeded by -seed; policy from -sched, default power)")
 	tick := flag.Float64("tick", 30, "live control period in virtual seconds (with -sched)")
 	obsAddr := flag.String("obs-addr", "", "serve the observability registry at this address while the run executes "+
 		"(e.g. 127.0.0.1:9100; Prometheus text at /metrics, ASCII histograms at /histograms)")
@@ -68,23 +72,50 @@ func main() {
 	flag.Parse()
 
 	// Pure flag validation: reject a bad chaos setup before the
-	// scheduled simulation burns minutes of wall clock.
-	var chaosPlan *davide.ChaosPlan
-	bridgeChaos := davide.IsBridgePreset(*chaosName)
+	// scheduled simulation burns minutes of wall clock. A single -chaos
+	// name resolves to its plain preset plan (bridge presets included);
+	// a comma-separated list composes gateway presets into one stacked
+	// plan, every name validated up front against both registries.
+	var chaosPlan davide.ChaosPlanner
+	bridgeChaos := false
 	if *chaosName != "" {
-		if *stream <= 0 && *schedMode == "" {
+		if *stream <= 0 && *schedMode == "" && *scenarioName == "" {
 			log.Fatalf("-chaos %q needs a telemetry path: pass -stream <seconds> or -sched <policy>", *chaosName)
 		}
-		if bridgeChaos && *racks <= 1 {
-			log.Fatalf("-chaos %q faults rack→spine uplinks: pass -racks > 1", *chaosName)
+		names := strings.Split(*chaosName, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
 		}
-		if bridgeChaos && *schedMode != "" {
-			log.Fatalf("-chaos %q needs the tiered replay path (-stream); the live control plane is single-broker", *chaosName)
+		if len(names) == 1 {
+			bridgeChaos = davide.IsBridgePreset(names[0])
+			if bridgeChaos && *racks <= 1 {
+				log.Fatalf("-chaos %q faults rack→spine uplinks: pass -racks > 1", names[0])
+			}
+			if bridgeChaos && *schedMode != "" {
+				log.Fatalf("-chaos %q needs the tiered replay path (-stream); the live control plane is single-broker", names[0])
+			}
+			plan, err := davide.ChaosPreset(names[0], *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			chaosPlan = plan
+		} else {
+			phases := make([]davide.ChaosStackPhase, len(names))
+			for i, n := range names {
+				phases[i] = davide.ChaosStackPhase{Preset: n} // always-on
+			}
+			stack, err := davide.ChaosStack(*seed, phases...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			chaosPlan = stack
 		}
-		var err error
-		if chaosPlan, err = davide.ChaosPreset(*chaosName, *seed); err != nil {
-			log.Fatal(err)
-		}
+	}
+	if *scenarioName != "" && *chaosName != "" {
+		log.Fatalf("-scenario %q owns its chaos stack; drop -chaos", *scenarioName)
+	}
+	if *scenarioName != "" && (*stream > 0 || *racks > 1) {
+		log.Fatalf("-scenario %q runs on the live control plane; drop -stream/-racks", *scenarioName)
 	}
 	if *racks < 1 {
 		log.Fatal("-racks must be >= 1")
@@ -172,6 +203,30 @@ func main() {
 		}
 	}
 
+	// The replay default of 50 S/s is a stress figure; a live loop
+	// samples at gateway-like rates unless explicitly overridden.
+	liveRate := 4.0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "stream-rate" {
+			liveRate = *streamRate
+		}
+	})
+
+	if *scenarioName != "" {
+		sc, err := davide.GetScenario(*scenarioName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.StreamWorkers = *workers
+		sys.StreamCodec = davide.WireCodec(*codec)
+		mode := *schedMode
+		if mode == "" {
+			mode = "power"
+		}
+		runScenario(sys, work, sc, mode, *capKW*1000, *reactive, *tick, liveRate, *streamNodes, *seed)
+		return
+	}
+
 	if *schedMode != "" {
 		sys.StreamWorkers = *workers
 		sys.StreamCodec = davide.WireCodec(*codec)
@@ -179,15 +234,7 @@ func main() {
 			sys.StreamFaults = chaosPlan
 			sys.StreamBatchSamples = *chaosBatch
 		}
-		// The replay default of 50 S/s is a stress figure; a live loop
-		// samples at gateway-like rates unless explicitly overridden.
-		rate := 4.0
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "stream-rate" {
-				rate = *streamRate
-			}
-		})
-		runLive(sys, work, *schedMode, *capKW*1000, *reactive, *tick, rate, *streamNodes, *chaosName, *seed)
+		runLive(sys, work, *schedMode, *capKW*1000, *reactive, *tick, liveRate, *streamNodes, *chaosName, *seed)
 		return
 	}
 
@@ -344,6 +391,75 @@ func runLive(sys *davide.System, work []workload.Job, mode string, capW float64,
 			f.SamplesLost, f.SamplesDuplicated, res.SamplesSent)
 		fmt.Printf("  agg reordered        %d, undecodable %d, store OO-dropped %d\n",
 			res.ReorderedBatches, res.UndecodableDropped, res.StoreOutOfOrderDropped)
+	}
+}
+
+// runScenario executes a named scenario on the live control plane and
+// prints its summary plus the per-phase cap-tracking overlay.
+func runScenario(sys *davide.System, work []workload.Job, sc *davide.Scenario, mode string, capW float64, reactive bool, tick, rate float64, nodes int, seed int64) {
+	var adm davide.Admission
+	switch mode {
+	case "fifo":
+		adm = davide.AdmitFIFO
+	case "power":
+		adm = davide.AdmitPowerAware
+	default:
+		log.Printf("unknown live policy %q (want fifo or power)", mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+	res, err := sys.RunScenario(sc, seed, work, davide.LiveConfig{
+		Nodes:      nodes,
+		SampleRate: rate,
+		Sched: davide.ControllerConfig{
+			Admission: adm,
+			Config: davide.SchedConfig{
+				PowerCapW:       capW,
+				ReactiveCapping: reactive,
+			},
+			TickS: tick,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("D.A.V.I.D.E. scenario %q — %s\n", sc.Name, sc.Desc)
+	fmt.Printf("  policy               %s, %.0f s ticks, seed %d\n", res.Policy, tick, seed)
+	fmt.Printf("  jobs                 %d over %d ticks\n", res.Jobs, res.Ticks)
+	fmt.Printf("  makespan             %.1f h\n", res.Makespan/3600)
+	fmt.Printf("  mean wait            %.1f min (max %.1f)\n", res.MeanWait/60, res.MaxWait/60)
+	fmt.Printf("  utilisation          %.1f %%\n", res.UtilizationPct)
+	fmt.Printf("  energy true          %s (%.1f kWh)\n",
+		units.Joule(res.EnergyJ), units.Joule(res.EnergyJ).KWh())
+	fmt.Printf("  energy measured      %s (error %.3f %%, bound %g %%)\n",
+		units.Joule(res.MeasuredEnergyJ), res.EnergyErrPct, sc.MaxEnergyErrPct)
+	if res.CapW > 0 {
+		fmt.Printf("  nominal cap          %.1f kW (final tracked %.1f kW)\n", res.CapW/1000, res.FinalCapW/1000)
+		fmt.Printf("  true violation       %.0f s (max over %.2f %%, bound %g %%)\n",
+			res.CapViolationSec, res.MaxOverPct, sc.MaxOverPct)
+	}
+	fmt.Printf("  telemetry reads      %d fresh / %d held\n", res.FreshReads, res.StaleReads)
+	if sc.BrownoutStaleFrac > 0 {
+		fmt.Printf("  brownout             %d transitions, %d ticks browned out (stale-frac threshold %g)\n",
+			res.BrownoutTransitions, res.BrownoutTicks, sc.BrownoutStaleFrac)
+	}
+	if len(sc.Chaos) > 0 {
+		f := res.Faults
+		fmt.Printf("  chaos injected       drop %d / partition %d / corrupt %d / dup %d / hold %d / crash %d\n",
+			f.Dropped, f.Partitioned, f.Corrupted, f.Duplicated, f.Held, f.Crashes)
+	}
+	fmt.Printf("  wall clock           %s\n", res.WallClock)
+	if len(res.PhaseOvershoot) > 0 {
+		fmt.Println("\nCap tracking per phase (measured vs ramp-limited cap):")
+		for _, ph := range res.PhaseOvershoot {
+			t1 := fmt.Sprintf("%.0f", ph.T1)
+			if ph.T1 > res.Makespan {
+				t1 = "end"
+			}
+			fmt.Printf("  %-12s [%5.0f, %5s) %4d ticks, %3d over, max %6.0f W (%5.2f %%), mean over %5.0f W, cap %6.0f W, power %6.0f W\n",
+				ph.Phase, ph.T0, t1, ph.Ticks, ph.OverTicks, ph.MaxOverW, ph.MaxOverPct, ph.MeanOverW, ph.MeanCapW, ph.MeanPowerW)
+		}
 	}
 }
 

@@ -21,11 +21,21 @@
 // holds. In both modes -metric queries the self-ingested health series
 // after the run (-metric list enumerates them).
 //
+// A third instrumented mode, -cap-track <scenario>, runs a named
+// scenario (dynamic cap trajectory, composed chaos, thermal events; see
+// internal/scenario) on the live control plane and then interrogates
+// the telemetry store *post hoc*: the scenario's ramp-limited cap
+// trajectory is reconstructed tick by tick and overlaid on the measured
+// machine power, reporting max/mean overshoot per scenario phase — the
+// grid-operator's compliance view, computed entirely from stored
+// telemetry.
+//
 // Usage:
 //
 //	egmon [-nodes N] [-window SEC] [-rate S/s] [-node K -t0 T -t1 T -res SEC]
 //	egmon -racks 4 [-nodes N] [-window SEC] [-metric NAME | -metric list]
 //	egmon -live [-nodes N] [-jobs N] [-metric NAME | -metric list]
+//	egmon -cap-track dr-ramp [-nodes N] [-jobs N] [-cap KW] [-seed S]
 package main
 
 import (
@@ -59,8 +69,11 @@ func main() {
 	qRes := flag.Float64("res", 1, "query resolution in seconds (0 = raw samples)")
 	racks := flag.Int("racks", 1, "stream through the tiered fabric with this many rack cells (>1; instrumented)")
 	live := flag.Bool("live", false, "run the closed-loop control plane instead of the gateway demo (instrumented)")
-	jobs := flag.Int("jobs", 8, "jobs for the live control plane (-live)")
-	seed := flag.Int64("seed", 1, "workload seed (-live)")
+	capTrack := flag.String("cap-track", "", "run this named scenario on the live control plane and print the post-hoc "+
+		"cap-trajectory-vs-measured-power overlay per phase: "+strings.Join(davide.ScenarioNames(), ", "))
+	capKW := flag.Float64("cap", 0, "nominal machine power cap in kW for -cap-track (0 = 2.2 kW per node)")
+	jobs := flag.Int("jobs", 8, "jobs for the live control plane (-live, -cap-track)")
+	seed := flag.Int64("seed", 1, "workload seed (-live, -cap-track)")
 	metric := flag.String("metric", "", "post-hoc health-series query against the self-ingested registry snapshot ('list' enumerates)")
 	flag.Parse()
 	if *nodes <= 0 || *window <= 0 || *rate <= 0 {
@@ -68,6 +81,10 @@ func main() {
 	}
 	if *racks < 1 {
 		log.Fatal("-racks must be >= 1")
+	}
+	if *capTrack != "" {
+		runCapTrack(*capTrack, *nodes, *jobs, *seed, *capKW*1000)
+		return
 	}
 	if *live {
 		runLive(*nodes, *jobs, *seed, *metric, *qRes)
@@ -344,6 +361,97 @@ func runLive(nodes, jobs int, seed int64, metric string, res float64) {
 			r.Rack, r.FirstNode, r.FirstNode+r.Nodes-1, r.Held, r.Steps)
 	}
 	queryHealth(sys.SelfIngest(), metric, 0, lres.Makespan, res)
+}
+
+// runCapTrack executes a named scenario on the live control plane and
+// then queries the telemetry store post hoc: the ramp-limited cap
+// trajectory is reconstructed and scored against the measured machine
+// power, per scenario phase.
+func runCapTrack(name string, nodes, jobs int, seed int64, capW float64) {
+	sc, err := davide.GetScenario(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if capW <= 0 {
+		capW = 2200 * float64(nodes)
+	}
+	// The default trace requests up to 8 nodes; clamp to the machine so
+	// a small -nodes run cannot draw an unschedulable job.
+	cfg := davide.DefaultWorkload(seed)
+	if cfg.MaxNodes > nodes {
+		cfg.MaxNodes = nodes
+	}
+	gen, err := davide.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := gen.Batch(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	work, err := gen.Batch(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(work) > 0 {
+		base := work[0].SubmitAt
+		for i := range work {
+			work[i].SubmitAt -= base
+		}
+	}
+	sys, err := davide.NewSystem(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const tickS = 15.0
+	res, err := sys.RunScenario(sc, seed, work, davide.LiveConfig{
+		Nodes:      nodes,
+		SampleRate: 4,
+		Sched: davide.ControllerConfig{
+			Admission: davide.AdmitPowerAware,
+			Config:    davide.SchedConfig{PowerCapW: capW, ReactiveCapping: true},
+			TickS:     tickS,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Scenario %q — %s\n", sc.Name, sc.Desc)
+	fmt.Printf("%d jobs on %d nodes over %d ticks, nominal cap %.1f kW, %s wall\n",
+		res.Jobs, nodes, res.Ticks, capW/1000, res.WallClock)
+
+	// The overlay proper: reconstruct the ramp-limited cap trajectory
+	// from the scenario alone and score the *stored* telemetry against
+	// it — nothing below reads the run's in-memory state.
+	overs, err := davide.CapTrack(sys.Store(), nodes, capW, tickS, res.Makespan, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPost-hoc cap tracking (measured rack power vs reconstructed cap trajectory):")
+	fmt.Printf("%-14s %18s %7s %6s %14s %11s %10s %10s\n",
+		"phase", "window", "ticks", "over", "max over", "mean over", "mean cap", "mean power")
+	for _, ph := range overs {
+		t1 := fmt.Sprintf("%.0f", ph.T1)
+		if ph.T1 > res.Makespan {
+			t1 = "end"
+		}
+		fmt.Printf("%-14s [%6.0f, %7s) %7d %6d %7.0f W %4.1f%% %9.0f W %8.0f W %8.0f W\n",
+			ph.Phase, ph.T0, t1, ph.Ticks, ph.OverTicks, ph.MaxOverW, ph.MaxOverPct, ph.MeanOverW, ph.MeanCapW, ph.MeanPowerW)
+	}
+	if sc.MaxOverPct > 0 {
+		worst := 0.0
+		for _, ph := range overs {
+			if ph.MaxOverPct > worst {
+				worst = ph.MaxOverPct
+			}
+		}
+		verdict := "within"
+		if worst > sc.MaxOverPct {
+			verdict = "EXCEEDS"
+		}
+		fmt.Printf("\nworst phase overshoot %.2f %% — %s the scenario's documented %g %% bound\n",
+			worst, verdict, sc.MaxOverPct)
+	}
 }
 
 // snapValue returns the value of the first snapshot row whose name

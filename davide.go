@@ -33,6 +33,7 @@ import (
 	"davide/internal/powerapi"
 	"davide/internal/predictor"
 	"davide/internal/ptp"
+	"davide/internal/scenario"
 	"davide/internal/sched"
 	"davide/internal/sensor"
 	"davide/internal/telemetry"
@@ -294,6 +295,62 @@ func IsBridgePreset(name string) bool { return fleet.IsBridgePreset(name) }
 
 // ChaosErrBound returns a preset's documented MaxEnergyErrPct bound.
 func ChaosErrBound(name string) (float64, error) { return fleet.ChaosErrBound(name) }
+
+// Composed chaos and the scenario engine (see internal/scenario and
+// DESIGN.md §10): named, seeded stress configurations that shape
+// arrivals, move the power cap, trip DVFS throttling and window chaos
+// presets over phases of one run.
+type (
+	// ChaosPlanner is the planner seam both a single ChaosPlan and a
+	// phase-windowed composite satisfy (System.StreamFaults /
+	// System.BridgeFaults accept either).
+	ChaosPlanner = chaos.Planner
+	// ChaosStackPhase names one gateway preset active while payload
+	// virtual time is inside [T0, T1) (zero window = whole run).
+	ChaosStackPhase = fleet.ChaosPhase
+	// Scenario is one named deterministic stress configuration.
+	Scenario = scenario.Scenario
+	// ScenarioResult is one scenario run's outcome: the live run plus
+	// the per-phase cap-tracking overlay.
+	ScenarioResult = core.ScenarioResult
+	// PhaseOvershoot scores measured power against the tracked cap over
+	// one report phase.
+	PhaseOvershoot = scenario.PhaseOvershoot
+)
+
+// ChaosStack composes gateway chaos presets into one phase-windowed
+// fault plan: each preset strikes only while payload virtual time is
+// inside its window, every packet is owned by at most one preset, and
+// the composed ledger is the exact sum of the per-phase ledgers.
+func ChaosStack(seed int64, phases ...ChaosStackPhase) (ChaosPlanner, error) {
+	return fleet.ChaosStack(seed, phases...)
+}
+
+// Named scenarios (the full registry is enumerated by ScenarioNames).
+const (
+	ScenarioDiurnal       = scenario.ScenarioDiurnal
+	ScenarioMMPPBurst     = scenario.ScenarioMMPPBurst
+	ScenarioWeekendLull   = scenario.ScenarioWeekendLull
+	ScenarioDRRamp        = scenario.ScenarioDRRamp
+	ScenarioCarbonStep    = scenario.ScenarioCarbonStep
+	ScenarioHeatSpike     = scenario.ScenarioHeatSpike
+	ScenarioRampChaos     = scenario.ScenarioRampChaos
+	ScenarioStaleBrownout = scenario.ScenarioStaleBrownout
+)
+
+// ScenarioNames lists the registered scenarios, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// GetScenario resolves a named scenario (read-only; copy before
+// mutating).
+func GetScenario(name string) (*Scenario, error) { return scenario.Get(name) }
+
+// CapTrack reconstructs a scenario's ramp-limited cap trajectory and
+// scores the measured machine power in a telemetry store against it,
+// per report phase — the post-hoc overlay behind `egmon -cap-track`.
+func CapTrack(src scenario.PowerSource, nodes int, nominalCapW, tickS, horizon float64, sc *Scenario) ([]PhaseOvershoot, error) {
+	return scenario.CapTrack(src, nodes, nominalCapW, tickS, horizon, sc)
+}
 
 // WireCodec selects the batch wire format gateways publish: the
 // compressed binary frame (default) or the original JSON text. Decoders

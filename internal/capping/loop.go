@@ -32,9 +32,16 @@ type ControlLoop struct {
 	cancel func()
 	feed   PowerFeed
 	held   int
+	onHold func()
 	trace  []units.Watt
 	times  []float64
 }
+
+// SetOnHold installs a callback invoked on every held control period
+// (stale telemetry, no actuation) — the seam that mirrors holds into
+// an observability counter. Call before the engine runs; the callback
+// fires on the engine goroutine.
+func (cl *ControlLoop) SetOnHold(f func()) { cl.onHold = f }
 
 // NewControlLoop registers the capper on the engine with the given control
 // period (seconds of virtual time), observing node power directly.
@@ -68,6 +75,9 @@ func NewControlLoopWithFeed(eng *simclock.Engine, capper *NodeCapper, period flo
 			if !fresh {
 				// Telemetry loss: no actuation, hold the last safe cap.
 				cl.held++
+				if cl.onHold != nil {
+					cl.onHold()
+				}
 				return
 			}
 		} else {

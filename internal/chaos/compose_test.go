@@ -1,0 +1,204 @@
+package chaos_test
+
+import (
+	"reflect"
+	"testing"
+
+	"davide/internal/chaos"
+	"davide/internal/gateway"
+	"davide/internal/mqtt"
+	"davide/internal/wire"
+)
+
+// payloadTime reads a batch payload's virtual start time — the
+// extractor fleet installs on composites in production.
+func payloadTime(payload []byte) (float64, bool) {
+	_, oldest, _, ok := gateway.PayloadTickInfo(payload)
+	if !ok {
+		return 0, false
+	}
+	return wire.ToSec(oldest), true
+}
+
+// driveSeqs pushes the given batch sequence numbers (payload time ==
+// seq seconds) through any link and returns the delivered payload
+// sizes in order, as a fingerprint of the delivery schedule.
+func driveSeqs(t *testing.T, l mqtt.Link, seqs []int, samplesPer int) []int {
+	t.Helper()
+	var wireSizes []int
+	deliver := func(m mqtt.Message) error {
+		wireSizes = append(wireSizes, len(m.Payload))
+		return nil
+	}
+	for _, seq := range seqs {
+		err := l.Send(mqtt.Message{Topic: "davide/node01/power", Payload: payloadFor(t, seq, samplesPer)}, deliver)
+		if err != nil && err != chaos.ErrCrash {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(deliver); err != nil {
+		t.Fatal(err)
+	}
+	return wireSizes
+}
+
+func seqRange(lo, hi int) []int {
+	var s []int
+	for i := lo; i < hi; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+// TestCompositeDisjointEqualsStandalone is the headline compose
+// property: with disjoint phase windows, each phase's ledger over its
+// window equals — field for field — what the constituent plan would
+// have produced standing alone against exactly that packet
+// subsequence, and the composite ledger is their exact sum.
+func TestCompositeDisjointEqualsStandalone(t *testing.T) {
+	const node, seed, n = 7, 42, 600
+	planA := &chaos.Plan{Seed: seed, Default: chaos.Spec{
+		Drop: 0.05, Dup: 0.03, Hold: 0.04, HoldSpan: 3, CrashEvery: 50,
+	}}
+	planB := &chaos.Plan{Seed: seed, Default: chaos.Spec{
+		Corrupt: 0.06, Drop: 0.02,
+	}}
+	comp := &chaos.Composite{
+		TimeOf: payloadTime,
+		Phases: []chaos.Phase{
+			{Name: "a", Plan: planA, T0: 0, T1: 250},
+			{Name: "b", Plan: planB, T0: 250, T1: 500},
+		},
+	}
+	fl, err := comp.BuildLink(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.SetSizer(gateway.PayloadSamples)
+	cl := fl.(*chaos.CompositeLink)
+	driveSeqs(t, cl, seqRange(1, n+1), 16)
+
+	phases := cl.PhaseCounters()
+	// Standalone runs of each plan over exactly its window's packets.
+	for i, want := range []struct {
+		plan *chaos.Plan
+		seqs []int
+	}{
+		{planA, seqRange(1, 250)},   // t in [0, 250)
+		{planB, seqRange(250, 500)}, // t in [250, 500)
+	} {
+		solo, err := want.plan.NewLink(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo.SetSizer(gateway.PayloadSamples)
+		driveSeqs(t, solo, want.seqs, 16)
+		if !reflect.DeepEqual(phases[i], solo.Counters()) {
+			t.Errorf("phase %d ledger != standalone run over the same packets:\ncomposite: %+v\nstandalone: %+v",
+				i, phases[i], solo.Counters())
+		}
+	}
+
+	// Composite ledger == sum of constituents.
+	var sum chaos.Counters
+	for _, pc := range phases {
+		sum.Add(pc)
+	}
+	if !reflect.DeepEqual(cl.Counters(), sum) {
+		t.Errorf("composite ledger %+v != phase sum %+v", cl.Counters(), sum)
+	}
+
+	// Packets with t >= 500 pass through untouched.
+	if got, want := cl.Passthrough(), int64(n-500+1); got != want {
+		t.Errorf("Passthrough = %d, want %d", got, want)
+	}
+	// Every offered packet is accounted exactly once: owned (Sent or
+	// crashed by its single owner) or passed through.
+	owned := sum.Sent + sum.Crashes
+	if owned+cl.Passthrough() != n {
+		t.Errorf("packet conservation: owned %d + passthrough %d != offered %d",
+			owned, cl.Passthrough(), n)
+	}
+}
+
+// TestCompositeOverlapExclusionAndDeterminism stacks two always-on
+// plans over overlapping windows: per-packet fault mutual exclusion
+// must still hold (each packet has one owner, so ledger conservation
+// identities hold per phase and in sum), and the same seed must give a
+// bit-identical schedule and ledgers.
+func TestCompositeOverlapExclusionAndDeterminism(t *testing.T) {
+	const node, n = 3, 800
+	build := func() *chaos.CompositeLink {
+		comp := &chaos.Composite{
+			TimeOf: payloadTime,
+			Phases: []chaos.Phase{
+				{Name: "lossy", Plan: &chaos.Plan{Seed: 9, Default: chaos.Spec{
+					Drop: 0.06, Dup: 0.04, Hold: 0.05, HoldSpan: 4,
+				}}},
+				{Name: "corrupt", Plan: &chaos.Plan{Seed: 11, Default: chaos.Spec{
+					Corrupt: 0.08, Drop: 0.02,
+				}}, T0: 100, T1: 600},
+			},
+		}
+		fl, err := comp.BuildLink(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.SetSizer(gateway.PayloadSamples)
+		return fl.(*chaos.CompositeLink)
+	}
+
+	cl := build()
+	sched1 := driveSeqs(t, cl, seqRange(1, n+1), 8)
+
+	var sum chaos.Counters
+	for i, pc := range cl.PhaseCounters() {
+		sum.Add(pc)
+		// Per-phase conservation: every Sent packet took exactly one
+		// branch, and all holds were released by Flush. This is the
+		// per-packet mutual-exclusion identity — it cannot hold if two
+		// phases both faulted one packet.
+		if pc.Held != pc.LateReleases+pc.FlushReleases {
+			t.Errorf("phase %d: %d holds vs %d releases after Flush", i, pc.Held, pc.LateReleases+pc.FlushReleases)
+		}
+		wantDelivered := (pc.Sent - pc.Dropped - pc.Partitioned - pc.Held) +
+			pc.Duplicated + pc.LateReleases + pc.FlushReleases
+		if pc.Delivered != wantDelivered {
+			t.Errorf("phase %d: Delivered = %d, want %d (one fault per packet)", i, pc.Delivered, wantDelivered)
+		}
+	}
+	if sum.Sent+sum.Crashes+cl.Passthrough() != n {
+		t.Errorf("ownership not exclusive-and-total: sent %d + crashes %d + passthrough %d != %d",
+			sum.Sent, sum.Crashes, cl.Passthrough(), n)
+	}
+	if !reflect.DeepEqual(cl.Counters(), sum) {
+		t.Errorf("composite ledger %+v != phase sum %+v", cl.Counters(), sum)
+	}
+
+	// Same seed, same schedule, same ledgers — bit-identical.
+	cl2 := build()
+	sched2 := driveSeqs(t, cl2, seqRange(1, n+1), 8)
+	if !reflect.DeepEqual(sched1, sched2) {
+		t.Error("same seed produced different delivery schedules")
+	}
+	if !reflect.DeepEqual(cl.Counters(), cl2.Counters()) {
+		t.Errorf("same seed produced different ledgers:\n%+v\n%+v", cl.Counters(), cl2.Counters())
+	}
+	if !reflect.DeepEqual(cl.PhaseCounters(), cl2.PhaseCounters()) {
+		t.Error("same seed produced different per-phase ledgers")
+	}
+}
+
+// TestCompositeValidate pins the config errors.
+func TestCompositeValidate(t *testing.T) {
+	if err := (&chaos.Composite{}).Validate(); err == nil {
+		t.Error("empty composite validated")
+	}
+	bad := &chaos.Composite{Phases: []chaos.Phase{{Name: "x", Plan: &chaos.Plan{}, T0: 10, T1: 10}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty window validated")
+	}
+	if err := (&chaos.Composite{Phases: []chaos.Phase{{Name: "nil"}}}).Validate(); err == nil {
+		t.Error("nil phase plan validated")
+	}
+}

@@ -65,8 +65,10 @@ type System struct {
 
 	// StreamFaults, when non-nil, runs telemetry replays under
 	// deterministic fault injection (see internal/chaos and
-	// fleet.ChaosPreset): the E18 chaos-soak path.
-	StreamFaults *chaos.Plan
+	// fleet.ChaosPreset): the E18 chaos-soak path. A *chaos.Plan runs
+	// one schedule; a *chaos.Composite (fleet.ChaosStack) runs a
+	// phase-windowed stack keyed off payload virtual time.
+	StreamFaults chaos.Planner
 
 	// StreamBatchSamples overrides the per-batch sample count of
 	// telemetry replays (0 = the fleet default of 512). Chaos soaks use
@@ -85,7 +87,7 @@ type System struct {
 	// see fleet.ChaosBridgePresetNames). Requires StreamRacks > 1. The
 	// replay then also attaches a spine-side verification aggregator and
 	// reports the spine copy's accounting in the result.
-	BridgeFaults *chaos.Plan
+	BridgeFaults chaos.Planner
 
 	// Obs, when non-nil, instruments every replay and live run: stage
 	// traces, broker/bridge/fleet/store/scheduler counters all publish
@@ -373,13 +375,13 @@ type StreamResult struct {
 // HoldSpan × batch samples or late releases fall behind the sealed
 // horizon as unaccounted loss, silently voiding the preset's energy
 // error bound. A nil plan passes batchSamples through unchanged.
-func chaosSafeBatch(plan *chaos.Plan, nodes, batchSamples int, opts tsdb.Options) (int, error) {
+func chaosSafeBatch(plan chaos.Planner, nodes, batchSamples int, opts tsdb.Options) (int, error) {
 	if plan == nil {
 		return batchSamples, nil
 	}
 	maxSpan := 0
 	for n := 0; n < nodes; n++ {
-		if sp := plan.SpecFor(n).EffectiveHoldSpan(); sp > maxSpan {
+		if sp := plan.MaxHoldSpan(n); sp > maxSpan {
 			maxSpan = sp
 		}
 	}

@@ -49,6 +49,10 @@ type LiveConfig struct {
 	// (default 8; ignored when Sched.Trainer or Sched.Estimator is set).
 	// Negative disables online retraining.
 	OnlineEvery int
+	// Perturb, when non-nil, mutates each tick's per-node power levels
+	// before they are streamed — the scenario engine's thermal-DVFS
+	// seam (see sched.Hooks.Perturb).
+	Perturb func(t0, t1 float64, levels []float64)
 }
 
 // RackStats reports one per-rack capping control loop's run.
@@ -201,11 +205,25 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 		}})
 	}
 
+	// Mirror per-rack fail-safe holds into the deterministic snapshot
+	// (one increment per held control period, pumped on the engine
+	// goroutine inside AfterTick — deterministic per seed).
+	if s.Obs != nil {
+		heldCtr := s.Obs.CounterOf("davide_cap_held_total")
+		for _, rl := range racks {
+			rl.loop.SetOnHold(heldCtr.Inc)
+		}
+	}
+
 	res := &LiveResult{}
 	var faultsTotal chaos.Counters
 	restarts := 0
 	var wireBytes int64
+	// ctrl is assigned below; AfterTick closes over it to retarget the
+	// per-rack cappers when the effective cap is dynamic.
+	var ctrl *sched.Controller
 	hooks := sched.Hooks{
+		Perturb: cfg.Perturb,
 		StreamTick: func(t0, t1 float64, levels []float64) error {
 			st, err := fl.StreamLevels(context.Background(), levels, t0, t1, agg)
 			if err != nil {
@@ -227,6 +245,24 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 			return nil
 		},
 		AfterTick: func(t0, t1 float64) error {
+			if scfg.CapSchedule != nil && scfg.PowerCapW > 0 {
+				// Dynamic cap: the per-rack cappers must track the
+				// controller's ramp-limited effective cap, not the
+				// nominal share computed at setup. The share is clamped
+				// to the node idle floor — a cap below idle is
+				// physically unenforceable and SetCap rejects it.
+				share := ctrl.EffectiveCap() / float64(nodes)
+				for _, rl := range racks {
+					sh := units.Watt(share)
+					if idle := rl.loop.Capper.Node.IdlePower(); sh < idle {
+						sh = idle
+					}
+					if err := rl.loop.Capper.SetCap(sh); err != nil {
+						return fmt.Errorf("core: rack %d cap retarget: %w", rl.stats.Rack, err)
+					}
+					rl.stats.CapW = float64(sh)
+				}
+			}
 			if err := eng.RunUntil(t1); err != nil {
 				return err
 			}
@@ -238,7 +274,7 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 			return nil
 		},
 	}
-	ctrl, err := sched.NewController(scfg, jobs, db, hooks)
+	ctrl, err = sched.NewController(scfg, jobs, db, hooks)
 	if err != nil {
 		return nil, err
 	}

@@ -72,11 +72,12 @@ type GatewaySpec struct {
 	// gateway.CodecBinary (the default) or gateway.CodecJSON.
 	Codec gateway.Codec
 	// Faults, when non-nil, injects deterministic transport faults into
-	// every gateway's MQTT link (see internal/chaos and ChaosPreset).
-	// Injected session crashes are recovered transparently: the fleet
-	// tears the member's session down, redials, and resumes the window
-	// from the gateway's replay cursor.
-	Faults *chaos.Plan
+	// every gateway's MQTT link: a *chaos.Plan (one schedule, see
+	// ChaosPreset) or a *chaos.Composite (phase-windowed preset stack,
+	// see ChaosStack). Injected session crashes are recovered
+	// transparently: the fleet tears the member's session down,
+	// redials, and resumes the window from the gateway's replay cursor.
+	Faults chaos.Planner
 }
 
 // maxGatewayRestarts bounds crash/reconnect cycles per node per window,
@@ -122,8 +123,10 @@ func (sp GatewaySpec) Validate() error {
 	if err := sp.Codec.Validate(); err != nil {
 		return fmt.Errorf("fleet: %w", err)
 	}
-	if err := sp.Faults.Validate(); err != nil {
-		return fmt.Errorf("fleet: %w", err)
+	if sp.Faults != nil {
+		if err := sp.Faults.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
 	}
 	return nil
 }
@@ -151,7 +154,7 @@ type member struct {
 	// link is the node's fault-injection interceptor (nil without
 	// chaos). It survives session restarts, keeping the node on one
 	// deterministic fault schedule.
-	link     *chaos.Link
+	link     chaos.FaultLink
 	restarts int
 }
 
@@ -183,6 +186,11 @@ func New(brokerAddr string, spec GatewaySpec, workers int) (*Fleet, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if comp, ok := spec.Faults.(*chaos.Composite); ok {
+		// Phase-windowed chaos keys off payload virtual time; teach the
+		// composite to read it from the gateway batch header.
+		comp.EnsureTimeOf(payloadSeconds)
 	}
 	if brokerAddr == "" {
 		return nil, errors.New("fleet: broker address required")
@@ -240,10 +248,10 @@ func (f *Fleet) member(node int) (*member, error) {
 	}
 	f.mu.Unlock()
 
-	var link *chaos.Link
+	var link chaos.FaultLink
 	if f.spec.Faults != nil {
 		var err error
-		link, err = f.spec.Faults.NewLink(node)
+		link, err = f.spec.Faults.BuildLink(node)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: node %d: %w", node, err)
 		}
@@ -290,7 +298,7 @@ func (f *Fleet) member(node int) (*member, error) {
 
 // dialMember opens one node's broker session, with the node's chaos
 // link (if any) installed on the client.
-func (f *Fleet) dialMember(node int, link *chaos.Link) (*mqtt.Client, error) {
+func (f *Fleet) dialMember(node int, link chaos.FaultLink) (*mqtt.Client, error) {
 	opts := mqtt.ClientOptions{ClientID: fmt.Sprintf("%s%02d", f.spec.ClientPrefix, node)}
 	if link != nil {
 		opts.Link = link

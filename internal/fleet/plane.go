@@ -73,7 +73,7 @@ type PlaneSpec struct {
 	// rack→spine uplinks. The plan is keyed by *rack index*, not node
 	// ID. Faults here only shape the spine copy of the stream — the
 	// primary aggregator sits below the bridges and never sees them.
-	BridgeFaults *chaos.Plan
+	BridgeFaults chaos.Planner
 	// Store, when non-nil, is the shared store the plane aggregates
 	// into; otherwise a fresh store is built from StoreOptions.
 	Store        *tsdb.DB
@@ -121,7 +121,7 @@ type rackCell struct {
 	ingest *telemetry.Ingest
 	sub    *mqtt.Client
 	bridge *mqtt.Bridge
-	link   *chaos.Link // uplink chaos link, nil without BridgeFaults
+	link   chaos.FaultLink // uplink chaos link, nil without BridgeFaults
 }
 
 // Plane owns a spine broker, Racks rack cells, and one shared
@@ -157,8 +157,13 @@ func NewPlane(spec PlaneSpec) (*Plane, error) {
 	if spec.Racks < 1 {
 		return nil, errors.New("fleet: plane needs at least one rack")
 	}
-	if err := spec.BridgeFaults.Validate(); err != nil {
-		return nil, fmt.Errorf("fleet: bridge faults: %w", err)
+	if spec.BridgeFaults != nil {
+		if err := spec.BridgeFaults.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: bridge faults: %w", err)
+		}
+		if comp, ok := spec.BridgeFaults.(*chaos.Composite); ok {
+			comp.EnsureTimeOf(payloadSeconds)
+		}
 	}
 	spec = spec.withDefaults()
 	db := spec.Store
@@ -226,7 +231,7 @@ func (p *Plane) buildRack(r int) (*rackCell, error) {
 		return fail(err)
 	}
 	if p.spec.BridgeFaults != nil {
-		cell.link, err = p.spec.BridgeFaults.NewLink(r)
+		cell.link, err = p.spec.BridgeFaults.BuildLink(r)
 		if err != nil {
 			return fail(err)
 		}
@@ -273,7 +278,7 @@ func StampHook(tr *obs.StageTrace, stage obs.Stage) func(topic string, payload [
 }
 
 // linkOrNil avoids handing mqtt a typed-nil Link interface.
-func linkOrNil(l *chaos.Link) mqtt.Link {
+func linkOrNil(l chaos.FaultLink) mqtt.Link {
 	if l == nil {
 		return nil
 	}

@@ -1,12 +1,15 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"davide/internal/chaos"
+	"davide/internal/gateway"
+	"davide/internal/wire"
 )
 
 // Named chaos scenarios for fleet replays — the fault environments the
@@ -101,13 +104,16 @@ var chaosPresets = map[string]chaosPreset{
 	}},
 }
 
-// lookupChaosPreset resolves a preset name or reports the available ones.
+// lookupChaosPreset resolves a preset name or reports, per registry,
+// what was checked — so a typo'd stack member fails up front with the
+// gateway and bridge registries both named (a stacked spec must not
+// fail late, mid-run).
 func lookupChaosPreset(name string) (chaosPreset, error) {
 	p, ok := chaosPresets[name]
 	if !ok {
-		all := append(ChaosPresetNames(), ChaosBridgePresetNames()...)
-		sort.Strings(all)
-		return chaosPreset{}, fmt.Errorf("fleet: unknown chaos preset %q (have %s)", name, strings.Join(all, ", "))
+		return chaosPreset{}, fmt.Errorf(
+			"fleet: unknown chaos preset %q: not in the gateway registry (%s) nor the bridge registry (%s)",
+			name, strings.Join(ChaosPresetNames(), ", "), strings.Join(ChaosBridgePresetNames(), ", "))
 	}
 	return p, nil
 }
@@ -166,4 +172,55 @@ func ChaosPreset(name string, seed int64) (*chaos.Plan, error) {
 		return nil, err
 	}
 	return p.mk(seed), nil
+}
+
+// ChaosPhase names one windowed constituent of a composed chaos plan:
+// a gateway preset active while payload virtual time t satisfies
+// T0 <= t < T1 seconds (a zero window covers the whole run).
+type ChaosPhase struct {
+	Preset string
+	T0, T1 float64
+}
+
+// ChaosStack composes gateway presets into one phase-windowed fault
+// plan (see chaos.Composite): every preset name is validated up front
+// against both registries, bridge presets are rejected (uplink plans
+// are keyed by rack and cannot join a per-gateway stack), and each
+// phase's plan is seeded with the same base seed a standalone
+// ChaosPreset run would use — so a phase's ledger over its window
+// matches the standalone preset's over the same packets exactly. A
+// single always-on phase degenerates to the plain preset plan,
+// byte-identical to ChaosPreset.
+func ChaosStack(seed int64, phases ...ChaosPhase) (chaos.Planner, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("fleet: empty chaos stack")
+	}
+	comp := &chaos.Composite{Phases: make([]chaos.Phase, len(phases))}
+	for i, ph := range phases {
+		p, err := lookupChaosPreset(ph.Preset)
+		if err != nil {
+			return nil, err
+		}
+		if p.bridge {
+			return nil, fmt.Errorf("fleet: bridge preset %q cannot join a gateway chaos stack (apply it via PlaneSpec.BridgeFaults)", ph.Preset)
+		}
+		comp.Phases[i] = chaos.Phase{Name: ph.Preset, Plan: p.mk(seed), T0: ph.T0, T1: ph.T1}
+	}
+	if len(phases) == 1 && phases[0].T0 == 0 && phases[0].T1 == 0 {
+		return comp.Phases[0].Plan, nil
+	}
+	if err := comp.Validate(); err != nil {
+		return nil, err
+	}
+	return comp, nil
+}
+
+// payloadSeconds reads a gateway batch payload's virtual start time —
+// the payload-time extractor phase-windowed chaos keys off.
+func payloadSeconds(payload []byte) (float64, bool) {
+	_, oldest, _, ok := gateway.PayloadTickInfo(payload)
+	if !ok {
+		return 0, false
+	}
+	return wire.ToSec(oldest), true
 }

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"davide/internal/workload"
+)
+
+// Arrival-process generators. A base workload trace (Poisson arrivals
+// from workload.Generator) is reshaped by a time-varying rate r(t)
+// with mean ≈ 1: each submit time is warped through the inverse of the
+// cumulative rate, so where r is high, arrivals bunch (bursts), and
+// where r is low, they spread (lulls). The warp is strictly monotone,
+// so submit order — which the controller validates — is preserved,
+// and the total span of the trace stays roughly the same because the
+// mean rate is 1.
+
+// Arrival kinds.
+const (
+	// ArrivalsDiurnal modulates arrivals with a day-cycle sinusoid:
+	// r(t) = 1 + 0.6 sin(2πt/P).
+	ArrivalsDiurnal = "diurnal"
+	// ArrivalsMMPP is a two-state Markov-modulated Poisson process
+	// flattened to its deterministic cycle: a quiet state (rate 0.4)
+	// with a burst state (rate 2.8) in the last quarter of each
+	// period — mean exactly 1.
+	ArrivalsMMPP = "mmpp"
+	// ArrivalsWeekendLull alternates a busy half-period (rate 1.65)
+	// with a lull half-period (rate 0.35) — mean exactly 1.
+	ArrivalsWeekendLull = "weekend-lull"
+)
+
+// ArrivalKinds lists the available arrival reshapings, sorted.
+func ArrivalKinds() []string {
+	ks := []string{ArrivalsDiurnal, ArrivalsMMPP, ArrivalsWeekendLull}
+	sort.Strings(ks)
+	return ks
+}
+
+// rateFn resolves an arrival kind to its rate function r(t) (mean ≈ 1,
+// strictly positive).
+func rateFn(kind string, period float64) (func(t float64) float64, error) {
+	switch kind {
+	case ArrivalsDiurnal:
+		return func(t float64) float64 {
+			return 1 + 0.6*math.Sin(2*math.Pi*t/period)
+		}, nil
+	case ArrivalsMMPP:
+		return func(t float64) float64 {
+			if math.Mod(t, period) >= 0.75*period {
+				return 2.8
+			}
+			return 0.4
+		}, nil
+	case ArrivalsWeekendLull:
+		return func(t float64) float64 {
+			if math.Mod(t, period) >= 0.5*period {
+				return 0.35
+			}
+			return 1.65
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown arrival kind %q (have %v)", kind, ArrivalKinds())
+	}
+}
+
+// RetimeArrivals warps the jobs' submit times through the scenario's
+// arrival process and returns a fresh slice (the input is never
+// mutated; all other job fields carry over). With no arrival kind set
+// the input is copied unchanged. Jobs must be sorted by SubmitAt —
+// the warp preserves that order.
+func (sc *Scenario) RetimeArrivals(jobs []workload.Job) ([]workload.Job, error) {
+	out := append([]workload.Job(nil), jobs...)
+	if sc.Arrivals == "" {
+		return out, nil
+	}
+	rate, err := rateFn(sc.Arrivals, sc.arrivalPeriod())
+	if err != nil {
+		return nil, err
+	}
+	// Invert the cumulative rate numerically: find s with ∫₀ˢ r = T
+	// for each (ascending) original submit time T, marching the
+	// integral forward in 1 s steps shared across all jobs.
+	const ds = 1.0
+	s, acc := 0.0, 0.0
+	for i := range out {
+		target := out[i].SubmitAt
+		if i > 0 && target < jobs[i-1].SubmitAt {
+			return nil, fmt.Errorf("scenario: jobs not sorted by submit time at index %d", i)
+		}
+		for acc < target {
+			acc += rate(s) * ds
+			s += ds
+		}
+		out[i].SubmitAt = s
+	}
+	return out, nil
+}

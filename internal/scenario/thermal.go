@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"errors"
+
+	"davide/internal/thermal"
+	"davide/internal/units"
+)
+
+// Thermal perturbation: coolant-inlet excursions drive per-node RC die
+// models (internal/thermal) whose throttle state applies DVFS to the
+// tick's power levels before they are streamed — so a heat event shows
+// up in *measured* power exactly the way hardware DVFS would make it,
+// and the controller has to live with the perturbed measurements.
+
+const (
+	// baseCoolantC is the pilot facility inlet (§II-C: 35 °C).
+	baseCoolantC = 35
+	// dieTMaxC / dieHystC are the node-level throttle trip point and
+	// release hysteresis.
+	dieTMaxC = 95
+	dieHystC = 6
+	// throttleDynFrac is the fraction of dynamic (above-idle) power a
+	// throttled node retains — one DVFS step down.
+	throttleDynFrac = 0.7
+	// steadyMarginC positions the die's steady-state temperature at
+	// reference load this far below the trip point under base coolant:
+	// the machine never throttles in a clean run, and an excursion of
+	// ~1.5× the margin trips loaded nodes only.
+	steadyMarginC = 8
+	// dieTauS is the thermal time constant (R·C): two to three control
+	// ticks, so excursions bite within a tick or two rather than
+	// instantly or never.
+	dieTauS = 90
+)
+
+// ThermalPerturber owns one die model per node and implements the
+// controller's Perturb hook. Deterministic: die state advances only
+// with the tick cadence of the run.
+type ThermalPerturber struct {
+	events []ThermalEvent
+	dies   []*thermal.Die
+	idleW  float64
+}
+
+// NewThermalPerturber sizes per-node dies for a machine whose loaded
+// nodes draw about refLoadW watts: the die's thermal resistance is set
+// so steady state at refLoadW under base coolant sits steadyMarginC
+// below the trip point. idleW is the per-node idle floor the throttle
+// never cuts below.
+func NewThermalPerturber(nodes int, events []ThermalEvent, idleW, refLoadW float64) (*ThermalPerturber, error) {
+	if nodes <= 0 {
+		return nil, errors.New("scenario: thermal perturber needs nodes")
+	}
+	if refLoadW <= 0 || refLoadW <= idleW {
+		return nil, errors.New("scenario: thermal reference load must exceed idle power")
+	}
+	r := (dieTMaxC - steadyMarginC - baseCoolantC) / refLoadW
+	c := dieTauS / r
+	p := &ThermalPerturber{events: events, idleW: idleW, dies: make([]*thermal.Die, nodes)}
+	for n := range p.dies {
+		die, err := thermal.NewDie(r, c, dieTMaxC, dieHystC, baseCoolantC)
+		if err != nil {
+			return nil, err
+		}
+		p.dies[n] = die
+	}
+	return p, nil
+}
+
+// coolantAt returns the inlet reference at time t: base plus every
+// active excursion.
+func (p *ThermalPerturber) coolantAt(t float64) units.Celsius {
+	c := units.Celsius(baseCoolantC)
+	for _, ev := range p.events {
+		if t >= ev.T0 && t < ev.T1 {
+			c += units.Celsius(ev.DeltaC)
+		}
+	}
+	return c
+}
+
+// Perturb implements the controller's thermal seam: advance each die
+// under the tick's offered power and the current coolant, then apply
+// one DVFS step to every node whose die is tripped. Levels are
+// mutated in place.
+func (p *ThermalPerturber) Perturb(t0, t1 float64, levels []float64) {
+	coolant := p.coolantAt(t0)
+	dt := t1 - t0
+	for n := range levels {
+		if n >= len(p.dies) {
+			return
+		}
+		die := p.dies[n]
+		die.SetCoolant(coolant)
+		if _, err := die.Advance(units.Watt(levels[n]), dt); err != nil {
+			continue
+		}
+		if die.Throttled() && levels[n] > p.idleW {
+			levels[n] = p.idleW + throttleDynFrac*(levels[n]-p.idleW)
+		}
+	}
+}
+
+// ThrottledNodes reports how many dies are currently tripped.
+func (p *ThermalPerturber) ThrottledNodes() int {
+	n := 0
+	for _, d := range p.dies {
+		if d.Throttled() {
+			n++
+		}
+	}
+	return n
+}

@@ -67,6 +67,13 @@ type Hooks struct {
 	// AfterTick runs after the tick's telemetry has been read back —
 	// the seam where per-rack capping control loops are pumped.
 	AfterTick func(t0, t1 float64) error
+	// Perturb, when non-nil, mutates the tick's per-node power levels
+	// in place before they are streamed — the seam where scenario
+	// physics (thermal DVFS throttling) shapes the power the telemetry
+	// plane actually measures. The controller's admission decisions
+	// are taken before the perturbation, exactly like a real scheduler
+	// that cannot see a thermal event coming.
+	Perturb func(t0, t1 float64, levels []float64)
 }
 
 // ControllerConfig describes one live control-plane run.
@@ -98,6 +105,30 @@ type ControllerConfig struct {
 	// into the registry as davide_sched_* series, live during the run —
 	// the ControllerResult fields stay the canonical post-run numbers.
 	Metrics *obs.Registry
+
+	// CapSchedule, when non-nil, makes the power cap dynamic: it maps
+	// virtual time to the *target* cap in watts (demand-response ramps,
+	// price/carbon step schedules). The controller tracks the target
+	// with a ramp-rate limit rather than jumping — see EffectiveCap.
+	// Admission, reactive capping and cap-violation accounting all run
+	// against the tracked cap; Config.PowerCapW stays the nominal cap
+	// (the fail-fast schedulability check and result summary use it).
+	CapSchedule func(t float64) float64
+	// CapRampWPerS bounds how fast the tracked cap moves toward the
+	// schedule target, in watts per virtual second (0 = jump to the
+	// target each tick). Rate-limiting is what keeps a step schedule
+	// from instantly stranding admitted work above the new cap.
+	CapRampWPerS float64
+	// BrownoutStaleFrac, when > 0, arms the brownout/degraded mode:
+	// when the fraction of per-node telemetry reads holding stale
+	// values reaches this threshold in a tick, admission tightens to
+	// BrownoutCapFrac of the tracked cap instead of silently trusting
+	// held measurements. Brownout releases with hysteresis, once the
+	// stale fraction falls to half the threshold.
+	BrownoutStaleFrac float64
+	// BrownoutCapFrac is the admission tightening applied while
+	// browned out (default 0.85: admit only to 85% of the cap).
+	BrownoutCapFrac float64
 }
 
 // withDefaults fills unset tuning fields.
@@ -113,6 +144,9 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	}
 	if c.SettleTicks == 0 {
 		c.SettleTicks = 8
+	}
+	if c.BrownoutCapFrac == 0 {
+		c.BrownoutCapFrac = 0.85
 	}
 	return c
 }
@@ -133,6 +167,15 @@ func (c ControllerConfig) Validate() error {
 		return errors.New("sched: negative settle bound")
 	case c.Admission != AdmitFIFO && c.Admission != AdmitPowerAware:
 		return fmt.Errorf("sched: unknown admission discipline %d", int(c.Admission))
+	case c.CapRampWPerS < 0:
+		return errors.New("sched: negative cap ramp rate")
+	case c.BrownoutStaleFrac < 0 || c.BrownoutStaleFrac > 1:
+		return fmt.Errorf("sched: BrownoutStaleFrac %g out of [0, 1]", c.BrownoutStaleFrac)
+	case c.BrownoutCapFrac < 0 || c.BrownoutCapFrac > 1:
+		return fmt.Errorf("sched: BrownoutCapFrac %g out of (0, 1]", c.BrownoutCapFrac)
+	}
+	if c.CapSchedule != nil && c.PowerCapW <= 0 {
+		return errors.New("sched: CapSchedule needs a nominal power cap")
 	}
 	if c.Admission == AdmitPowerAware {
 		if c.PowerCapW <= 0 {
@@ -190,6 +233,14 @@ type ControllerResult struct {
 	MeasureFailures int
 	// Retrains is the online predictor's refit count (0 without Trainer).
 	Retrains int
+	// BrownoutTransitions counts brownout mode changes (engage +
+	// release each count one); BrownoutTicks counts ticks spent
+	// browned out. Both zero unless BrownoutStaleFrac armed the mode.
+	BrownoutTransitions int
+	BrownoutTicks       int
+	// FinalCapW is the tracked effective cap at the end of the run
+	// (== PowerCapW without a CapSchedule).
+	FinalCapW float64
 }
 
 // Controller runs the closed-loop power-aware scheduler.
@@ -230,6 +281,16 @@ type Controller struct {
 	maxOverPct      float64
 	consumed        bool
 
+	// Dynamic-cap tracking state: capNow is the ramp-limited effective
+	// cap; trim is the anti-windup integral admission correction (a
+	// fraction of capNow held back while measured power persistently
+	// overshoots); brownout is the stale-telemetry degraded mode.
+	capNow        float64
+	trim          float64
+	brownout      bool
+	brownoutTrans int
+	brownoutTicks int
+
 	// met mirrors the counters above into a registry (nil without
 	// ControllerConfig.Metrics).
 	met *schedMetrics
@@ -242,6 +303,7 @@ type schedMetrics struct {
 	staleReads      *obs.Counter
 	refused         *obs.Counter
 	measureFailures *obs.Counter
+	brownoutTrans   *obs.Counter
 }
 
 func newSchedMetrics(reg *obs.Registry) *schedMetrics {
@@ -251,6 +313,7 @@ func newSchedMetrics(reg *obs.Registry) *schedMetrics {
 		staleReads:      reg.CounterOf("davide_sched_stale_reads_total"),
 		refused:         reg.CounterOf("davide_sched_refused_admissions_total"),
 		measureFailures: reg.CounterOf("davide_sched_measure_failures_total"),
+		brownoutTrans:   reg.CounterOf("davide_sched_brownout_transitions_total"),
 	}
 }
 
@@ -271,7 +334,7 @@ func NewController(cfg ControllerConfig, jobs []workload.Job, src TelemetrySourc
 		return nil, errors.New("sched: no jobs")
 	}
 	c := &Controller{cfg: cfg, src: src, hooks: hooks, speed: 1,
-		ledger: accounting.NewLedger()}
+		capNow: cfg.PowerCapW, ledger: accounting.NewLedger()}
 	if cfg.Metrics != nil {
 		c.met = newSchedMetrics(cfg.Metrics)
 	}
@@ -322,6 +385,54 @@ func (c *Controller) Assignments() map[int][]int {
 		}
 	}
 	return out
+}
+
+// EffectiveCap returns the cap the controller is currently enforcing:
+// the ramp-limited tracker of CapSchedule, or the nominal PowerCapW
+// without one. Per-rack capping loops retarget from this each tick
+// (see internal/core's live wiring).
+func (c *Controller) EffectiveCap() float64 { return c.capNow }
+
+// trackCap advances the effective cap one tick toward the schedule
+// target, ramp-rate limited and clamped above the machine idle floor
+// (a cap below idle is unenforceable — the capping actuators reject
+// it). With no schedule the effective cap stays pinned at the nominal
+// cap, keeping legacy runs bit-identical.
+func (c *Controller) trackCap(t float64) {
+	if c.cfg.CapSchedule == nil || c.cfg.PowerCapW <= 0 {
+		return
+	}
+	target := c.cfg.CapSchedule(t)
+	if idle := float64(c.cfg.Nodes) * c.cfg.IdleNodePowerW; target < idle {
+		target = idle
+	}
+	if c.cfg.CapRampWPerS <= 0 {
+		c.capNow = target
+		return
+	}
+	maxStep := c.cfg.CapRampWPerS * c.cfg.TickS
+	switch d := target - c.capNow; {
+	case d > maxStep:
+		c.capNow += maxStep
+	case d < -maxStep:
+		c.capNow -= maxStep
+	default:
+		c.capNow = target
+	}
+}
+
+// admitCap is the cap admission runs against this tick: the tracked
+// cap, tightened by brownout mode and the anti-windup trim. Both
+// corrections are zero in legacy runs.
+func (c *Controller) admitCap() float64 {
+	capW := c.capNow
+	if c.brownout {
+		capW *= c.cfg.BrownoutCapFrac
+	}
+	if c.trim > 0 {
+		capW *= 1 - c.trim
+	}
+	return capW
 }
 
 // measuredTotal is the controller's belief about current machine power:
@@ -419,7 +530,7 @@ func (c *Controller) dispatch() error {
 					"sched: job %d (predicted %.0f W/node × %d nodes) cannot fit under the %.0f W cap even on an idle machine",
 					js.job.ID, pred, js.job.Nodes, c.cfg.PowerCapW)
 			}
-			if base+delta > c.cfg.PowerCapW {
+			if base+delta > c.admitCap() {
 				c.refused++
 				if c.met != nil {
 					c.met.refused.Inc()
@@ -461,6 +572,7 @@ func (c *Controller) levels() []float64 {
 // the hold is counted.
 func (c *Controller) observe(t0, t1 float64) {
 	freshNodes := make([]bool, c.cfg.Nodes)
+	staleTick := 0
 	for n := 0; n < c.cfg.Nodes; n++ {
 		cnt := c.src.IngestedSamples(n)
 		if cnt > c.seen[n] {
@@ -477,9 +589,34 @@ func (c *Controller) observe(t0, t1 float64) {
 			}
 		}
 		c.stale++
+		staleTick++
 		if c.met != nil {
 			c.met.staleReads.Inc()
 		}
+	}
+	// Brownout hysteresis: engage when the tick's stale fraction
+	// reaches the threshold (the hold-last-safe view is now mostly
+	// guesswork — tighten admission instead of trusting it), release
+	// only once the fraction falls to half the threshold.
+	if c.cfg.BrownoutStaleFrac > 0 {
+		frac := float64(staleTick) / float64(c.cfg.Nodes)
+		switch {
+		case !c.brownout && frac >= c.cfg.BrownoutStaleFrac:
+			c.brownout = true
+			c.brownoutTrans++
+			if c.met != nil {
+				c.met.brownoutTrans.Inc()
+			}
+		case c.brownout && frac <= c.cfg.BrownoutStaleFrac/2:
+			c.brownout = false
+			c.brownoutTrans++
+			if c.met != nil {
+				c.met.brownoutTrans.Inc()
+			}
+		}
+	}
+	if c.brownout {
+		c.brownoutTicks++
 	}
 	// A running job becomes visible once every one of its nodes has
 	// reported a window that overlaps its execution.
@@ -506,20 +643,47 @@ func (c *Controller) observe(t0, t1 float64) {
 func (c *Controller) updateSpeed() {
 	prev := c.speed
 	c.speed = 1
-	if !c.cfg.ReactiveCapping || c.cfg.PowerCapW == 0 || prev <= 0 {
+	if c.cfg.ReactiveCapping && c.cfg.PowerCapW > 0 && prev > 0 {
+		idle := float64(c.cfg.Nodes) * c.cfg.IdleNodePowerW
+		// The budget comes from the *tracked* cap, so reactive capping
+		// follows a demand-response ramp down (capNow == PowerCapW in
+		// legacy runs).
+		budget := c.capNow - idle
+		dynFull := (c.measuredTotal() - idle) / prev
+		if dynFull > budget {
+			if budget <= 0 {
+				c.speed = 0.05
+			} else {
+				c.speed = math.Max(0.05, budget/dynFull)
+			}
+		}
+	}
+	c.updateTrim()
+}
+
+// updateTrim integrates the anti-windup admission correction under a
+// dynamic cap: while measured power persistently overshoots the
+// tracked cap, admission headroom is trimmed (so new work stops
+// landing on a machine already over its falling cap); when power is
+// back under, the trim decays geometrically. The integral freezes
+// while the reactive actuator is saturated at its speed floor —
+// winding it further could not reduce power any faster, only delay
+// recovery after the transient (the classic anti-windup rule).
+func (c *Controller) updateTrim() {
+	if c.cfg.CapSchedule == nil || c.capNow <= 0 {
 		return
 	}
-	idle := float64(c.cfg.Nodes) * c.cfg.IdleNodePowerW
-	budget := c.cfg.PowerCapW - idle
-	dynFull := (c.measuredTotal() - idle) / prev
-	if dynFull <= budget {
-		return
+	const speedFloor = 0.05
+	if over := c.measuredTotal() - c.capNow; over > 0 {
+		if !c.cfg.ReactiveCapping || c.speed > speedFloor {
+			c.trim = math.Min(0.5, c.trim+0.5*over/c.capNow)
+		}
+	} else {
+		c.trim *= 0.5
+		if c.trim < 1e-4 {
+			c.trim = 0
+		}
 	}
-	if budget <= 0 {
-		c.speed = 0.05
-		return
-	}
-	c.speed = math.Max(0.05, budget/dynFull)
 }
 
 // advance progresses running jobs by one tick and settles completions at
@@ -636,6 +800,7 @@ func (c *Controller) Run() (*ControllerResult, error) {
 			c.met.ticks.Inc()
 		}
 		t0, t1 := c.now, c.now+c.cfg.TickS
+		c.trackCap(t0)
 		for c.arrived < len(c.jobs) && c.jobs[c.arrived].job.SubmitAt <= t0 {
 			c.pending = append(c.pending, c.jobs[c.arrived])
 			c.arrived++
@@ -644,6 +809,9 @@ func (c *Controller) Run() (*ControllerResult, error) {
 			return nil, err
 		}
 		levels := c.levels()
+		if c.hooks.Perturb != nil {
+			c.hooks.Perturb(t0, t1, levels)
+		}
 		trueEff := 0.0
 		for _, l := range levels {
 			trueEff += l
@@ -656,14 +824,17 @@ func (c *Controller) Run() (*ControllerResult, error) {
 		}
 		c.observe(t0, t1)
 		if c.cfg.PowerCapW > 0 {
-			if over := trueEff - c.cfg.PowerCapW; over > 0 {
+			// Violations are judged against the *tracked* cap — under a
+			// demand-response ramp the machine must honour the cap of
+			// the moment, not the nominal one.
+			if over := trueEff - c.capNow; over > 0 {
 				c.capViolSec += c.cfg.TickS
 				c.capOverSq += over * over * c.cfg.TickS
-				if pct := 100 * over / c.cfg.PowerCapW; pct > c.maxOverPct {
+				if pct := 100 * over / c.capNow; pct > c.maxOverPct {
 					c.maxOverPct = pct
 				}
 			}
-			if c.measuredTotal() > c.cfg.PowerCapW {
+			if c.measuredTotal() > c.capNow {
 				c.measViolSec += c.cfg.TickS
 			}
 		}
@@ -718,6 +889,9 @@ func (c *Controller) collect(ticks int) (*ControllerResult, error) {
 		MeasuredCapViolationSec: c.measViolSec,
 		MaxOverPct:              c.maxOverPct,
 		MeasureFailures:         c.measureFailures,
+		BrownoutTransitions:     c.brownoutTrans,
+		BrownoutTicks:           c.brownoutTicks,
+		FinalCapW:               c.capNow,
 	}
 	if c.cfg.Trainer != nil {
 		res.Retrains = c.cfg.Trainer.Retrains()
