@@ -49,7 +49,7 @@ func direction(unit string) int {
 	case "ns/op", "ns/sample", "B/op", "B/sample", "wire-B/sample", "allocs/op", "bytes/sample", "max-err-%", "rollup-B",
 		"max-over-%", "energy-err-%":
 		return -1
-	case "samples/s", "samples/s/core", "compression-x", "decode-speedup-x", "MB/s":
+	case "samples/s", "samples/s/core", "compression-x", "decode-speedup-x", "MB/s", "queries/s":
 		return +1
 	}
 	return 0

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"davide/internal/sched"
 	"davide/internal/units"
@@ -66,6 +67,10 @@ func main() {
 	tick := flag.Float64("tick", 30, "live control period in virtual seconds (with -sched)")
 	obsAddr := flag.String("obs-addr", "", "serve the observability registry at this address while the run executes "+
 		"(e.g. 127.0.0.1:9100; Prometheus text at /metrics, ASCII histograms at /histograms)")
+	apiAddr := flag.String("api-addr", "", "serve the multi-tenant energy query API at this address during a live run "+
+		"(e.g. 127.0.0.1:9200; per-user reports, job phases, node windows, rack power; needs -sched or -scenario)")
+	apiQuota := flag.Float64("api-quota", 0, "per-tenant API request budget in req/s (0 = unthrottled; with -api-addr)")
+	apiLinger := flag.Duration("api-linger", 0, "keep the energy query API serving this long after the run completes (with -api-addr)")
 	obsDump := flag.String("obs-dump", "", "write the final Prometheus-text registry snapshot to this file at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -203,6 +208,33 @@ func main() {
 		}
 	}
 
+	// Energy query API: listen now, bind the backend once the live plant
+	// exists (OnPlant), so clients can connect from the first tick.
+	var apiOnPlant func(davide.LivePlant)
+	if *apiAddr != "" {
+		if *schedMode == "" && *scenarioName == "" {
+			log.Fatal("-api-addr serves a live run: pass -sched <policy> or -scenario <name>")
+		}
+		apiSrv, err := davide.ServeEnergyAPI(*apiAddr, davide.EnergyAPIOptions{
+			QuotaRate: *apiQuota,
+			Obs:       sys.Obs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = apiSrv.Close() }()
+		fmt.Printf("energy API: serving http://%s/v1 (per-tenant quota %g req/s)\n", apiSrv.Addr(), *apiQuota)
+		apiOnPlant = func(p davide.LivePlant) {
+			apiSrv.Bind(davide.EnergyAPIBackend{
+				Store:       p.Store,
+				Ledger:      p.Ledger,
+				Assignments: p.Assignments,
+				Nodes:       p.Nodes,
+				RackSize:    p.RackSize,
+			})
+		}
+	}
+
 	// The replay default of 50 S/s is a stress figure; a live loop
 	// samples at gateway-like rates unless explicitly overridden.
 	liveRate := 4.0
@@ -223,7 +255,8 @@ func main() {
 		if mode == "" {
 			mode = "power"
 		}
-		runScenario(sys, work, sc, mode, *capKW*1000, *reactive, *tick, liveRate, *streamNodes, *seed)
+		runScenario(sys, work, sc, mode, *capKW*1000, *reactive, *tick, liveRate, *streamNodes, *seed, apiOnPlant)
+		lingerAPI(*apiAddr, *apiLinger)
 		return
 	}
 
@@ -234,7 +267,8 @@ func main() {
 			sys.StreamFaults = chaosPlan
 			sys.StreamBatchSamples = *chaosBatch
 		}
-		runLive(sys, work, *schedMode, *capKW*1000, *reactive, *tick, liveRate, *streamNodes, *chaosName, *seed)
+		runLive(sys, work, *schedMode, *capKW*1000, *reactive, *tick, liveRate, *streamNodes, *chaosName, *seed, apiOnPlant)
+		lingerAPI(*apiAddr, *apiLinger)
 		return
 	}
 
@@ -327,8 +361,18 @@ func main() {
 	}
 }
 
+// lingerAPI keeps the process alive so API clients can query the
+// completed run's ledger and store.
+func lingerAPI(addr string, d time.Duration) {
+	if addr == "" || d <= 0 {
+		return
+	}
+	fmt.Printf("\nenergy API: serving the completed run for %s more\n", d)
+	time.Sleep(d)
+}
+
 // runLive executes the closed-loop control plane and prints its summary.
-func runLive(sys *davide.System, work []workload.Job, mode string, capW float64, reactive bool, tick, rate float64, nodes int, chaosName string, seed int64) {
+func runLive(sys *davide.System, work []workload.Job, mode string, capW float64, reactive bool, tick, rate float64, nodes int, chaosName string, seed int64, onPlant func(davide.LivePlant)) {
 	var adm davide.Admission
 	switch mode {
 	case "fifo":
@@ -343,6 +387,7 @@ func runLive(sys *davide.System, work []workload.Job, mode string, capW float64,
 	res, err := sys.RunLive(work, davide.LiveConfig{
 		Nodes:      nodes,
 		SampleRate: rate,
+		OnPlant:    onPlant,
 		Sched: davide.ControllerConfig{
 			Admission: adm,
 			Config: davide.SchedConfig{
@@ -396,7 +441,7 @@ func runLive(sys *davide.System, work []workload.Job, mode string, capW float64,
 
 // runScenario executes a named scenario on the live control plane and
 // prints its summary plus the per-phase cap-tracking overlay.
-func runScenario(sys *davide.System, work []workload.Job, sc *davide.Scenario, mode string, capW float64, reactive bool, tick, rate float64, nodes int, seed int64) {
+func runScenario(sys *davide.System, work []workload.Job, sc *davide.Scenario, mode string, capW float64, reactive bool, tick, rate float64, nodes int, seed int64, onPlant func(davide.LivePlant)) {
 	var adm davide.Admission
 	switch mode {
 	case "fifo":
@@ -411,6 +456,7 @@ func runScenario(sys *davide.System, work []workload.Job, sc *davide.Scenario, m
 	res, err := sys.RunScenario(sc, seed, work, davide.LiveConfig{
 		Nodes:      nodes,
 		SampleRate: rate,
+		OnPlant:    onPlant,
 		Sched: davide.ControllerConfig{
 			Admission: adm,
 			Config: davide.SchedConfig{

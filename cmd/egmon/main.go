@@ -30,16 +30,24 @@
 // grid-operator's compliance view, computed entirely from stored
 // telemetry.
 //
+// With -api URL egmon stops simulating anything and becomes a client of
+// a running energy query service (davide-sim -api-addr): top users and
+// rack power come over HTTP/JSON, and -node/-t0/-t1/-res issues a remote
+// window query. Without -api the same questions are answered in-process
+// as before.
+//
 // Usage:
 //
 //	egmon [-nodes N] [-window SEC] [-rate S/s] [-node K -t0 T -t1 T -res SEC]
 //	egmon -racks 4 [-nodes N] [-window SEC] [-metric NAME | -metric list]
 //	egmon -live [-nodes N] [-jobs N] [-metric NAME | -metric list]
 //	egmon -cap-track dr-ramp [-nodes N] [-jobs N] [-cap KW] [-seed S]
+//	egmon -api 127.0.0.1:9200 [-tenant NAME] [-node K -t0 T -t1 T -res SEC]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -75,7 +83,13 @@ func main() {
 	jobs := flag.Int("jobs", 8, "jobs for the live control plane (-live, -cap-track)")
 	seed := flag.Int64("seed", 1, "workload seed (-live, -cap-track)")
 	metric := flag.String("metric", "", "post-hoc health-series query against the self-ingested registry snapshot ('list' enumerates)")
+	api := flag.String("api", "", "query a running energy service (davide-sim -api-addr) at this address instead of simulating in-process")
+	tenant := flag.String("tenant", "egmon", "tenant identity for -api requests (per-tenant quotas apply server-side)")
 	flag.Parse()
+	if *api != "" {
+		runAPI(*api, *tenant, *qNode, *qT0, *qT1, *qRes)
+		return
+	}
 	if *nodes <= 0 || *window <= 0 || *rate <= 0 {
 		log.Fatal("-nodes, -window and -rate must be positive")
 	}
@@ -496,4 +510,76 @@ func queryHealth(si *davide.ObsSelfIngest, metric string, t0, t1, res float64) {
 	for _, p := range pts {
 		fmt.Printf("  [%8.2f, %8.2f) %g\n", p.T0, p.T1, p.MeanW)
 	}
+}
+
+// runAPI is egmon's remote mode: instead of simulating a plant it
+// interrogates a running energy query service (davide-sim -api-addr)
+// over HTTP/JSON — top users by consumed energy, per-rack live power,
+// and, when -node is given, a window query at the usual -t0/-t1/-res
+// knobs. Per-tenant quotas apply server-side; a 429 surfaces the
+// server's Retry-After hint instead of silently retrying.
+func runAPI(addr, tenant string, qNode int, t0, t1, res float64) {
+	c := davide.NewEnergyAPIClient(addr, tenant)
+
+	users, err := c.Users()
+	if err != nil {
+		fatalAPI(err)
+	}
+	fmt.Printf("energy service at %s (tenant %q)\n", addr, tenant)
+	if len(users) == 0 {
+		fmt.Println("no accounted jobs yet")
+	} else {
+		fmt.Printf("top users by energy (%d accounted):\n", len(users))
+		for i, u := range users {
+			if i == 5 {
+				fmt.Printf("  ... %d more\n", len(users)-i)
+				break
+			}
+			fmt.Printf("  user %3d  %3d jobs  %10.1f kJ\n", u.User, u.Jobs, u.EnergyJ/1e3)
+		}
+	}
+
+	fmt.Println("rack power:")
+	shown := 0
+	for r := 0; r < 64; r++ {
+		rp, err := c.RackPower(r)
+		if err != nil {
+			break // past the last rack, or nothing stored yet
+		}
+		fmt.Printf("  rack %2d (nodes %d..%d)  %8.1f W  as of t=%.1f\n",
+			rp.Rack, rp.FirstNode, rp.FirstNode+rp.Nodes-1, rp.PowerW, rp.AsOf)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("  (no telemetry stored yet)")
+	}
+
+	if qNode < 0 {
+		return
+	}
+	if t0 < 0 || t1 < 0 {
+		log.Fatal("a remote window query needs explicit bounds: pass -t0 and -t1 with -node")
+	}
+	win, err := c.Window(qNode, t0, t1, res)
+	if err != nil {
+		fatalAPI(err)
+	}
+	fmt.Printf("node %d over [%g, %g]: %.1f J, mean %.1f W (%d points at res %g)\n",
+		win.Node, win.T0, win.T1, win.EnergyJ, win.MeanW, len(win.Points), win.Res)
+	for i, p := range win.Points {
+		if i == 10 {
+			fmt.Printf("  ... %d more rows\n", len(win.Points)-i)
+			break
+		}
+		fmt.Printf("  [%8.2f, %8.2f) %8.1f W\n", p.T0, p.T1, p.MeanW)
+	}
+}
+
+// fatalAPI dies with a friendlier message for quota rejections.
+func fatalAPI(err error) {
+	var qe *davide.EnergyAPIQuotaError
+	if errors.As(err, &qe) {
+		log.Fatalf("quota exceeded for this tenant; retry in %gs (server Retry-After)", qe.RetryAfter)
+	}
+	log.Fatal(err)
 }

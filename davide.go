@@ -24,6 +24,7 @@ import (
 	"davide/internal/cluster"
 	"davide/internal/core"
 	"davide/internal/energyapi"
+	"davide/internal/energyserve"
 	"davide/internal/fleet"
 	"davide/internal/gateway"
 	"davide/internal/monitors"
@@ -470,6 +471,43 @@ func NewNodeCapper(n *Node) (*NodeCapper, error) { return capping.NewNodeCapper(
 // NewEnergySession opens an instrumented application run on a node.
 func NewEnergySession(n *Node, clock func() float64) (*EnergySession, error) {
 	return energyapi.NewSession(n, clock)
+}
+
+// Energy query service: the multi-tenant HTTP/JSON front end over the
+// ledger, the telemetry store and the PowerAPI tree (see
+// internal/energyserve and DESIGN.md §11). Bind a LivePlant from
+// LiveConfig.OnPlant to serve a run while it is in flight.
+type (
+	// EnergyAPIServer is the query service.
+	EnergyAPIServer = energyserve.Server
+	// EnergyAPIOptions tunes quotas, cache and metrics.
+	EnergyAPIOptions = energyserve.Options
+	// EnergyAPIBackend is the queryable surface the service fronts.
+	EnergyAPIBackend = energyserve.Backend
+	// EnergyAPIClient is the typed HTTP client of the service.
+	EnergyAPIClient = energyserve.Client
+	// EnergyAPIQuotaError reports a 429 with its Retry-After hint.
+	EnergyAPIQuotaError = energyserve.QuotaError
+	// LivePlant is a live run's queryable surface, handed to
+	// LiveConfig.OnPlant before the first tick.
+	LivePlant = core.LivePlant
+)
+
+// NewEnergyAPIServer builds the query service without listening (drive
+// its Handler directly, or embed it).
+func NewEnergyAPIServer(opts EnergyAPIOptions) *EnergyAPIServer { return energyserve.NewServer(opts) }
+
+// ServeEnergyAPI builds the query service and listens on addr (":0"
+// picks a free port; Addr reports the bound one). Bind a backend before
+// queries can succeed.
+func ServeEnergyAPI(addr string, opts EnergyAPIOptions) (*EnergyAPIServer, error) {
+	return energyserve.Serve(addr, opts)
+}
+
+// NewEnergyAPIClient targets a query service at base (host:port or full
+// URL), identifying as tenant.
+func NewEnergyAPIClient(base, tenant string) *EnergyAPIClient {
+	return energyserve.NewClient(base, tenant)
 }
 
 // PowerAPI layer (§III-A1 mentions standardising on PowerAPI-style

@@ -184,6 +184,20 @@ func (l *Ledger) PerUser() []UserSummary {
 	return out
 }
 
+// UserRecords returns one user's records in ledger (arrival) order —
+// the per-job detail behind the PerUser summary line.
+func (l *Ledger) UserRecords(user int) []Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Record
+	for _, r := range l.records {
+		if r.User == user {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // TotalEnergy returns the ledger-wide energy.
 func (l *Ledger) TotalEnergy() float64 {
 	l.mu.RLock()

@@ -14,6 +14,7 @@ import (
 	"davide/internal/predictor"
 	"davide/internal/sched"
 	"davide/internal/simclock"
+	"davide/internal/tsdb"
 	"davide/internal/units"
 	"davide/internal/workload"
 )
@@ -53,6 +54,29 @@ type LiveConfig struct {
 	// before they are streamed — the scenario engine's thermal-DVFS
 	// seam (see sched.Hooks.Perturb).
 	Perturb func(t0, t1 float64, levels []float64)
+	// OnPlant, when non-nil, is called once the telemetry plant and
+	// controller are built, just before the run starts — the seam the
+	// energy query service uses to bind its backend to a *live* replay.
+	// Everything handed over is safe for concurrent use while the run
+	// progresses (the store and ledger are internally locked;
+	// Assignments snapshots under the controller's assignment lock).
+	OnPlant func(LivePlant)
+}
+
+// LivePlant is the live run's queryable surface, handed to
+// LiveConfig.OnPlant before the first tick.
+type LivePlant struct {
+	// Store is the telemetry store the run fills.
+	Store *tsdb.DB
+	// Ledger is the controller's accounting ledger (records appear as
+	// jobs complete and settle).
+	Ledger *accounting.Ledger
+	// Assignments snapshots job → concrete nodes, complete for every
+	// started job at the moment of the call.
+	Assignments func() map[int][]int
+	// Nodes and RackSize describe the live machine's geometry.
+	Nodes    int
+	RackSize int
 }
 
 // RackStats reports one per-rack capping control loop's run.
@@ -277,6 +301,15 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 	ctrl, err = sched.NewController(scfg, jobs, db, hooks)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.OnPlant != nil {
+		cfg.OnPlant(LivePlant{
+			Store:       db,
+			Ledger:      ctrl.Ledger(),
+			Assignments: ctrl.Assignments,
+			Nodes:       nodes,
+			RackSize:    rackSize,
+		})
 	}
 	cres, err := ctrl.Run()
 	if err != nil {

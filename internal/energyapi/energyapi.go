@@ -140,15 +140,26 @@ func (s *Session) ReleaseGPUs(keep int) error {
 	return s.node.RecordPower(s.clock())
 }
 
-// ReleaseCores powers off CPU cores beyond keep per socket.
+// ReleaseCores powers off CPU cores beyond keep per socket. On a socket
+// that rejects the request the remaining sockets are left untouched, but
+// any changes already applied are still recorded in the power trace —
+// otherwise the energy integral would bill the old power level until the
+// next record.
 func (s *Session) ReleaseCores(keepPerSocket int) error {
 	if s.closed {
 		return errors.New("energyapi: session closed")
 	}
+	applied := 0
 	for _, sock := range s.node.Sockets {
 		if err := sock.SetActiveCores(keepPerSocket); err != nil {
+			if applied > 0 {
+				if rerr := s.node.RecordPower(s.clock()); rerr != nil {
+					return errors.Join(err, rerr)
+				}
+			}
 			return err
 		}
+		applied++
 	}
 	return s.node.RecordPower(s.clock())
 }

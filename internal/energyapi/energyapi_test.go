@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"davide/internal/cpu"
 	"davide/internal/node"
 )
 
@@ -197,6 +198,48 @@ func TestReleaseCores(t *testing.T) {
 		t.Error("too many cores should error")
 	}
 	clk.advance(1)
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseCoresPartialFailureRecordsPower(t *testing.T) {
+	s, clk, n := newSession(t)
+	// Heterogeneous sockets: socket 1 has only 4 cores, so keeping 6
+	// per socket succeeds on socket 0 and fails on socket 1.
+	small := cpu.DefaultConfig()
+	small.Cores = 4
+	sock, err := cpu.New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sockets[1] = sock
+	if err := s.SetLoad(1); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10)
+	before := float64(n.Power())
+	if err := s.ReleaseCores(6); err == nil {
+		t.Fatal("ReleaseCores(6) should fail on the 4-core socket")
+	}
+	after := float64(n.Power())
+	if after >= before {
+		t.Fatalf("socket 0 change not applied: power %v -> %v", before, after)
+	}
+	// The regression: the applied socket-0 change must be in the power
+	// trace at t=10, so [10, 20] integrates at the reduced level — not
+	// at the pre-release level until the next record.
+	clk.advance(10)
+	e, err := n.Energy(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(e), after*10; math.Abs(got-want) > 1e-6 {
+		t.Errorf("energy [10,20] = %v, want %v (recorded at release time)", got, want)
+	}
+	if float64(e) >= before*10-1e-6 {
+		t.Errorf("energy [10,20] = %v still billed at pre-release power %v*10", float64(e), before)
+	}
 	if _, err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

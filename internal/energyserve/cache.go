@@ -1,0 +1,74 @@
+package energyserve
+
+import "sync"
+
+// cacheEntry is one serialized window answer, stamped with the node's
+// ingest watermark at the time the answer was computed. The entry is a
+// hit while the node's current watermark equals the stamp (nothing that
+// could change any answer happened since), or while the whole window is
+// provably sealed (see sealedValid).
+type cacheEntry struct {
+	body []byte
+	wm   uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+// windowCache is a sharded bounded map from window key to serialized
+// answer. Eviction is arbitrary-entry-per-insert once a shard is full:
+// the hot-window working set is small and re-filling a dropped entry is
+// one store query, so LRU bookkeeping on the hit path isn't worth its
+// cost at the request rates the service targets.
+type windowCache struct {
+	shards []cacheShard
+	cap    int // per shard
+}
+
+func newWindowCache(shards, totalCap int) *windowCache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := totalCap / n
+	if per < 1 {
+		per = 1
+	}
+	c := &windowCache{shards: make([]cacheShard, n), cap: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+func (c *windowCache) shard(key string) *cacheShard {
+	// FNV-1a, inlined to keep the hit path allocation-free.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h&uint32(len(c.shards)-1)]
+}
+
+func (c *windowCache) get(key string) (cacheEntry, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	sh.mu.Unlock()
+	return e, ok
+}
+
+func (c *windowCache) put(key string, e cacheEntry) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, exists := sh.m[key]; !exists && len(sh.m) >= c.cap {
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
+	sh.m[key] = e
+	sh.mu.Unlock()
+}

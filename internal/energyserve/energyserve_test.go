@@ -1,0 +1,456 @@
+package energyserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"davide/internal/accounting"
+	"davide/internal/energyapi"
+	"davide/internal/node"
+	"davide/internal/obs"
+	"davide/internal/powerapi"
+	"davide/internal/tsdb"
+)
+
+// testBackend builds a small deterministic queryable surface: 4 nodes of
+// telemetry at 0.5 s spacing, 3 jobs across 2 users, racks of 2.
+func testBackend(t *testing.T) (Backend, *tsdb.DB) {
+	t.Helper()
+	db := tsdb.New(tsdb.Options{ChunkSize: 32, Resolutions: []float64{1, 10}})
+	for n := 0; n < 4; n++ {
+		for i := 0; i <= 1000; i++ {
+			db.Append(n, float64(i)*0.5, 100+float64(n)+50*math.Sin(float64(i)/7))
+		}
+	}
+	led := accounting.NewLedger()
+	for _, r := range []accounting.Record{
+		{JobID: 1, User: 7, App: "cfd", Nodes: 2, StartAt: 10, EndAt: 110, EnergyJ: 4e4},
+		{JobID: 2, User: 7, App: "md", Nodes: 1, StartAt: 120, EndAt: 220, EnergyJ: 1.5e4},
+		{JobID: 3, User: 9, App: "qcd", Nodes: 1, StartAt: 50, EndAt: 450, EnergyJ: 6e4},
+	} {
+		if err := led.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asn := map[int][]int{1: {0, 1}, 2: {2}, 3: {3}}
+	return Backend{
+		Store:       db,
+		Ledger:      led,
+		Assignments: func() map[int][]int { return asn },
+		Nodes:       4,
+		RackSize:    2,
+	}, db
+}
+
+func doReq(s *Server, tenant, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	return rr
+}
+
+func TestUnboundBackend(t *testing.T) {
+	s := NewServer(Options{})
+	if rr := doReq(s, "", "/v1/users"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503 before Bind", rr.Code)
+	}
+}
+
+func TestUsersAndJobs(t *testing.T) {
+	b, _ := testBackend(t)
+	s := NewServer(Options{})
+	s.Bind(b)
+
+	rr := doReq(s, "", "/v1/users")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("users: %d %s", rr.Code, rr.Body)
+	}
+	var users []accounting.UserSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &users); err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 || users[0].User != 9 || users[0].EnergyJ != 6e4 {
+		t.Errorf("users = %+v", users)
+	}
+
+	rr = doReq(s, "", "/v1/users/7")
+	var ur UserReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Summary.Jobs != 2 || ur.Summary.EnergyJ != 5.5e4 || len(ur.Records) != 2 {
+		t.Errorf("user 7 = %+v", ur)
+	}
+	if rr := doReq(s, "", "/v1/users/42"); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown user: %d", rr.Code)
+	}
+
+	rr = doReq(s, "", "/v1/jobs/2")
+	var rec accounting.Record
+	if err := json.Unmarshal(rr.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.App != "md" || rec.User != 7 {
+		t.Errorf("job 2 = %+v", rec)
+	}
+	if rr := doReq(s, "", "/v1/jobs/99"); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown job: %d", rr.Code)
+	}
+}
+
+func TestJobPhasesMatchesDirect(t *testing.T) {
+	b, db := testBackend(t)
+	s := NewServer(Options{})
+	s.Bind(b)
+
+	rr := doReq(s, "", "/v1/jobs/1/phases")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("job phases: %d %s", rr.Code, rr.Body)
+	}
+	var got []energyapi.Phase
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := energyapi.JobPhase(db, "cfd", []int{0, 1}, 10, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("served %+v, direct %+v", got, want)
+	}
+
+	// Split bounds produce one phase per segment.
+	rr = doReq(s, "", "/v1/jobs/1/phases?names=a,b&bounds=10,60,110")
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].T1 != 110 {
+		t.Errorf("split phases = %+v", got)
+	}
+	if math.Abs(got[0].EnergyJ+got[1].EnergyJ-want.EnergyJ) > 1e-6 {
+		t.Errorf("split energies %v+%v != whole %v", got[0].EnergyJ, got[1].EnergyJ, want.EnergyJ)
+	}
+	if rr := doReq(s, "", "/v1/jobs/1/phases?names=a&bounds=10,60,110"); rr.Code != http.StatusBadRequest {
+		t.Errorf("name/bounds mismatch: %d", rr.Code)
+	}
+}
+
+// TestNodePhasesPropertyEqualDirect pins the report-equivalence
+// contract: the served body is byte-for-byte json.Marshal of the direct
+// energyapi.PhasesFromStore result, across randomized windows.
+func TestNodePhasesPropertyEqualDirect(t *testing.T) {
+	b, db := testBackend(t)
+	s := NewServer(Options{})
+	s.Bind(b)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(4)
+		k := 1 + rng.Intn(4)
+		bounds := make([]float64, 0, k+1)
+		names := make([]string, 0, k)
+		at := 400 * rng.Float64()
+		bounds = append(bounds, at)
+		for i := 0; i < k; i++ {
+			at += 1 + 80*rng.Float64()
+			bounds = append(bounds, at)
+			names = append(names, fmt.Sprintf("ph%d", i))
+		}
+		direct, err := energyapi.PhasesFromStore(db, n, names, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := make([]string, len(bounds))
+		for i, v := range bounds {
+			bs[i] = fmt.Sprintf("%g", v)
+		}
+		rr := doReq(s, "", fmt.Sprintf("/v1/nodes/%d/phases?names=%s&bounds=%s",
+			n, strings.Join(names, ","), strings.Join(bs, ",")))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("trial %d: %d %s", trial, rr.Code, rr.Body)
+		}
+		if !bytes.Equal(rr.Body.Bytes(), want) {
+			t.Fatalf("trial %d: served body differs from direct marshal\nserved: %s\ndirect: %s",
+				trial, rr.Body.Bytes(), want)
+		}
+	}
+	if rr := doReq(s, "", "/v1/nodes/77/phases?names=a&bounds=0,1"); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown node: %d", rr.Code)
+	}
+}
+
+func TestWindowCacheCoherence(t *testing.T) {
+	b, db := testBackend(t)
+	s := NewServer(Options{})
+	s.Bind(b)
+
+	// Open window (reaches past the sealed horizon into the head).
+	open := "/v1/nodes/0/window?t0=400&t1=600"
+	r1 := doReq(s, "", open)
+	if r1.Code != http.StatusOK || r1.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first read: %d %q", r1.Code, r1.Header().Get("X-Cache"))
+	}
+	r2 := doReq(s, "", open)
+	if r2.Header().Get("X-Cache") != "hit" || !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Fatalf("second read: %q, bodies equal=%v", r2.Header().Get("X-Cache"),
+			bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()))
+	}
+	// Bypass answers must be bit-identical to the cached ones.
+	rb := doReq(s, "", open+"&nocache=1")
+	if rb.Header().Get("X-Cache") != "bypass" || !bytes.Equal(rb.Body.Bytes(), r2.Body.Bytes()) {
+		t.Fatalf("bypass: %q, identical=%v", rb.Header().Get("X-Cache"),
+			bytes.Equal(rb.Body.Bytes(), r2.Body.Bytes()))
+	}
+
+	// Ingest inside the open window: the watermark moves, the cached
+	// answer must be refetched, and the fresh answer must match bypass.
+	db.Append(0, 501, 5000)
+	r3 := doReq(s, "", open)
+	if r3.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("post-ingest read should miss, got %q", r3.Header().Get("X-Cache"))
+	}
+	if bytes.Equal(r3.Body.Bytes(), r1.Body.Bytes()) {
+		t.Fatal("post-ingest answer identical to stale cache")
+	}
+	if rb := doReq(s, "", open+"&nocache=1"); !bytes.Equal(rb.Body.Bytes(), r3.Body.Bytes()) {
+		t.Fatal("post-ingest cached and bypass answers differ")
+	}
+
+	// Sealed window: with raw retention off, a window wholly behind the
+	// sealed horizon stays a hit across ingest (the sealed fast path).
+	sealed := "/v1/nodes/0/window?t0=10&t1=50&res=1"
+	if rr := doReq(s, "", sealed); rr.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("sealed first read: %q", rr.Header().Get("X-Cache"))
+	}
+	db.Append(0, 502, 6000)
+	rs := doReq(s, "", sealed)
+	if rs.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("sealed window should survive ingest, got %q", rs.Header().Get("X-Cache"))
+	}
+	if rb := doReq(s, "", sealed+"&nocache=1"); !bytes.Equal(rb.Body.Bytes(), rs.Body.Bytes()) {
+		t.Fatal("sealed cached answer differs from bypass")
+	}
+
+	if rr := doReq(s, "", "/v1/nodes/0/window?t0=5&t1=1"); rr.Code != http.StatusBadRequest {
+		t.Errorf("reversed window: %d", rr.Code)
+	}
+	if rr := doReq(s, "", "/v1/nodes/0/window?t0=0&t1=10&res=7"); rr.Code != http.StatusBadRequest {
+		t.Errorf("unmaintained res: %d", rr.Code)
+	}
+	if rr := doReq(s, "", "/v1/nodes/88/window?t0=0&t1=10"); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown node: %d", rr.Code)
+	}
+}
+
+// TestWindowConcurrentSameKey hammers one window key from many
+// goroutines while ingest advances the node — every response must be a
+// well-formed answer (200, valid JSON) and the run must be race-clean
+// under -race -shuffle=on.
+func TestWindowConcurrentSameKey(t *testing.T) {
+	b, db := testBackend(t)
+	s := NewServer(Options{})
+	s.Bind(b)
+	const workers = 8
+	stop := make(chan struct{})
+	var ingest sync.WaitGroup
+	ingest.Add(1)
+	go func() {
+		defer ingest.Done()
+		tt := 500.5
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.Append(1, tt, 300)
+			tt += 0.5
+		}
+	}()
+	var queries sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		queries.Add(1)
+		go func() {
+			defer queries.Done()
+			for i := 0; i < 200; i++ {
+				rr := doReq(s, "", "/v1/nodes/1/window?t0=100&t1=800&res=10")
+				if rr.Code != http.StatusOK {
+					t.Errorf("code = %d: %s", rr.Code, rr.Body)
+					return
+				}
+				var rep WindowReport
+				if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+					t.Errorf("bad body: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	queries.Wait()
+	close(stop)
+	ingest.Wait()
+}
+
+func TestQuotaExhaustionAndRefill(t *testing.T) {
+	now := 0.0
+	reg := obs.NewRegistry()
+	b, _ := testBackend(t)
+	s := NewServer(Options{
+		QuotaRate:  2,
+		QuotaBurst: 3,
+		Now:        func() float64 { return now },
+		Obs:        reg,
+	})
+	s.Bind(b)
+
+	issue := func(tenant string, n int) (ok, rejected int) {
+		for i := 0; i < n; i++ {
+			if rr := doReq(s, tenant, "/v1/users"); rr.Code == http.StatusTooManyRequests {
+				rejected++
+			} else if rr.Code == http.StatusOK {
+				ok++
+			} else {
+				t.Fatalf("unexpected code %d", rr.Code)
+			}
+		}
+		return
+	}
+
+	// Burst of 3, then exact rejects.
+	ok, rej := issue("alice", 10)
+	if ok != 3 || rej != 7 {
+		t.Fatalf("alice: ok=%d rej=%d, want 3/7", ok, rej)
+	}
+	// Another tenant has an independent bucket.
+	ok, rej = issue("bob", 4)
+	if ok != 3 || rej != 1 {
+		t.Fatalf("bob: ok=%d rej=%d, want 3/1", ok, rej)
+	}
+	// Retry-After reflects the refill rate (2/s → under a second → 1).
+	rr := doReq(s, "alice", "/v1/users")
+	if rr.Code != http.StatusTooManyRequests || rr.Header().Get("Retry-After") != "1" {
+		t.Fatalf("reject: code=%d retry-after=%q", rr.Code, rr.Header().Get("Retry-After"))
+	}
+	// Refill: 1 s at rate 2 buys exactly 2 tokens.
+	now += 1
+	ok, rej = issue("alice", 5)
+	if ok != 2 || rej != 3 {
+		t.Fatalf("after refill: ok=%d rej=%d, want 2/3", ok, rej)
+	}
+	// Reject counters are exact per tenant: 7+1+3 for alice, 1 for bob.
+	alice := reg.CounterOf(obs.Key("davide_api_quota_rejects_total", "tenant", "alice")).Load()
+	bob := reg.CounterOf(obs.Key("davide_api_quota_rejects_total", "tenant", "bob")).Load()
+	if alice != 11 || bob != 1 {
+		t.Fatalf("reject counters alice=%d bob=%d, want 11/1", alice, bob)
+	}
+	// A fresh tenant's window query lands as a cache miss.
+	doReq(s, "carol", "/v1/nodes/0/window?t0=0&t1=10&res=1")
+	if s.misses.Load() != 1 {
+		t.Fatalf("misses = %d", s.misses.Load())
+	}
+}
+
+func TestRackPowerAndReport(t *testing.T) {
+	b, db := testBackend(t)
+	n, err := node.New(0, node.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := powerapi.NewNodeHierarchy(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Power = h
+	s := NewServer(Options{})
+	s.Bind(b)
+
+	rr := doReq(s, "", "/v1/racks/1/power")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("rack power: %d %s", rr.Code, rr.Body)
+	}
+	var rp RackPower
+	if err := json.Unmarshal(rr.Body.Bytes(), &rp); err != nil {
+		t.Fatal(err)
+	}
+	// Rack 1 is nodes 2 and 3; each node's newest sample is at t=500.
+	var want float64
+	for _, nd := range []int{2, 3} {
+		tt, w, err := db.Latest(nd)
+		if err != nil || tt != 500 {
+			t.Fatalf("latest(%d) = %v,%v,%v", nd, tt, w, err)
+		}
+		want += w
+	}
+	if rp.FirstNode != 2 || rp.Nodes != 2 || math.Abs(rp.PowerW-want) > 1e-9 || rp.AsOf != 500 {
+		t.Errorf("rack = %+v, want power %v", rp, want)
+	}
+	if rr := doReq(s, "", "/v1/racks/9/power"); rr.Code != http.StatusNotFound {
+		t.Errorf("out-of-range rack: %d", rr.Code)
+	}
+
+	rr = doReq(s, "", "/v1/power/report?root=node00")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "node00") {
+		t.Errorf("report: %d\n%s", rr.Code, rr.Body)
+	}
+	if rr := doReq(s, "", "/v1/power/report?root=missing"); rr.Code != http.StatusNotFound {
+		t.Errorf("missing root: %d", rr.Code)
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	b, db := testBackend(t)
+	now := 0.0
+	s, err := Serve("127.0.0.1:0", Options{QuotaRate: 5, QuotaBurst: 5, Now: func() float64 { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Bind(b)
+
+	c := NewClient(s.Addr(), "tester")
+	users, err := c.Users()
+	if err != nil || len(users) != 2 {
+		t.Fatalf("users = %v, %v", users, err)
+	}
+	rec, err := c.Job(3)
+	if err != nil || rec.App != "qcd" {
+		t.Fatalf("job = %+v, %v", rec, err)
+	}
+	win, err := c.Window(0, 100, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE, err := db.EnergyAt(0, 100, 200, 10)
+	if err != nil || math.Abs(win.EnergyJ-wantE) > 1e-9 {
+		t.Fatalf("window energy %v, want %v (%v)", win.EnergyJ, wantE, err)
+	}
+	// Quota: the 5th call spends the last burst token; the 6th must
+	// surface a typed QuotaError.
+	if _, err := c.RackPower(0); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := c.JobPhases(1)
+	if err != nil || len(phases) != 1 || phases[0].Name != "cfd" {
+		t.Fatalf("job phases = %+v, %v", phases, err)
+	}
+	_, err = c.Users()
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.RetryAfter < 1 {
+		t.Fatalf("err = %v, want QuotaError with Retry-After >= 1", err)
+	}
+}

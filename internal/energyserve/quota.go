@@ -1,0 +1,82 @@
+package energyserve
+
+import (
+	"sync"
+
+	"davide/internal/obs"
+)
+
+// quotaTable enforces per-tenant token buckets: each tenant refills at
+// rate tokens/s up to burst, every request costs one token. rate <= 0
+// disables enforcement. The clock is injected so tests can drive refill
+// deterministically and assert exact reject counts.
+type quotaTable struct {
+	rate, burst float64
+	now         func() float64
+	reg         *obs.Registry
+	shards      [16]quotaShard
+}
+
+type quotaShard struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens  float64
+	last    float64
+	rejects *obs.Counter // nil without a registry
+}
+
+func newQuotaTable(rate, burst float64, now func() float64, reg *obs.Registry) *quotaTable {
+	t := &quotaTable{rate: rate, burst: burst, now: now, reg: reg}
+	for i := range t.shards {
+		t.shards[i].buckets = make(map[string]*bucket)
+	}
+	return t
+}
+
+func (t *quotaTable) shard(tenant string) *quotaShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint32(tenant[i])) * 16777619
+	}
+	return &t.shards[h&uint32(len(t.shards)-1)]
+}
+
+// allow spends one token for the tenant. On refusal it returns the time
+// in seconds until a token exists — the Retry-After the handler sends.
+func (t *quotaTable) allow(tenant string) (ok bool, wait float64) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	sh := t.shard(tenant)
+	sh.mu.Lock()
+	b := sh.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: t.burst, last: t.now()}
+		if t.reg != nil {
+			b.rejects = t.reg.CounterOf(
+				obs.Key("davide_api_quota_rejects_total", "tenant", tenant), obs.Volatile())
+		}
+		sh.buckets[tenant] = b
+	}
+	now := t.now()
+	b.tokens += (now - b.last) * t.rate
+	if b.tokens > t.burst {
+		b.tokens = t.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		sh.mu.Unlock()
+		return true, 0
+	}
+	wait = (1 - b.tokens) / t.rate
+	rejects := b.rejects
+	sh.mu.Unlock()
+	if rejects != nil {
+		rejects.Inc()
+	}
+	return false, wait
+}

@@ -242,6 +242,11 @@ func (h *Hierarchy) Get(name string, attr Attr) (float64, error) {
 		case AttrTemp:
 			return float64(o.nd.MaxDieTemperature()), nil
 		case AttrFreq:
+			// A node without sockets (an accelerator sled) has no CPU
+			// frequency to report.
+			if len(o.nd.Sockets) == 0 {
+				break
+			}
 			return float64(o.nd.Sockets[0].EffectiveFrequency()), nil
 		}
 	case Socket:
@@ -278,7 +283,12 @@ func (h *Hierarchy) Set(name string, attr Attr, value float64) error {
 	case o.Type == Socket && attr == AttrFreq:
 		return setSocketFreq(o, value)
 	case o.Type == NodeObj && attr == AttrFreq:
-		// Node-level frequency: all sockets together.
+		// Node-level frequency: all sockets together. A socketless node
+		// has no frequency actuator — reporting success for a set that
+		// changed nothing would be a lie.
+		if len(o.nd.Sockets) == 0 {
+			return fmt.Errorf("%w: set %s on a node with no sockets", ErrNoSuchAttr, attr)
+		}
 		for i := range o.nd.Sockets {
 			so := *o
 			so.idx = i
@@ -320,9 +330,15 @@ func (h *Hierarchy) Report(root string) (string, error) {
 	err := h.Walk(root, func(o *Object) error {
 		depth := strings.Count(o.Name, ".")
 		p, err := h.Get(o.Name, AttrPower)
-		if err != nil {
-			// Objects without a power attribute are skipped silently.
+		if errors.Is(err, ErrNoSuchAttr) {
+			// Objects without a power attribute are skipped.
 			return nil
+		}
+		if err != nil {
+			// A genuine measurement failure (e.g. FacilityPower on a
+			// misconfigured rack) must surface, not render as a silently
+			// shorter report.
+			return err
 		}
 		fmt.Fprintf(&sb, "%s%-12s %-40s %10.1f W\n",
 			strings.Repeat("  ", depth), o.Type, o.Name, p)

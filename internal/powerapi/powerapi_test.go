@@ -8,6 +8,7 @@ import (
 
 	"davide/internal/cluster"
 	"davide/internal/node"
+	"davide/internal/rack"
 )
 
 func nodeHierarchy(t *testing.T) (*Hierarchy, *node.Node) {
@@ -226,6 +227,53 @@ func TestWalkAndReport(t *testing.T) {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
+	}
+}
+
+func TestReportPropagatesGetErrors(t *testing.T) {
+	c, err := cluster.New(cluster.PilotConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison one rack's conversion scheme: ACInput, and therefore the
+	// platform's FacilityPower, now fails. That is a genuine measurement
+	// failure, not a missing attribute — Report must surface it instead
+	// of printing a silently shorter report.
+	c.Racks[0].Scheme = rack.PowerScheme(99)
+	_, err = h.Report("davide")
+	if err == nil {
+		t.Fatal("Report over a failing FacilityPower should error")
+	}
+	if errors.Is(err, ErrNoSuchAttr) {
+		t.Fatalf("err = %v, want a non-ErrNoSuchAttr failure", err)
+	}
+	// The missing-attribute skip path still works: a subtree below the
+	// poisoned platform reports fine.
+	rep, err := h.Report("davide.cab1.node15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "node") {
+		t.Errorf("subtree report missing node row:\n%s", rep)
+	}
+}
+
+func TestZeroSocketNodeFreq(t *testing.T) {
+	// A node without sockets (an accelerator sled): AttrFreq must come
+	// back as ErrNoSuchAttr on both Get and Set, not index out of range.
+	h, err := NewNodeHierarchy(&node.Node{ID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get("node03", AttrFreq); !errors.Is(err, ErrNoSuchAttr) {
+		t.Errorf("Get freq err = %v, want ErrNoSuchAttr", err)
+	}
+	if err := h.Set("node03", AttrFreq, 3e9); !errors.Is(err, ErrNoSuchAttr) {
+		t.Errorf("Set freq err = %v, want ErrNoSuchAttr", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"davide/internal/accounting"
 	"davide/internal/obs"
@@ -249,6 +250,11 @@ type Controller struct {
 	src   TelemetrySource
 	hooks Hooks
 
+	// assignMu guards each liveJob's started/nodes pair so Assignments
+	// stays readable from other goroutines (the live query service polls
+	// it mid-run) while the controller goroutine starts jobs.
+	assignMu sync.Mutex
+
 	jobs      []*liveJob
 	pending   []*liveJob
 	running   []*liveJob
@@ -378,6 +384,8 @@ func (c *Controller) Ledger() *accounting.Ledger { return c.ledger }
 // Assignments returns the concrete node IDs each job ran on (filled as
 // jobs start; complete once Run returns).
 func (c *Controller) Assignments() map[int][]int {
+	c.assignMu.Lock()
+	defer c.assignMu.Unlock()
 	out := make(map[int][]int, len(c.jobs))
 	for _, j := range c.jobs {
 		if j.started {
@@ -473,9 +481,11 @@ func (c *Controller) predict(js *liveJob) (float64, error) {
 // start launches a job now on concrete nodes from the free list.
 func (c *Controller) start(js *liveJob) {
 	n := js.job.Nodes
+	c.assignMu.Lock()
 	js.nodes = append([]int(nil), c.freeNodes[:n]...)
-	c.freeNodes = c.freeNodes[n:]
 	js.started = true
+	c.assignMu.Unlock()
+	c.freeNodes = c.freeNodes[n:]
 	js.startAt = c.now
 	c.running = append(c.running, js)
 }

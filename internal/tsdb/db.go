@@ -385,6 +385,56 @@ func (db *DB) IngestedSamples(node int) int {
 	return 0
 }
 
+// Watermark is a monotonic per-node ingest version: it advances whenever
+// an event could change a query answer — a sample accepted, a duplicate
+// overwritten in place, or a sealed chunk dropped by retention (which
+// shifts queries from raw to rollup answers). Two equal watermarks around
+// a query guarantee the node's store was not mutated in between, which is
+// what a result cache needs to stay coherent with ingest. An unknown node
+// reports 0.
+func (db *DB) Watermark(node int) uint64 {
+	sh := db.shard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s := sh.series[node]; s != nil {
+		// Each term is individually monotonic, so the sum is too, and a
+		// sum equality implies component equality.
+		return uint64(s.total) + uint64(s.dups) + uint64(s.drops)
+	}
+	return 0
+}
+
+// SealedHorizon returns the newest sealed timestamp for a node in
+// seconds: appends at or before it can no longer change raw data (they
+// are dropped as too old), so with raw retention disabled any window
+// ending at or before the horizon is immutable. ok is false while nothing
+// is sealed yet.
+func (db *DB) SealedHorizon(node int) (t float64, ok bool) {
+	sh := db.shard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s := sh.series[node]; s != nil && len(s.chunks) > 0 {
+		return toSec(s.sealedEnd()), true
+	}
+	return 0, false
+}
+
+// Latest returns a node's newest sample (timestamp in seconds and watts).
+func (db *DB) Latest(node int) (t, w float64, err error) {
+	sh := db.shard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[node]
+	if s == nil || s.total == 0 {
+		return 0, 0, fmt.Errorf("%w %d", ErrUnknownNode, node)
+	}
+	return toSec(s.pendT), s.pendW, nil
+}
+
+// RawRetention reports the store's raw-chunk retention horizon in
+// seconds (0 = raw kept forever; see Options.RetainRaw).
+func (db *DB) RawRetention() float64 { return db.opts.RetainRaw }
+
 // Stats summarises the store's footprint.
 type Stats struct {
 	Nodes             int

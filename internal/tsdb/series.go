@@ -39,6 +39,7 @@ type series struct {
 	total      int  // samples accepted, ever (incl. later-dropped raw)
 	oo         int  // too-old samples dropped (older than the sealed horizon)
 	dups       int  // duplicate timestamps overwritten
+	drops      int  // sealed chunks dropped by retention, ever
 }
 
 func newSeries(node int, widths []float64) *series {
@@ -201,6 +202,7 @@ func (s *series) dropRawBefore(t float64) int {
 		return 0
 	}
 	s.droppedRaw = true
+	s.drops += d
 	s.chunks = s.chunks[d:]
 	if d < len(s.cumE) {
 		s.cumE = s.cumE[d:]
