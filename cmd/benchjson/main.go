@@ -47,7 +47,10 @@ type File struct {
 func direction(unit string) int {
 	switch unit {
 	case "ns/op", "ns/sample", "B/op", "B/sample", "wire-B/sample", "allocs/op", "bytes/sample", "max-err-%", "rollup-B",
-		"max-over-%", "energy-err-%":
+		"max-over-%", "energy-err-%",
+		// E24 tournament figures: cap overshoot, job wait and the
+		// winner's composite score are all lower-is-better.
+		"fifo-max-over-%", "power-max-over-%", "fifo-mean-wait-s", "power-mean-wait-s", "winner-composite":
 		return -1
 	case "samples/s", "samples/s/core", "compression-x", "decode-speedup-x", "MB/s", "queries/s":
 		return +1

@@ -16,11 +16,21 @@
 // spine broker (combine with -chaos bridge-flap to fault the uplinks
 // while the rack tier stays exact).
 //
+// With -tournament the command runs the scheduler strategy tournament
+// instead: every registered admission policy across clean transport,
+// every gateway chaos preset and every named scenario at a fixed seed,
+// scored and ranked. -tournament-out writes the machine-readable
+// report; -ledger regenerates STRATEGY_LEDGER.md from it, preserving
+// the ledger's curated findings section; -tournament-from renders the
+// ledger from an existing report without re-running.
+//
 // Usage:
 //
 //	davide-sim [-jobs N] [-cap kW] [-policy fcfs|easy] [-reactive] [-seed S]
 //	davide-sim -sched power [-tick S] [-jobs N] [-cap kW] [-chaos preset]
 //	davide-sim -stream 600 -racks 8 [-chaos bridge-flap] [-cpuprofile cpu.out]
+//	davide-sim -tournament [-policies fifo,power] [-axes clean] [-tournament-out tournament.json] [-ledger STRATEGY_LEDGER.md]
+//	davide-sim -tournament -tournament-from tournament.json -ledger STRATEGY_LEDGER.md
 package main
 
 import (
@@ -71,6 +81,17 @@ func main() {
 		"(e.g. 127.0.0.1:9200; per-user reports, job phases, node windows, rack power; needs -sched or -scenario)")
 	apiQuota := flag.Float64("api-quota", 0, "per-tenant API request budget in req/s (0 = unthrottled; with -api-addr)")
 	apiLinger := flag.Duration("api-linger", 0, "keep the energy query API serving this long after the run completes (with -api-addr)")
+	tourn := flag.Bool("tournament", false, "run the strategy tournament: every admission policy ("+
+		strings.Join(davide.TournamentPolicyNames(), ", ")+") across clean + chaos + scenario axes at the "+
+		"E19 reference geometry, scored and ranked (seed from -seed when set, else the reference seed 7)")
+	tournPolicies := flag.String("policies", "", "comma-separated tournament policy subset (with -tournament; empty = all)")
+	tournAxes := flag.String("axes", "", "comma-separated tournament axis subset: clean, chaos/<preset> or scenario/<name> "+
+		"(with -tournament; empty = all)")
+	tournOut := flag.String("tournament-out", "", "write the machine-readable tournament report to this JSON file (with -tournament)")
+	ledgerPath := flag.String("ledger", "", "regenerate STRATEGY_LEDGER.md at this path from the tournament report, "+
+		"preserving its curated findings section (with -tournament)")
+	tournFrom := flag.String("tournament-from", "", "render the ledger from this existing tournament.json instead of re-running "+
+		"(with -tournament and -ledger)")
 	obsDump := flag.String("obs-dump", "", "write the final Prometheus-text registry snapshot to this file at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -127,6 +148,28 @@ func main() {
 	}
 	if *racks > 1 && *schedMode != "" {
 		log.Fatal("-racks applies to -stream replays; the live control plane is single-broker")
+	}
+	if !*tourn && (*tournPolicies != "" || *tournAxes != "" || *tournOut != "" || *ledgerPath != "" || *tournFrom != "") {
+		log.Fatal("-policies/-axes/-tournament-out/-ledger/-tournament-from need -tournament")
+	}
+	if *tourn {
+		if *schedMode != "" || *scenarioName != "" || *stream > 0 || *chaosName != "" {
+			log.Fatal("-tournament owns its runs; drop -sched/-scenario/-stream/-chaos")
+		}
+		cfg := davide.TournamentConfig{}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				cfg.Seed = *seed
+			}
+		})
+		if *tournPolicies != "" {
+			cfg.Policies = splitList(*tournPolicies)
+		}
+		if *tournAxes != "" {
+			cfg.Axes = splitList(*tournAxes)
+		}
+		runTournament(cfg, *tournFrom, *tournOut, *ledgerPath)
+		return
 	}
 
 	if *cpuprofile != "" {
@@ -506,6 +549,80 @@ func runScenario(sys *davide.System, work []workload.Job, sc *davide.Scenario, m
 			fmt.Printf("  %-12s [%5.0f, %5s) %4d ticks, %3d over, max %6.0f W (%5.2f %%), mean over %5.0f W, cap %6.0f W, power %6.0f W\n",
 				ph.Phase, ph.T0, t1, ph.Ticks, ph.OverTicks, ph.MaxOverW, ph.MaxOverPct, ph.MeanOverW, ph.MeanCapW, ph.MeanPowerW)
 		}
+	}
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runTournament executes (or, with fromPath, reloads) the strategy
+// tournament, prints the leaderboard and writes the requested
+// artifacts.
+func runTournament(cfg davide.TournamentConfig, fromPath, outPath, ledgerPath string) {
+	var rep *davide.TournamentReport
+	if fromPath != "" {
+		data, err := os.ReadFile(fromPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep, err = davide.DecodeTournament(data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tournament: loaded %s (%d policies × %d axes)\n",
+			fromPath, len(rep.Config.Policies), len(rep.Config.Axes))
+	} else {
+		start := time.Now()
+		fmt.Println("tournament: running (one live closed-loop run per cell)...")
+		var err error
+		rep, err = davide.RunTournament(cfg, func(done, total int, c davide.TournamentCell) {
+			fmt.Printf("  [%3d/%3d] %-10s %-24s max-over %6.2f %%  mean-wait %5.0f s\n",
+				done, total, c.Policy, c.Axis, c.MaxOverPct, c.MeanWaitS)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tournament: %d cells in %s (seed %d)\n",
+			len(rep.Cells), time.Since(start).Round(time.Millisecond), rep.Config.Seed)
+	}
+
+	fmt.Println("\nLeaderboard (lower composite is better):")
+	for _, st := range rep.Standings {
+		aware := "power-blind"
+		if st.PowerAware {
+			aware = "power-aware"
+		}
+		fmt.Printf("  %d. %-10s composite %.4f  wins %d/%d  (%s)\n",
+			st.Rank, st.Policy, st.Composite, st.AxisWins, len(rep.Config.Axes), aware)
+	}
+
+	if outPath != "" {
+		data, err := rep.EncodeJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntournament: wrote %s\n", outPath)
+	}
+	if ledgerPath != "" {
+		prev := ""
+		if b, err := os.ReadFile(ledgerPath); err == nil {
+			prev = string(b)
+		}
+		if err := os.WriteFile(ledgerPath, []byte(davide.RenderStrategyLedger(rep, prev)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tournament: regenerated %s (curated findings preserved)\n", ledgerPath)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"davide/internal/sched"
 	"davide/internal/sensor"
 	"davide/internal/telemetry"
+	"davide/internal/tournament"
 	"davide/internal/tsdb"
 	"davide/internal/workload"
 )
@@ -133,6 +134,76 @@ const (
 func NewController(cfg ControllerConfig, jobs []Job, src TelemetrySource, hooks ControllerHooks) (*Controller, error) {
 	return sched.NewController(cfg, jobs, src, hooks)
 }
+
+// Pluggable admission strategies: the live controller's dispatch seam.
+// A ControllerConfig may carry a Strategy instead of an Admission; the
+// built-ins below are bit-identical to the corresponding Admission.
+type (
+	// Strategy is a pluggable dispatch discipline consulted once per
+	// control tick.
+	Strategy = sched.Strategy
+	// DispatchEnv is the sandboxed machine view a Strategy decides over.
+	DispatchEnv = sched.DispatchEnv
+	// WeightedConfig tunes the weighted-scoring admission strategy.
+	WeightedConfig = sched.WeightedConfig
+)
+
+// Admission strategies (the tournament's policy space).
+func NewFIFOStrategy() Strategy       { return sched.NewFIFOStrategy() }
+func NewPowerAwareStrategy() Strategy { return sched.NewPowerAwareStrategy() }
+func NewSJFStrategy() Strategy        { return sched.NewSJFStrategy() }
+func NewSJFPowerStrategy() Strategy   { return sched.NewSJFPowerStrategy() }
+func NewEASYStrategy() Strategy       { return sched.NewEASYStrategy() }
+
+// NewWeightedStrategy builds the weighted-scoring power-aware strategy.
+func NewWeightedStrategy(cfg WeightedConfig) Strategy { return sched.NewWeightedStrategy(cfg) }
+
+// NewEDFStrategy builds the deadline-aware strategy (slack <= 0 takes
+// sched.DefaultEDFSlack).
+func NewEDFStrategy(slack float64) Strategy { return sched.NewEDFStrategy(slack) }
+
+// Strategy tournament: every registered policy swept across clean,
+// chaos and scenario axes at fixed seeds, scored and ranked into
+// tournament.json and STRATEGY_LEDGER.md (see internal/tournament).
+type (
+	// TournamentConfig parameterises a tournament (zero value = the
+	// committed reference tournament).
+	TournamentConfig = tournament.Config
+	// TournamentPolicy is one registered entrant.
+	TournamentPolicy = tournament.Policy
+	// TournamentReport is the machine-readable outcome.
+	TournamentReport = tournament.Report
+	// TournamentCell is one (policy, axis) scorecard.
+	TournamentCell = tournament.Cell
+	// TournamentStanding is one leaderboard row.
+	TournamentStanding = tournament.Standing
+)
+
+// RunTournament executes the tournament deterministically; progress
+// (may be nil) receives one callback per completed cell.
+func RunTournament(cfg TournamentConfig, progress tournament.Progress) (*TournamentReport, error) {
+	return tournament.Run(cfg, progress)
+}
+
+// TournamentPolicies returns the registered policies in leaderboard
+// order.
+func TournamentPolicies() []TournamentPolicy { return tournament.Policies() }
+
+// TournamentPolicyNames lists the registered policy names in
+// leaderboard order.
+func TournamentPolicyNames() []string { return tournament.PolicyNames() }
+
+// TournamentAxisNames returns every tournament axis in canonical order.
+func TournamentAxisNames() []string { return tournament.AxisNames() }
+
+// RenderStrategyLedger renders STRATEGY_LEDGER.md from a report,
+// carrying over the curated findings section of prev.
+func RenderStrategyLedger(r *TournamentReport, prev string) string {
+	return tournament.RenderLedger(r, prev)
+}
+
+// DecodeTournament parses a tournament.json written by EncodeJSON.
+func DecodeTournament(data []byte) (*TournamentReport, error) { return tournament.DecodeJSON(data) }
 
 // NewStoreFeed builds a capping PowerFeed over a node group from a
 // telemetry store, stale (held) whenever a node stops delivering.

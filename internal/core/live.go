@@ -154,8 +154,9 @@ func (s *System) RunLive(jobs []workload.Job, cfg LiveConfig) (*LiveResult, erro
 		return nil, fmt.Errorf("core: sample rate %g cannot fill a %g s tick with the 2 samples a gateway window needs", rate, scfg.TickS)
 	}
 	// Wire the online-retraining predictor when the caller didn't bring
-	// an estimator of their own.
-	if scfg.Admission == sched.AdmitPowerAware && scfg.Trainer == nil && scfg.Estimator == nil {
+	// an estimator of their own (power-aware built-in admission or any
+	// power-aware Strategy).
+	if scfg.PowerAware() && scfg.Trainer == nil && scfg.Estimator == nil {
 		if s.Predictor == nil {
 			return nil, errors.New("core: power-aware admission needs a trained predictor (train the system or set an estimator)")
 		}

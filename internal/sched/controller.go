@@ -81,8 +81,16 @@ type Hooks struct {
 type ControllerConfig struct {
 	Config // machine size, cap, estimator, reactive capping, idle power
 
-	// Admission selects FIFO or power-aware dispatch.
+	// Admission selects FIFO or power-aware dispatch (the two built-in
+	// disciplines). Ignored when Strategy is set.
 	Admission Admission
+	// Strategy, when non-nil, supersedes Admission as the dispatch
+	// discipline — the pluggable seam the policy tournament sweeps
+	// (internal/tournament). The built-in constructors
+	// (NewFIFOStrategy, NewPowerAwareStrategy) reproduce the Admission
+	// disciplines bit-identically; see Strategy for the determinism
+	// contract implementations must keep.
+	Strategy Strategy
 	// TickS is the control period in virtual seconds (default 30).
 	TickS float64
 	// Trainer, when non-nil, supersedes Config.Estimator and is retrained
@@ -178,7 +186,7 @@ func (c ControllerConfig) Validate() error {
 	if c.CapSchedule != nil && c.PowerCapW <= 0 {
 		return errors.New("sched: CapSchedule needs a nominal power cap")
 	}
-	if c.Admission == AdmitPowerAware {
+	if c.PowerAware() {
 		if c.PowerCapW <= 0 {
 			return errors.New("sched: power-aware admission needs a power cap")
 		}
@@ -187,6 +195,30 @@ func (c ControllerConfig) Validate() error {
 		}
 	}
 	return nil
+}
+
+// PowerAware reports whether the configured discipline consults per-job
+// power predictions — the Strategy's own claim when one is set,
+// otherwise whether Admission is AdmitPowerAware. Power-aware
+// configurations need an estimator or trainer (core.RunLive wires the
+// system predictor when neither is set).
+func (c ControllerConfig) PowerAware() bool {
+	if c.Strategy != nil {
+		return c.Strategy.PowerAware()
+	}
+	return c.Admission == AdmitPowerAware
+}
+
+// strategy resolves the dispatch discipline: the configured Strategy,
+// or the built-in one matching Admission.
+func (c ControllerConfig) strategy() Strategy {
+	if c.Strategy != nil {
+		return c.Strategy
+	}
+	if c.Admission == AdmitPowerAware {
+		return powerAwareStrategy{}
+	}
+	return fifoStrategy{}
 }
 
 // liveJob tracks one job through the live run.
@@ -246,9 +278,10 @@ type ControllerResult struct {
 
 // Controller runs the closed-loop power-aware scheduler.
 type Controller struct {
-	cfg   ControllerConfig
-	src   TelemetrySource
-	hooks Hooks
+	cfg      ControllerConfig
+	src      TelemetrySource
+	hooks    Hooks
+	strategy Strategy
 
 	// assignMu guards each liveJob's started/nodes pair so Assignments
 	// stays readable from other goroutines (the live query service polls
@@ -340,7 +373,8 @@ func NewController(cfg ControllerConfig, jobs []workload.Job, src TelemetrySourc
 		return nil, errors.New("sched: no jobs")
 	}
 	c := &Controller{cfg: cfg, src: src, hooks: hooks, speed: 1,
-		capNow: cfg.PowerCapW, ledger: accounting.NewLedger()}
+		strategy: cfg.strategy(),
+		capNow:   cfg.PowerCapW, ledger: accounting.NewLedger()}
 	if cfg.Metrics != nil {
 		c.met = newSchedMetrics(cfg.Metrics)
 	}
@@ -490,70 +524,18 @@ func (c *Controller) start(js *liveJob) {
 	c.running = append(c.running, js)
 }
 
-// dispatch runs one admission pass at the top of a tick.
+// dispatch runs one admission pass at the top of a tick through the
+// configured strategy, then drops started jobs from the pending queue
+// (preserving submission order for the rest).
 func (c *Controller) dispatch() error {
-	// invisibleDelta: predicted draw of running jobs the telemetry has
-	// not yet measured (started less than a tick ago, or started into a
-	// window that was lost). Without it, a job admitted last tick would
-	// not count against headroom until its power shows up in the store.
-	invisibleDelta := 0.0
-	for _, r := range c.running {
-		if !r.visible && r.predicted > 0 {
-			invisibleDelta += (r.predicted - c.cfg.IdleNodePowerW) * float64(r.job.Nodes)
-		}
-	}
-	base := c.measuredTotal() + invisibleDelta
-
-	reserveHead := false
-	if c.cfg.Admission == AdmitPowerAware && len(c.pending) > 0 {
-		if wait := c.now - c.pending[0].job.SubmitAt; wait >= c.cfg.HeadReserveS {
-			reserveHead = true
-		}
+	if err := c.strategy.Dispatch(c.newDispatchEnv()); err != nil {
+		return err
 	}
 	kept := c.pending[:0]
-	blocked := false
-	for qi, js := range c.pending {
-		if blocked {
+	for _, js := range c.pending {
+		if !js.started {
 			kept = append(kept, js)
-			continue
 		}
-		if js.job.Nodes > len(c.freeNodes) {
-			kept = append(kept, js)
-			if c.cfg.Admission == AdmitFIFO || reserveHead {
-				// Strict in-order: nothing may overtake the head.
-				blocked = true
-			}
-			continue
-		}
-		if c.cfg.Admission == AdmitPowerAware {
-			pred, err := c.predict(js)
-			if err != nil {
-				return err
-			}
-			delta := (pred - c.cfg.IdleNodePowerW) * float64(js.job.Nodes)
-			// Fail fast on a job that could not fit under the cap even
-			// on an otherwise-idle machine: it will never start, and
-			// silently ticking until MaxTicks would burn an hour of wall
-			// clock streaming an unschedulable queue.
-			if float64(c.cfg.Nodes)*c.cfg.IdleNodePowerW+delta > c.cfg.PowerCapW {
-				return fmt.Errorf(
-					"sched: job %d (predicted %.0f W/node × %d nodes) cannot fit under the %.0f W cap even on an idle machine",
-					js.job.ID, pred, js.job.Nodes, c.cfg.PowerCapW)
-			}
-			if base+delta > c.admitCap() {
-				c.refused++
-				if c.met != nil {
-					c.met.refused.Inc()
-				}
-				kept = append(kept, js)
-				if reserveHead && qi == 0 {
-					blocked = true
-				}
-				continue
-			}
-			base += delta
-		}
-		c.start(js)
 	}
 	c.pending = kept
 	return nil
@@ -881,8 +863,8 @@ func (c *Controller) collect(ticks int) (*ControllerResult, error) {
 			start: j.startAt, end: j.endAt, nodes: j.job.Nodes,
 		})
 	}
-	name := c.cfg.Admission.String()
-	if c.cfg.Admission == AdmitPowerAware && c.cfg.ReactiveCapping {
+	name := c.strategy.Name()
+	if c.strategy.PowerAware() && c.cfg.ReactiveCapping {
 		name += "+reactive"
 	}
 	base, err := summarize(name, outs, c.cfg.Nodes, c.cfg.PowerCapW,

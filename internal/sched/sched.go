@@ -91,22 +91,22 @@ type jobState struct {
 
 // Result carries the metrics of one run.
 type Result struct {
-	Policy          string
-	Jobs            int
-	Makespan        float64
-	MeanWait        float64
-	MaxWait         float64
-	MeanSlowdown    float64 // bounded slowdown, threshold 60 s
-	P95Slowdown     float64
-	UtilizationPct  float64 // node-seconds busy / node-seconds total
-	EnergyJ         float64 // compute energy from the true power trace
-	CapW            float64
-	CapViolationSec float64 // seconds with true power above cap
-	CapOverRMSW     float64 // RMS overshoot during violations
-	SlowdownGini    float64 // fairness over per-job slowdowns
-	Trace           *sensor.Piecewise
-	Starts          map[int]float64 // job ID -> start time
-	Ends            map[int]float64 // job ID -> end time
+	Policy          string            // discipline label (Strategy.Name or Policy.String)
+	Jobs            int               // jobs submitted
+	Makespan        float64           // seconds from first submit to last completion
+	MeanWait        float64           // mean queue wait, seconds
+	MaxWait         float64           // worst queue wait, seconds
+	MeanSlowdown    float64           // bounded slowdown, threshold 60 s
+	P95Slowdown     float64           // 95th-percentile bounded slowdown
+	UtilizationPct  float64           // node-seconds busy / node-seconds total
+	EnergyJ         float64           // compute energy from the true power trace
+	CapW            float64           // the configured power cap, watts (0 = uncapped)
+	CapViolationSec float64           // seconds with true power above cap
+	CapOverRMSW     float64           // RMS overshoot during violations
+	SlowdownGini    float64           // fairness over per-job slowdowns
+	Trace           *sensor.Piecewise // true machine power over time
+	Starts          map[int]float64   // job ID -> start time
+	Ends            map[int]float64   // job ID -> end time
 }
 
 // Simulator runs one scheduling experiment.

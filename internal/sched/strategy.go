@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"davide/internal/workload"
+)
+
+// This file is the controller's admission seam: Strategy is the
+// pluggable dispatch discipline the live Controller consults once per
+// control tick, and DispatchEnv is the sandboxed view of machine state
+// it decides over. The two built-in disciplines (AdmitFIFO,
+// AdmitPowerAware) are implemented as strategies over the same seam, so
+// a ControllerConfig that names an Admission and one that passes the
+// corresponding built-in Strategy produce bit-identical runs — the
+// contract the tournament's policy comparisons (internal/tournament,
+// E24) rest on.
+
+// Strategy is a pluggable admission discipline for the live Controller.
+// Once per control tick the controller hands the strategy a DispatchEnv
+// over the pending queue; the strategy decides which pending jobs start
+// this tick by calling DispatchEnv.Start. Jobs it does not start remain
+// queued in submission order.
+//
+// Implementations must be deterministic: decisions may depend only on
+// the DispatchEnv view (no wall clock, no randomness, no map iteration),
+// so that the same seed replays the same schedule bit-identically — the
+// tournament's determinism contract. A Strategy instance may carry
+// per-run state and must not be shared across concurrent runs.
+type Strategy interface {
+	// Name labels the discipline in results (Result.Policy).
+	Name() string
+	// PowerAware reports whether the strategy consults per-job power
+	// predictions. Power-aware strategies require a positive power cap
+	// and an estimator or trainer (ControllerConfig.Validate enforces
+	// this, and core.RunLive wires the system predictor when unset).
+	PowerAware() bool
+	// Dispatch runs one admission pass over env's pending queue.
+	Dispatch(env *DispatchEnv) error
+}
+
+// RunningJob is a strategy's read-only view of one running job — what a
+// production scheduler can see: when it started, the user's wall-clock
+// limit (not the hidden true duration) and its node count. EASY-style
+// backfill reservations are computed from these.
+type RunningJob struct {
+	StartAt   float64
+	WallLimit float64
+	Nodes     int
+}
+
+// DispatchEnv is the machine view a Strategy dispatches against for one
+// control tick. Queue positions are indices 0..Len()-1 in submission
+// order; Start consumes free nodes and updates the measured-power view,
+// so accessors reflect admissions already made during this pass.
+type DispatchEnv struct {
+	c *Controller
+	// base is the controller's belief about machine power: measured
+	// totals plus the predicted draw of admitted-but-not-yet-visible
+	// jobs, grown by each power-predicted Start during this pass.
+	base  float64
+	queue []*liveJob
+}
+
+// newDispatchEnv snapshots the tick's admission view.
+func (c *Controller) newDispatchEnv() *DispatchEnv {
+	// invisibleDelta: predicted draw of running jobs the telemetry has
+	// not yet measured (started less than a tick ago, or started into a
+	// window that was lost). Without it, a job admitted last tick would
+	// not count against headroom until its power shows up in the store.
+	invisibleDelta := 0.0
+	for _, r := range c.running {
+		if !r.visible && r.predicted > 0 {
+			invisibleDelta += (r.predicted - c.cfg.IdleNodePowerW) * float64(r.job.Nodes)
+		}
+	}
+	return &DispatchEnv{
+		c:     c,
+		base:  c.measuredTotal() + invisibleDelta,
+		queue: append([]*liveJob(nil), c.pending...),
+	}
+}
+
+// Len returns the pending-queue length.
+func (e *DispatchEnv) Len() int { return len(e.queue) }
+
+// Job returns pending job i (submission order) as the scheduler sees
+// it. Note that Duration and TruePowerPerNode are hidden from real
+// schedulers; honest strategies decide from WallLimit and predictions.
+func (e *DispatchEnv) Job(i int) workload.Job { return e.queue[i].job }
+
+// Started reports whether queue job i was started during this pass.
+func (e *DispatchEnv) Started(i int) bool { return e.queue[i].started }
+
+// WaitS returns how long queue job i has been waiting, in virtual
+// seconds.
+func (e *DispatchEnv) WaitS(i int) float64 { return e.c.now - e.queue[i].job.SubmitAt }
+
+// Now returns the tick's virtual start time.
+func (e *DispatchEnv) Now() float64 { return e.c.now }
+
+// FreeNodes returns the number of currently idle nodes, updated as
+// Start consumes them.
+func (e *DispatchEnv) FreeNodes() int { return len(e.c.freeNodes) }
+
+// MachineNodes returns the machine size in nodes.
+func (e *DispatchEnv) MachineNodes() int { return e.c.cfg.Nodes }
+
+// IdleNodePowerW returns the idle draw of one node in watts.
+func (e *DispatchEnv) IdleNodePowerW() float64 { return e.c.cfg.IdleNodePowerW }
+
+// NominalCapW returns the nominal machine power cap (0 = uncapped).
+func (e *DispatchEnv) NominalCapW() float64 { return e.c.cfg.PowerCapW }
+
+// AdmitCapW returns the cap admission runs against this tick: the
+// ramp-tracked effective cap tightened by brownout mode and the
+// anti-windup trim (== NominalCapW in legacy static-cap runs).
+func (e *DispatchEnv) AdmitCapW() float64 { return e.c.admitCap() }
+
+// HeadReserveS returns the configured anti-starvation bound: how long
+// the queue head may wait before a strategy should stop backfilling
+// past it.
+func (e *DispatchEnv) HeadReserveS() float64 { return e.c.cfg.HeadReserveS }
+
+// MeasuredW returns the controller's current belief about machine
+// power: measured per-node totals (stale nodes held at their last
+// fresh value) plus the predicted draw of admitted-but-invisible jobs,
+// including jobs started earlier in this pass.
+func (e *DispatchEnv) MeasuredW() float64 { return e.base }
+
+// Running returns the strategy-visible view of running jobs, in start
+// order.
+func (e *DispatchEnv) Running() []RunningJob {
+	out := make([]RunningJob, 0, len(e.c.running))
+	for _, r := range e.c.running {
+		out = append(out, RunningJob{StartAt: r.startAt, WallLimit: r.job.WallLimit, Nodes: r.job.Nodes})
+	}
+	return out
+}
+
+// Predict returns the cached per-node power prediction for queue job i
+// in watts, clamped to the idle floor.
+func (e *DispatchEnv) Predict(i int) (float64, error) { return e.c.predict(e.queue[i]) }
+
+// PredictedDeltaW returns the predicted whole-machine power increase of
+// starting queue job i: (per-node prediction − idle) × nodes.
+func (e *DispatchEnv) PredictedDeltaW(i int) (float64, error) {
+	pred, err := e.c.predict(e.queue[i])
+	if err != nil {
+		return 0, err
+	}
+	return (pred - e.c.cfg.IdleNodePowerW) * float64(e.queue[i].job.Nodes), nil
+}
+
+// AdmitUnderCap reports whether starting queue job i fits the tick's
+// admission cap: measured power plus the predicted deltas of jobs
+// already admitted this pass plus job i's own predicted delta. It
+// fails fast with an error on a job that could not fit under the
+// nominal cap even on an otherwise-idle machine: such a job will never
+// start, and silently ticking until MaxTicks would burn an hour of
+// wall clock streaming an unschedulable queue.
+func (e *DispatchEnv) AdmitUnderCap(i int) (bool, error) {
+	js := e.queue[i]
+	pred, err := e.c.predict(js)
+	if err != nil {
+		return false, err
+	}
+	delta := (pred - e.c.cfg.IdleNodePowerW) * float64(js.job.Nodes)
+	if float64(e.c.cfg.Nodes)*e.c.cfg.IdleNodePowerW+delta > e.c.cfg.PowerCapW {
+		return false, fmt.Errorf(
+			"sched: job %d (predicted %.0f W/node × %d nodes) cannot fit under the %.0f W cap even on an idle machine",
+			js.job.ID, pred, js.job.Nodes, e.c.cfg.PowerCapW)
+	}
+	return e.base+delta <= e.c.admitCap(), nil
+}
+
+// Refuse counts one admission refused for lack of power headroom (the
+// ControllerResult.RefusedAdmissions metric).
+func (e *DispatchEnv) Refuse() {
+	e.c.refused++
+	if e.c.met != nil {
+		e.c.met.refused.Inc()
+	}
+}
+
+// Start launches queue job i now on concrete nodes from the free list
+// and accounts its predicted delta (if one was computed) against the
+// measured-power view. It reports false — and starts nothing — when
+// the job already started this pass or its node request does not fit.
+func (e *DispatchEnv) Start(i int) bool {
+	js := e.queue[i]
+	if js.started || js.job.Nodes > len(e.c.freeNodes) {
+		return false
+	}
+	if js.predicted > 0 {
+		e.base += (js.predicted - e.c.cfg.IdleNodePowerW) * float64(js.job.Nodes)
+	}
+	e.c.start(js)
+	return true
+}
+
+// queueOrder returns the indices 0..n-1 sorted by less. Callers must
+// supply a total order (break ties on the index itself) so dispatch
+// order is deterministic.
+func queueOrder(n int, less func(a, b int) bool) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return less(order[x], order[y]) })
+	return order
+}
+
+// fifoStrategy is the built-in AdmitFIFO discipline: strict submission
+// order, power-blind — the paper's baseline.
+type fifoStrategy struct{}
+
+// NewFIFOStrategy returns the built-in FIFO discipline as a Strategy:
+// jobs start strictly in submission order as soon as nodes are free,
+// ignoring the power cap. Bit-identical to Admission: AdmitFIFO.
+func NewFIFOStrategy() Strategy { return fifoStrategy{} }
+
+func (fifoStrategy) Name() string     { return AdmitFIFO.String() }
+func (fifoStrategy) PowerAware() bool { return false }
+
+func (fifoStrategy) Dispatch(env *DispatchEnv) error {
+	for i := 0; i < env.Len(); i++ {
+		if env.Job(i).Nodes > env.FreeNodes() {
+			// Strict in-order: nothing may overtake the head.
+			break
+		}
+		env.Start(i)
+	}
+	return nil
+}
+
+// powerAwareStrategy is the built-in AdmitPowerAware discipline: greedy
+// backfill under the cap with the HeadReserve anti-starvation rule.
+type powerAwareStrategy struct{}
+
+// NewPowerAwareStrategy returns the built-in power-aware discipline as
+// a Strategy: a job starts only when measured machine power plus its
+// predicted delta fits under the tick's admission cap, with greedy
+// backfill and the HeadReserveS anti-starvation pause. Bit-identical to
+// Admission: AdmitPowerAware.
+func NewPowerAwareStrategy() Strategy { return powerAwareStrategy{} }
+
+func (powerAwareStrategy) Name() string     { return AdmitPowerAware.String() }
+func (powerAwareStrategy) PowerAware() bool { return true }
+
+func (powerAwareStrategy) Dispatch(env *DispatchEnv) error {
+	// Once the queue head has starved past HeadReserveS, backfill
+	// pauses until it starts.
+	reserveHead := env.Len() > 0 && env.WaitS(0) >= env.HeadReserveS()
+	for i := 0; i < env.Len(); i++ {
+		if env.Job(i).Nodes > env.FreeNodes() {
+			if reserveHead {
+				break
+			}
+			continue
+		}
+		ok, err := env.AdmitUnderCap(i)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			env.Refuse()
+			if reserveHead && i == 0 {
+				break
+			}
+			continue
+		}
+		env.Start(i)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package tournament
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Scoring rubric. Every metric is lower-is-better; per axis each metric
+// is competition-ranked across the competing policies (ties share the
+// best tied rank), the rank is normalized to [0, 1], and a cell's
+// composite is the weighted sum of its normalized ranks — so the
+// composite is scale-free and no single metric's units dominate. A
+// policy's leaderboard composite is the mean of its cell composites
+// across all axes; rank 1 is the lowest composite.
+//
+// The weights encode the paper's priorities: holding the contracted cap
+// is the headline claim (overshoot + time-over together 0.45), energy
+// accounting must stay honest under degraded telemetry (0.10), and the
+// remaining 0.45 is queueing QoS — mean and tail wait, throughput, and
+// time spent in brownout conservatism.
+type MetricWeight struct {
+	Key    string  `json:"key"`
+	Weight float64 `json:"weight"`
+}
+
+// ScoreWeights is the rubric, in documentation order. The keys match
+// the Cell JSON field names.
+var ScoreWeights = []MetricWeight{
+	{"max_over_pct", 0.30},
+	{"cap_violation_s", 0.15},
+	{"energy_err_pct", 0.10},
+	{"mean_wait_s", 0.15},
+	{"p95_wait_s", 0.10},
+	{"makespan_s", 0.10},
+	{"brownout_s", 0.10},
+}
+
+// metric extracts the rubric metric named key from a cell.
+func (c Cell) metric(key string) float64 {
+	switch key {
+	case "max_over_pct":
+		return c.MaxOverPct
+	case "cap_violation_s":
+		return c.CapViolationSec
+	case "energy_err_pct":
+		return c.EnergyErrPct
+	case "mean_wait_s":
+		return c.MeanWaitS
+	case "p95_wait_s":
+		return c.P95WaitS
+	case "makespan_s":
+		return c.MakespanS
+	case "brownout_s":
+		return c.BrownoutS
+	}
+	panic("tournament: unknown metric " + key)
+}
+
+// Standing is one leaderboard row: a policy's composite across all
+// axes it competed on.
+type Standing struct {
+	Rank       int     `json:"rank"`
+	Policy     string  `json:"policy"`
+	Desc       string  `json:"desc"`
+	PowerAware bool    `json:"power_aware"`
+	Composite  float64 `json:"composite"`
+	// AxisWins counts axes where the policy ranked first (ties count).
+	AxisWins int `json:"axis_wins"`
+	// BestAxis / WorstAxis are the axes of the policy's best and worst
+	// cell composites (ties: first in canonical axis order).
+	BestAxis  string `json:"best_axis"`
+	WorstAxis string `json:"worst_axis"`
+}
+
+// ReportConfig is the reproducibility stanza embedded in the report:
+// everything needed to regenerate it bit-identically.
+type ReportConfig struct {
+	Seed              int64    `json:"seed"`
+	Nodes             int      `json:"nodes"`
+	CapW              float64  `json:"cap_w"`
+	TickS             float64  `json:"tick_s"`
+	SampleRate        float64  `json:"sample_rate"`
+	RackSize          int      `json:"rack_size"`
+	TrainJobs         int      `json:"train_jobs"`
+	Jobs              int      `json:"jobs"`
+	ChaosBatchSamples int      `json:"chaos_batch_samples"`
+	Policies          []string `json:"policies"`
+	Axes              []string `json:"axes"`
+}
+
+// Report is the machine-readable tournament outcome (tournament.json).
+// Marshalling is deterministic, so the same Config produces the same
+// bytes — the property the CI ledger-regeneration check rests on.
+type Report struct {
+	Config    ReportConfig   `json:"config"`
+	Weights   []MetricWeight `json:"weights"`
+	Standings []Standing     `json:"standings"`
+	Cells     []Cell         `json:"cells"`
+}
+
+// buildReport scores the cells and assembles the report.
+func buildReport(cfg Config, pols []Policy, axes []string, cells []Cell) *Report {
+	// Per-axis scoring: competition-rank each metric, composite the
+	// normalized ranks.
+	byAxis := make(map[string][]*Cell)
+	for i := range cells {
+		byAxis[cells[i].Axis] = append(byAxis[cells[i].Axis], &cells[i])
+	}
+	for _, group := range byAxis {
+		n := len(group)
+		for _, mw := range ScoreWeights {
+			for _, c := range group {
+				// Competition rank: 1 + count of strictly better values.
+				better := 0
+				for _, o := range group {
+					if o.metric(mw.Key) < c.metric(mw.Key) {
+						better++
+					}
+				}
+				norm := 0.0
+				if n > 1 {
+					norm = float64(better) / float64(n-1)
+				}
+				c.Composite += mw.Weight * norm
+			}
+		}
+		// Per-axis rank over the composite (competition ranking again).
+		for _, c := range group {
+			better := 0
+			for _, o := range group {
+				if o.Composite < c.Composite {
+					better++
+				}
+			}
+			c.Rank = 1 + better
+		}
+	}
+
+	// Leaderboard: mean cell composite per policy.
+	standings := make([]Standing, 0, len(pols))
+	for _, pol := range pols {
+		st := Standing{Policy: pol.Name, Desc: pol.Desc, PowerAware: pol.PowerAware()}
+		sum, count := 0.0, 0
+		best, worst := 0.0, 0.0
+		for _, axis := range axes {
+			for _, c := range byAxis[axis] {
+				if c.Policy != pol.Name {
+					continue
+				}
+				sum += c.Composite
+				count++
+				if c.Rank == 1 {
+					st.AxisWins++
+				}
+				if st.BestAxis == "" || c.Composite < best {
+					st.BestAxis, best = axis, c.Composite
+				}
+				if st.WorstAxis == "" || c.Composite > worst {
+					st.WorstAxis, worst = axis, c.Composite
+				}
+			}
+		}
+		if count > 0 {
+			st.Composite = sum / float64(count)
+		}
+		standings = append(standings, st)
+	}
+	sort.SliceStable(standings, func(a, b int) bool {
+		return standings[a].Composite < standings[b].Composite
+	})
+	for i := range standings {
+		better := 0
+		for j := range standings {
+			if standings[j].Composite < standings[i].Composite {
+				better++
+			}
+		}
+		standings[i].Rank = 1 + better
+	}
+
+	names := make([]string, len(pols))
+	for i, p := range pols {
+		names[i] = p.Name
+	}
+	return &Report{
+		Config: ReportConfig{
+			Seed:              cfg.Seed,
+			Nodes:             cfg.Nodes,
+			CapW:              cfg.CapW,
+			TickS:             cfg.TickS,
+			SampleRate:        cfg.SampleRate,
+			RackSize:          cfg.RackSize,
+			TrainJobs:         cfg.TrainJobs,
+			Jobs:              cfg.Jobs,
+			ChaosBatchSamples: cfg.ChaosBatchSamples,
+			Policies:          names,
+			Axes:              append([]string(nil), axes...),
+		},
+		Weights:   ScoreWeights,
+		Standings: standings,
+		Cells:     cells,
+	}
+}
+
+// Cell returns the (policy, axis) cell, or nil.
+func (r *Report) Cell(policy, axis string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Policy == policy && r.Cells[i].Axis == axis {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// EncodeJSON is the canonical rendering of the report (two-space
+// indent, trailing newline) used for tournament.json; encoding/json's
+// deterministic struct-order output keeps the committed artifact
+// byte-stable across regenerations.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeJSON parses a report previously written by EncodeJSON.
+func DecodeJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("tournament: bad report JSON: %w", err)
+	}
+	return &r, nil
+}
